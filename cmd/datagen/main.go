@@ -1,0 +1,89 @@
+// Command datagen synthesizes the two case-study datasets — the
+// TaskRabbit-like marketplace crawl and the Google-job-search study — and
+// writes them as JSON-lines files, the synthetic equivalent of the paper's
+// data collection (Figures 6 and 9 up to the F-Box).
+//
+// Usage:
+//
+//	datagen [-seed N] [-out DIR] [-observed]
+//
+// Output files:
+//
+//	DIR/taskers.jsonl   tasker profiles (with observed or true labels)
+//	DIR/pages.jsonl     the 5,361 marketplace result pages
+//	DIR/google.jsonl    the per-participant Google result lists
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fairjob/internal/dataset"
+	"fairjob/internal/experiment"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", experiment.DefaultSeed, "generation seed")
+		out      = flag.String("out", "data", "output directory")
+		observed = flag.Bool("observed", true, "record the simulated AMT labels (false records ground truth)")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *out, *observed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, out string, observed bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	env := experiment.NewEnv(seed)
+	env.ObservedLabels = observed
+
+	ds := env.MarketDataset()
+	if err := writeFile(filepath.Join(out, "taskers.jsonl"), func(f *os.File) error {
+		return dataset.WriteTaskers(f, ds.Taskers)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(out, "pages.jsonl"), func(f *os.File) error {
+		return dataset.WritePages(f, ds.Pages)
+	}); err != nil {
+		return err
+	}
+	google := dataset.FromSearchResults(env.GoogleResults())
+	if err := writeFile(filepath.Join(out, "google.jsonl"), func(f *os.File) error {
+		return dataset.WriteSearchRecords(f, google.Records)
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %d taskers, %d pages, %d google records to %s\n",
+		len(ds.Taskers), len(ds.Pages), len(google.Records), out)
+	fmt.Printf("unique taskers appearing on pages: %d\n", ds.UniqueTaskersOnPages())
+	for _, attr := range []string{"gender", "ethnicity"} {
+		fmt.Printf("%s breakdown:", attr)
+		for _, s := range ds.Breakdown(attr) {
+			fmt.Printf(" %s %.1f%%", s.Value, 100*s.Fraction)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

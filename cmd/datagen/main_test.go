@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairjob/internal/dataset"
+)
+
+// TestDatagenRoundTrip runs the full datagen pipeline into a temp
+// directory and verifies the persisted crawl reconstructs into the same
+// number of pages and participants it was generated from.
+func TestDatagenRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset generation")
+	}
+	dir := t.TempDir()
+	if err := run(7, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"taskers.jsonl", "pages.jsonl", "google.jsonl"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+
+	pf, err := os.Open(filepath.Join(dir, "pages.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	pages, err := dataset.ReadPages(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 5361 {
+		t.Fatalf("pages = %d, want 5361", len(pages))
+	}
+
+	tf, err := os.Open(filepath.Join(dir, "taskers.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	taskers, err := dataset.ReadTaskers(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every worker referenced by a page must have a profile: the stored
+	// dataset is self-contained and ToRankings succeeds.
+	ds := &dataset.Marketplace{Taskers: taskers, Pages: pages}
+	rankings, err := ds.ToRankings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankings) != 5361 {
+		t.Fatalf("rankings = %d", len(rankings))
+	}
+
+	gf, err := os.Open(filepath.Join(dir, "google.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	recs, err := dataset.ReadSearchRecords(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 studies × 5 terms × 18 participants.
+	if len(recs) != 11*5*18 {
+		t.Fatalf("google records = %d, want %d", len(recs), 11*5*18)
+	}
+	results := (&dataset.Google{Records: recs}).ToSearchResults()
+	if len(results) != 55 {
+		t.Fatalf("result sets = %d, want 55", len(results))
+	}
+}
+
+func TestDatagenBadDir(t *testing.T) {
+	// A path under a file cannot be created.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, filepath.Join(f, "sub"), true); err == nil {
+		t.Fatal("expected error for uncreatable directory")
+	}
+}

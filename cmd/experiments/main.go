@@ -1,0 +1,79 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation against the synthetic substrates and reports the shape checks
+// (paper finding vs measured), in the spirit of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-seed N] [-format text|markdown|csv] [-only ID] [-observed]
+//
+// With no flags it runs the whole registry and prints plain-text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fairjob/internal/experiment"
+	"fairjob/internal/report"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", experiment.DefaultSeed, "generation seed")
+		format   = flag.String("format", "text", "output format: text, markdown or csv")
+		only     = flag.String("only", "", "run a single experiment by ID (e.g. T8); empty runs all")
+		observed = flag.Bool("observed", false, "use the simulated AMT labels instead of ground-truth demographics")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	env := experiment.NewEnv(*seed)
+	env.ObservedLabels = *observed
+
+	runners := experiment.All()
+	if *only != "" {
+		r, err := experiment.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []experiment.Runner{r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		fmt.Printf("==== %s: %s ====\n\n", r.ID, r.Title)
+		res, err := r.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		for _, tbl := range res.Tables {
+			if err := tbl.Write(os.Stdout, report.Format(*format)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: render: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("  %s\n", note)
+			if strings.HasPrefix(note, "shape [FAIL]") {
+				failed++
+			}
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,277 @@
+// Command fairjob answers the paper's two generic fairness questions
+// against a marketplace or search-engine crawl: quantification ("which k groups / queries /
+// locations is the site most or least unfair for?", solved with the
+// Threshold Algorithm of §4.2) and comparison ("where does the comparison
+// of two groups / queries / locations reverse?", Algorithm 2).
+//
+// Usage:
+//
+//	fairjob quantify -dim group|query|location [-k 5] [-least] [-measure emd|exposure|kendall|jaccard] [-platform market|google] [-data DIR]
+//	fairjob compare  -by group|query|location  -r1 A -r2 B [-measure ...] [-platform ...] [-data DIR]
+//
+// With -data it loads a crawl written by datagen (taskers.jsonl +
+// pages.jsonl for the marketplace, google.jsonl for the search study);
+// otherwise it synthesizes the default platform in memory. The emd and
+// exposure measures imply -platform market; kendall and jaccard imply
+// -platform google.
+//
+// Examples:
+//
+//	fairjob quantify -dim group -k 5
+//	fairjob quantify -dim location -k 3 -least -measure exposure
+//	fairjob quantify -dim group -k 5 -measure kendall
+//	fairjob compare -r1 "gender=Male" -r2 "gender=Female" -by location -measure exposure
+//	fairjob compare -r1 "Lawn Mowing" -r2 "Event Decorating" -by group
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/dataset"
+	"fairjob/internal/experiment"
+	"fairjob/internal/index"
+	"fairjob/internal/report"
+	"fairjob/internal/topk"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	mode := os.Args[1]
+	fs := flag.NewFlagSet(mode, flag.ExitOnError)
+	var (
+		data    = fs.String("data", "", "directory with taskers.jsonl and pages.jsonl (empty synthesizes the default marketplace)")
+		seed    = fs.Uint64("seed", experiment.DefaultSeed, "seed when synthesizing")
+		measure = fs.String("measure", "emd", "unfairness measure: emd, exposure, kendall or jaccard")
+		dim     = fs.String("dim", "group", "quantify: dimension to rank (group, query or location)")
+		k       = fs.Int("k", 5, "quantify: how many results")
+		least   = fs.Bool("least", false, "quantify: return the least unfair instead of the most")
+		r1      = fs.String("r1", "", "compare: first value (group key like \"gender=Male\", query, or location)")
+		r2      = fs.String("r2", "", "compare: second value")
+		by      = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	tbl, err := buildTable(*data, *seed, *measure)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch mode {
+	case "quantify":
+		err = quantify(tbl, *dim, *k, *least)
+	case "compare":
+		err = runCompare(tbl, *r1, *r2, *by)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare [flags] (see -h of each mode)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fairjob:", err)
+	os.Exit(1)
+}
+
+// buildTable produces the unfairness table from a stored crawl or a fresh
+// synthetic one. The measure name selects the platform: emd/exposure are
+// marketplace measures, kendall/jaccard are search-engine measures.
+func buildTable(dir string, seed uint64, measure string) (*core.Table, error) {
+	switch measure {
+	case "emd", "exposure":
+		m := core.MeasureEMD
+		if measure == "exposure" {
+			m = core.MeasureExposure
+		}
+		if dir == "" {
+			env := experiment.NewEnv(seed)
+			return env.MarketTable(m), nil
+		}
+		rankings, err := loadMarketRankings(dir)
+		if err != nil {
+			return nil, err
+		}
+		ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m}
+		return ev.EvaluateAll(rankings, nil), nil
+	case "kendall", "jaccard":
+		m := core.MeasureKendallTau
+		if measure == "jaccard" {
+			m = core.MeasureJaccard
+		}
+		if dir == "" {
+			env := experiment.NewEnv(seed)
+			return env.GoogleTable(m), nil
+		}
+		results, err := loadGoogleResults(dir)
+		if err != nil {
+			return nil, err
+		}
+		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m}
+		return ev.EvaluateAll(results, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q (want emd, exposure, kendall or jaccard)", measure)
+	}
+}
+
+// loadMarketRankings reads a datagen marketplace crawl from dir.
+func loadMarketRankings(dir string) ([]*core.MarketplaceRanking, error) {
+	taskersF, err := os.Open(filepath.Join(dir, "taskers.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer taskersF.Close()
+	taskers, err := dataset.ReadTaskers(taskersF)
+	if err != nil {
+		return nil, err
+	}
+	pagesF, err := os.Open(filepath.Join(dir, "pages.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer pagesF.Close()
+	pages, err := dataset.ReadPages(pagesF)
+	if err != nil {
+		return nil, err
+	}
+	ds := &dataset.Marketplace{Taskers: taskers, Pages: pages}
+	return ds.ToRankings()
+}
+
+// loadGoogleResults reads a datagen search study from dir.
+func loadGoogleResults(dir string) ([]*core.SearchResults, error) {
+	f, err := os.Open(filepath.Join(dir, "google.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := dataset.ReadSearchRecords(f)
+	if err != nil {
+		return nil, err
+	}
+	return (&dataset.Google{Records: recs}).ToSearchResults(), nil
+}
+
+// quantify solves Problem 1 with the Threshold Algorithm over the
+// pre-computed indices.
+func quantify(tbl *core.Table, dim string, k int, least bool) error {
+	dir := topk.MostUnfair
+	label := "most"
+	if least {
+		dir = topk.LeastUnfair
+		label = "least"
+	}
+	var results []topk.Result
+	var err error
+	switch dim {
+	case "group":
+		results, err = topk.GroupFairness(index.BuildGroupIndex(tbl), nil, nil, k, dir)
+	case "query":
+		results, err = topk.QueryFairness(index.BuildQueryIndex(tbl), nil, nil, k, dir)
+	case "location":
+		results, err = topk.LocationFairness(index.BuildLocationIndex(tbl), nil, nil, k, dir)
+	default:
+		return fmt.Errorf("unknown dimension %q (want group, query or location)", dim)
+	}
+	if err != nil {
+		return err
+	}
+	out := report.NewTable(fmt.Sprintf("%d %s unfair %ss (Threshold Algorithm)", k, label, dim),
+		"Rank", dim, "Avg unfairness")
+	for i, r := range results {
+		name := r.Key
+		if dim == "group" {
+			if g, ok := tbl.GroupByKey(r.Key); ok {
+				name = g.Name()
+			}
+		}
+		out.AddRow(i+1, name, r.Value)
+	}
+	return out.WriteText(os.Stdout)
+}
+
+// runCompare solves Problem 2 for the two values, inferring their
+// dimension from the table's contents.
+func runCompare(tbl *core.Table, r1, r2, by string) error {
+	if r1 == "" || r2 == "" {
+		return fmt.Errorf("compare needs -r1 and -r2")
+	}
+	var byDim compare.Dimension
+	switch by {
+	case "group":
+		byDim = compare.ByGroup
+	case "query":
+		byDim = compare.ByQuery
+	case "location":
+		byDim = compare.ByLocation
+	default:
+		return fmt.Errorf("unknown breakdown %q", by)
+	}
+	c := compare.NewDefinedOnly(tbl)
+
+	dimOf := func(v string) string {
+		if _, ok := tbl.GroupByKey(v); ok {
+			return "group"
+		}
+		for _, q := range tbl.Queries() {
+			if string(q) == v {
+				return "query"
+			}
+		}
+		for _, l := range tbl.Locations() {
+			if string(l) == v {
+				return "location"
+			}
+		}
+		return ""
+	}
+	d1, d2 := dimOf(r1), dimOf(r2)
+	if d1 == "" || d1 != d2 {
+		return fmt.Errorf("cannot resolve %q and %q to one dimension (group key, query, or location)", r1, r2)
+	}
+
+	var cmp *compare.Comparison
+	var err error
+	switch d1 {
+	case "group":
+		cmp, err = c.Groups(r1, r2, byDim, compare.Scope{})
+	case "query":
+		cmp, err = c.Queries(core.Query(r1), core.Query(r2), byDim, compare.Scope{})
+	case "location":
+		cmp, err = c.Locations(core.Location(r1), core.Location(r2), byDim, compare.Scope{})
+	}
+	if err != nil {
+		return err
+	}
+
+	name := func(key string) string {
+		if byDim == compare.ByGroup {
+			if g, ok := tbl.GroupByKey(key); ok {
+				return g.Name()
+			}
+		}
+		return key
+	}
+	out := report.NewTable(fmt.Sprintf("%s vs %s, broken down by %s", r1, r2, by),
+		by, r1, r2, "differs from overall")
+	out.AddRow("All", cmp.Overall1, cmp.Overall2, "")
+	for _, b := range cmp.All {
+		out.AddRow(name(b.B), b.V1, b.V2, fmt.Sprintf("%v", b.Reversed))
+	}
+	return out.WriteText(os.Stdout)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairjob/internal/core"
+	"fairjob/internal/dataset"
+)
+
+// writeTinyDataset writes a minimal but valid datagen-format crawl to dir.
+func writeTinyDataset(t *testing.T, dir string) {
+	t.Helper()
+	taskers := []dataset.TaskerRecord{
+		{ID: "t1", City: "NYC", Gender: "Male", Ethnicity: "White"},
+		{ID: "t2", City: "NYC", Gender: "Female", Ethnicity: "Black"},
+		{ID: "t3", City: "NYC", Gender: "Male", Ethnicity: "Asian"},
+		{ID: "t4", City: "NYC", Gender: "Female", Ethnicity: "White"},
+	}
+	pages := []dataset.PageRecord{
+		{Query: "cleaning", Location: "NYC", Workers: []string{"t1", "t2", "t3", "t4"}},
+		{Query: "moving", Location: "NYC", Workers: []string{"t3", "t4", "t1", "t2"}},
+	}
+	google := []dataset.SearchRecord{
+		{Query: "cleaning jobs", Location: "NYC", UserID: "u1", Gender: "Male", Ethnicity: "White", Results: []string{"a", "b", "c"}},
+		{Query: "cleaning jobs", Location: "NYC", UserID: "u2", Gender: "Female", Ethnicity: "White", Results: []string{"c", "b", "a"}},
+		{Query: "cleaning jobs", Location: "NYC", UserID: "u3", Gender: "Male", Ethnicity: "Black", Results: []string{"a", "b", "x"}},
+		{Query: "cleaning jobs", Location: "NYC", UserID: "u4", Gender: "Female", Ethnicity: "Black", Results: []string{"a", "b", "c"}},
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("taskers.jsonl", func(f *os.File) error { return dataset.WriteTaskers(f, taskers) })
+	write("pages.jsonl", func(f *os.File) error { return dataset.WritePages(f, pages) })
+	write("google.jsonl", func(f *os.File) error { return dataset.WriteSearchRecords(f, google) })
+}
+
+func TestBuildTableFromMarketDataset(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyDataset(t, dir)
+	for _, measure := range []string{"emd", "exposure"} {
+		tbl, err := buildTable(dir, 1, measure)
+		if err != nil {
+			t.Fatalf("%s: %v", measure, err)
+		}
+		if len(tbl.Queries()) != 2 {
+			t.Fatalf("%s: queries = %v", measure, tbl.Queries())
+		}
+		if tbl.Len() == 0 {
+			t.Fatalf("%s: empty table", measure)
+		}
+	}
+}
+
+func TestBuildTableFromGoogleDataset(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyDataset(t, dir)
+	for _, measure := range []string{"kendall", "jaccard"} {
+		tbl, err := buildTable(dir, 1, measure)
+		if err != nil {
+			t.Fatalf("%s: %v", measure, err)
+		}
+		wf := core.NewGroup(
+			core.Predicate{Attr: "gender", Value: "Female"},
+			core.Predicate{Attr: "ethnicity", Value: "White"})
+		if _, ok := tbl.Get(wf, "cleaning jobs", "NYC"); !ok {
+			t.Fatalf("%s: White Female cell missing", measure)
+		}
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	if _, err := buildTable("", 1, "cosine"); err == nil {
+		t.Fatal("unknown measure should error")
+	}
+	if _, err := buildTable(t.TempDir(), 1, "emd"); err == nil {
+		t.Fatal("missing files should error")
+	}
+	if _, err := buildTable(t.TempDir(), 1, "kendall"); err == nil {
+		t.Fatal("missing google.jsonl should error")
+	}
+}
+
+func TestQuantifyAndCompareOnDataset(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyDataset(t, dir)
+	tbl, err := buildTable(dir, 1, "emd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// These render to stdout; the tests assert they succeed and reject
+	// bad dimensions.
+	if err := quantify(tbl, "group", 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := quantify(tbl, "query", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := quantify(tbl, "nebula", 2, false); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	if err := runCompare(tbl, "cleaning", "moving", "group"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(tbl, "gender=Male", "gender=Female", "query"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(tbl, "", "x", "group"); err == nil {
+		t.Fatal("missing r1 should error")
+	}
+	if err := runCompare(tbl, "cleaning", "gender=Male", "group"); err == nil {
+		t.Fatal("mixed dimensions should error")
+	}
+	if err := runCompare(tbl, "cleaning", "moving", "universe"); err == nil {
+		t.Fatal("unknown breakdown should error")
+	}
+}

@@ -1,0 +1,24 @@
+// Package fairjob is a from-scratch Go reproduction of "Fairness in Online
+// Jobs: A Case Study on TaskRabbit and Google" (Amer-Yahia et al., EDBT
+// 2020): a unified framework for quantifying and comparing group fairness
+// in online job rankings, together with synthetic substrates standing in
+// for the paper's crawled TaskRabbit and Google datasets.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the fairness framework: groups, comparable groups,
+//     the four unfairness measures, and the d<g,q,l> table (§3);
+//   - internal/index, internal/topk, internal/compare — the three index
+//     families and the Fagin-style algorithms for the paper's two problems
+//     (§4);
+//   - internal/marketplace, internal/search, internal/labeling — the
+//     simulated TaskRabbit, Google job search, and AMT labeling substrates
+//     (§5.1);
+//   - internal/experiment — one runner per table and figure of the
+//     evaluation (§5.2–5.3).
+//
+// The bench_test.go file in this directory regenerates every table and
+// figure as a benchmark and adds the design-choice ablations from
+// DESIGN.md. See README.md for a tour and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package fairjob

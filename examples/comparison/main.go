@@ -1,0 +1,58 @@
+// Comparison: solve the paper's Problem 2 (§5.3) on the synthetic
+// TaskRabbit — where does the male/female comparison reverse, and which
+// jobs invert a city-vs-city trend?
+package main
+
+import (
+	"fmt"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/marketplace"
+)
+
+func main() {
+	fmt.Println("synthesizing marketplace and evaluating exposure unfairness...")
+	m := marketplace.New(marketplace.Config{Seed: 7})
+	crawl := m.CrawlAll()
+
+	expo := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureExposure}
+	expoTable := expo.EvaluateAll(crawl, nil)
+
+	// Group-comparison (Table 12): males vs females broken down by
+	// location — return the locations whose comparison differs from the
+	// overall one.
+	c := compare.NewDefinedOnly(expoTable)
+	male := core.NewGroup(core.Predicate{Attr: "gender", Value: "Male"}).Key()
+	female := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}).Key()
+	cmp, err := c.Groups(male, female, compare.ByLocation, compare.Scope{})
+	check(err)
+	fmt.Printf("\noverall: males %.4f, females %.4f — females are treated less fairly\n",
+		cmp.Overall1, cmp.Overall2)
+	fmt.Println("locations where the comparison differs (females treated at least as fairly):")
+	for _, b := range cmp.Reversed {
+		fmt.Printf("  %-30s males %.4f  females %.4f\n", b.B, b.V1, b.V2)
+	}
+
+	// Location-comparison (Table 15): SF Bay Area vs Chicago across the
+	// General Cleaning jobs.
+	emd := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureEMD}
+	emdTable := emd.EvaluateAll(crawl, nil)
+	gc, _ := marketplace.CategoryByName("General Cleaning")
+	loc, err := compare.NewDefinedOnly(emdTable).Locations(
+		"San Francisco Bay Area, CA", "Chicago, IL", compare.ByQuery,
+		compare.Scope{Queries: marketplace.QueriesOf(gc)})
+	check(err)
+	fmt.Printf("\nSF Bay Area %.3f vs Chicago %.3f across General Cleaning — SF Bay is fairer overall\n",
+		loc.Overall1, loc.Overall2)
+	fmt.Println("jobs where the trend inverts:")
+	for _, b := range loc.Reversed {
+		fmt.Printf("  %-22s SF Bay %.3f  Chicago %.3f\n", b.B, b.V1, b.V2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

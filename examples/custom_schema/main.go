@@ -1,0 +1,79 @@
+// Custom schema: the framework is generic over protected attributes
+// (§3.1: "groups are obtained with any combination of protected
+// attributes"). This example audits a ranking with a three-attribute
+// schema — gender × ethnicity × age — which yields a 35-group universe,
+// touching the subgroup-fairness territory of Kearns et al. that the
+// paper's related work discusses.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+func main() {
+	schema := core.NewSchema(map[core.Attribute][]string{
+		"gender":    {"Male", "Female"},
+		"ethnicity": {"Asian", "Black", "White"},
+		"age":       {"Under40", "Over40"},
+	})
+	fmt.Printf("universe: %d groups over 3 protected attributes\n", len(schema.Universe()))
+
+	// A synthetic 60-worker page where older Asian women sink to the
+	// bottom: an intersectional pattern no single attribute explains.
+	rng := stats.NewRNG(99)
+	type w struct {
+		attrs core.Assignment
+		score float64
+	}
+	var workers []w
+	genders := []string{"Male", "Female"}
+	eths := []string{"Asian", "Black", "White"}
+	ages := []string{"Under40", "Over40"}
+	for i := 0; i < 60; i++ {
+		attrs := core.Assignment{
+			"gender":    genders[rng.Intn(2)],
+			"ethnicity": eths[rng.Intn(3)],
+			"age":       ages[rng.Intn(2)],
+		}
+		score := 0.5 + 0.1*rng.NormFloat64()
+		if attrs["gender"] == "Female" && attrs["ethnicity"] == "Asian" && attrs["age"] == "Over40" {
+			score -= 0.35 // the intersectional penalty
+		}
+		workers = append(workers, w{attrs, score})
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].score > workers[j].score })
+	page := &core.MarketplaceRanking{Query: "audit", Location: "here"}
+	for i, x := range workers {
+		page.Workers = append(page.Workers, core.RankedWorker{
+			ID: fmt.Sprintf("w%02d", i), Attrs: x.attrs, Rank: i + 1, Score: math.NaN(),
+		})
+	}
+
+	// Rank every group in the 35-group universe by EMD unfairness. The
+	// comparable-group structure localizes the harm: the intersectional
+	// group tops the list while its one-attribute projections sit lower.
+	ev := &core.MarketplaceEvaluator{Schema: schema, Measure: core.MeasureEMD}
+	type row struct {
+		name string
+		d    float64
+	}
+	var rows []row
+	for _, g := range schema.Universe() {
+		if d, ok := ev.Unfairness(page, g); ok {
+			rows = append(rows, row{g.Name(), d})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	fmt.Println("\ntop 8 most unfairly treated groups (EMD):")
+	for i := 0; i < 8 && i < len(rows); i++ {
+		fmt.Printf("  %d. %-24s %.3f\n", i+1, rows[i].name, rows[i].d)
+	}
+	fmt.Println("\n(\"Over40 Asian Female\" should lead: the framework surfaces the")
+	fmt.Println("intersectional group directly instead of diluting it into its")
+	fmt.Println("single-attribute projections)")
+}

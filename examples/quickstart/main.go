@@ -1,0 +1,61 @@
+// Quickstart: measure group unfairness in a small worker ranking, then ask
+// a top-k fairness question — the framework's two building blocks in ~60
+// lines.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"fairjob/internal/core"
+	"fairjob/internal/index"
+	"fairjob/internal/topk"
+)
+
+func main() {
+	schema := core.DefaultSchema()
+
+	// A single result page: six workers ranked for one query at one
+	// location. Attributes use the schema's protected attributes.
+	page := &core.MarketplaceRanking{
+		Query:    "home cleaning",
+		Location: "Springfield",
+		Workers: []core.RankedWorker{
+			{ID: "w1", Rank: 1, Score: math.NaN(), Attrs: core.Assignment{"gender": "Male", "ethnicity": "White"}},
+			{ID: "w2", Rank: 2, Score: math.NaN(), Attrs: core.Assignment{"gender": "Male", "ethnicity": "White"}},
+			{ID: "w3", Rank: 3, Score: math.NaN(), Attrs: core.Assignment{"gender": "Female", "ethnicity": "Black"}},
+			{ID: "w4", Rank: 4, Score: math.NaN(), Attrs: core.Assignment{"gender": "Male", "ethnicity": "Asian"}},
+			{ID: "w5", Rank: 5, Score: math.NaN(), Attrs: core.Assignment{"gender": "Female", "ethnicity": "Asian"}},
+			{ID: "w6", Rank: 6, Score: math.NaN(), Attrs: core.Assignment{"gender": "Female", "ethnicity": "White"}},
+		},
+	}
+
+	// 1. Unfairness of one group on one page, under both marketplace
+	// measures (§3.3 of the paper).
+	af := core.NewGroup(
+		core.Predicate{Attr: "gender", Value: "Female"},
+		core.Predicate{Attr: "ethnicity", Value: "Asian"},
+	)
+	for _, m := range []core.MarketplaceMeasure{core.MeasureEMD, core.MeasureExposure} {
+		ev := &core.MarketplaceEvaluator{Schema: schema, Measure: m}
+		if d, ok := ev.Unfairness(page, af); ok {
+			fmt.Printf("d<%s, %s, %s> (%v) = %.3f\n", af.Name(), page.Query, page.Location, m, d)
+		}
+	}
+
+	// 2. Evaluate every group into an unfairness table, index it, and ask
+	// a quantification question with the Threshold Algorithm (§4.2):
+	// which 3 groups is this page least fair for?
+	ev := &core.MarketplaceEvaluator{Schema: schema, Measure: core.MeasureExposure}
+	table := ev.EvaluateAll([]*core.MarketplaceRanking{page}, nil)
+	gi := index.BuildGroupIndex(table)
+	top, err := topk.GroupFairness(gi, nil, nil, 3, topk.MostUnfair)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n3 most unfairly treated groups on this page (exposure):")
+	for i, r := range top {
+		g, _ := table.GroupByKey(r.Key)
+		fmt.Printf("  %d. %-14s %.3f\n", i+1, g.Name(), r.Value)
+	}
+}

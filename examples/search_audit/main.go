@@ -1,0 +1,77 @@
+// Search audit: run the paper's §5.2.2 quantification on the synthetic
+// Google job search — whose personalized results diverge most, and at
+// which locations — using per-user result lists and the Kendall Tau /
+// Jaccard measures.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/search"
+)
+
+func main() {
+	fmt.Println("running the 11-study Google sweep (6 groups × 3 participants × 5 terms × 2 repeats)...")
+	engine := search.New(search.Config{Seed: 11})
+	results := engine.CrawlAll()
+
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: measure}
+		table := ev.EvaluateAll(results, nil)
+
+		fmt.Printf("\n=== %v ===\n", measure)
+
+		// Full demographic groups ranked by average unfairness.
+		type row struct {
+			name string
+			v    float64
+		}
+		var groups []row
+		for _, g := range core.DefaultSchema().FullGroups() {
+			if v, ok := table.AggregateGroup(g, table.Queries(), table.Locations()); ok {
+				groups = append(groups, row{g.Name(), v})
+			}
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i].v > groups[j].v })
+		fmt.Println("groups, most to least divergent results:")
+		for _, r := range groups {
+			fmt.Printf("  %-14s %.3f\n", r.name, r.v)
+		}
+
+		// Locations.
+		var locs []row
+		for _, l := range table.Locations() {
+			if v, ok := table.AggregateLocation(l, table.Groups(), table.Queries()); ok {
+				locs = append(locs, row{string(l), v})
+			}
+		}
+		sort.Slice(locs, func(i, j int) bool { return locs[i].v > locs[j].v })
+		fmt.Printf("unfairest location: %s (%.3f); fairest: %s (%.3f)\n",
+			locs[0].name, locs[0].v, locs[len(locs)-1].name, locs[len(locs)-1].v)
+
+		// Query bases.
+		var bases []row
+		for _, base := range search.Bases() {
+			var sum float64
+			var n int
+			for _, q := range search.TermsOfBase(base) {
+				for _, g := range table.Groups() {
+					for _, l := range table.Locations() {
+						if v, ok := table.Get(g, q, l); ok {
+							sum += v
+							n++
+						}
+					}
+				}
+			}
+			if n > 0 {
+				bases = append(bases, row{base, sum / float64(n)})
+			}
+		}
+		sort.Slice(bases, func(i, j int) bool { return bases[i].v > bases[j].v })
+		fmt.Printf("most unfair query: %s (%.3f); fairest: %s (%.3f)\n",
+			bases[0].name, bases[0].v, bases[len(bases)-1].name, bases[len(bases)-1].v)
+	}
+}

@@ -1,0 +1,3 @@
+module fairjob
+
+go 1.22

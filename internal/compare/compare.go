@@ -1,0 +1,440 @@
+// Package compare solves the paper's Problem 2 (Fairness Comparison):
+// given two comparison values r1 and r2 of one dimension and a breakdown
+// dimension B, return every b ∈ B for which the fairness comparison of r1
+// and r2 reverses relative to their overall comparison.
+//
+// This is the paper's Algorithm 2, with Algorithm 3 (ComputeGroupUnfairness
+// via random accesses to the group-based indices) as the overall-unfairness
+// subroutine. All aggregates use the same semantics as Algorithm 1 and 3:
+// undefined triples contribute 0 and denominators are the full scope size.
+package compare
+
+import (
+	"fmt"
+	"math"
+
+	"fairjob/internal/core"
+	"fairjob/internal/index"
+)
+
+// Dimension names one of the framework's three dimensions.
+type Dimension int
+
+const (
+	ByGroup Dimension = iota
+	ByQuery
+	ByLocation
+)
+
+func (d Dimension) String() string {
+	switch d {
+	case ByGroup:
+		return "group"
+	case ByQuery:
+		return "query"
+	case ByLocation:
+		return "location"
+	default:
+		return fmt.Sprintf("Dimension(%d)", int(d))
+	}
+}
+
+// Scope restricts the aggregation and breakdown sets. Nil fields default
+// to the full dimension recorded in the index. Group members are canonical
+// group keys.
+type Scope struct {
+	Groups    []string
+	Queries   []core.Query
+	Locations []core.Location
+}
+
+// Breakdown is one row of a comparison result: the breakdown member b and
+// the unfairness of r1 and r2 restricted to b.
+type Breakdown struct {
+	B        string
+	V1, V2   float64
+	Reversed bool
+}
+
+// Comparison is the full result of a fairness-comparison run. All holds
+// every breakdown member with its restricted values; Reversed holds the
+// subset the paper's Problem 2 returns (comparison differs from overall).
+type Comparison struct {
+	R1, R2             string
+	By                 Dimension
+	Overall1, Overall2 float64
+	All                []Breakdown
+	Reversed           []Breakdown
+}
+
+// Comparer answers fairness-comparison questions against a group-based
+// index family.
+//
+// Two aggregation semantics are supported. The default (New) follows
+// Algorithms 1–3 exactly: undefined triples contribute 0 and denominators
+// are the full scope size. NewDefinedOnly averages over defined triples
+// only, which is how the paper's empirical tables are aggregated — it is
+// what makes, e.g., Males' and Females' overall exposure unfairness differ
+// (Table 12) even though their per-page deviations coincide on pages where
+// both genders appear.
+type Comparer struct {
+	gi          *index.GroupIndex
+	tbl         *core.Table
+	definedOnly bool
+	// Epsilon is the tolerance within which two aggregate unfairness
+	// values are considered tied by the reversal predicate. Aggregates
+	// are floating-point sums over thousands of cells; mathematically
+	// equal values (e.g. the two genders' per-page exposure deviations,
+	// which are provably identical when both genders appear) differ in
+	// the last bits, and a strict comparison would turn those ties into
+	// arbitrary orderings.
+	Epsilon float64
+}
+
+// New builds a Comparer with the completion semantics of Algorithms 1–3
+// (missing = 0, denominator = full scope size).
+func New(gi *index.GroupIndex) *Comparer {
+	return &Comparer{gi: gi, Epsilon: defaultEpsilon}
+}
+
+// defaultEpsilon absorbs floating-point noise in aggregate comparisons.
+const defaultEpsilon = 1e-9
+
+// NewDefinedOnly builds a Comparer that averages over defined triples
+// only, reading directly from the unfairness table.
+func NewDefinedOnly(tbl *core.Table) *Comparer {
+	return &Comparer{gi: index.BuildGroupIndex(tbl), tbl: tbl, definedOnly: true, Epsilon: defaultEpsilon}
+}
+
+func (c *Comparer) scopeOrAll(s Scope) Scope {
+	if s.Groups == nil {
+		s.Groups = c.gi.GroupKeys
+	}
+	if s.Queries == nil {
+		s.Queries = c.gi.Queries
+	}
+	if s.Locations == nil {
+		s.Locations = c.gi.Locations
+	}
+	return s
+}
+
+// value performs the Algorithm 3 random access: d<g,q,l>, with the second
+// return reporting whether the triple was defined. It returns an error for
+// a (q,l) pair that was never indexed, which indicates a scope mistake
+// rather than sparse data.
+func (c *Comparer) value(g string, q core.Query, l core.Location) (float64, bool, error) {
+	iv := c.gi.Get(q, l)
+	if iv == nil {
+		return 0, false, fmt.Errorf("compare: pair (%s, %s) not indexed", q, l)
+	}
+	if c.definedOnly {
+		v, ok := c.tbl.GetKey(g, q, l)
+		return v, ok, nil
+	}
+	v, _ := iv.Find(g)
+	return v, true, nil
+}
+
+// average applies the Comparer's aggregation semantics to a sum over
+// cells: full-denominator for completion semantics, defined-count for
+// defined-only semantics (0 when nothing was defined).
+func (c *Comparer) average(sum float64, defined, total int) float64 {
+	if c.definedOnly {
+		if defined == 0 {
+			return 0
+		}
+		return sum / float64(defined)
+	}
+	return sum / float64(total)
+}
+
+// dGroup is Algorithm 3: d<g,Q,L>.
+func (c *Comparer) dGroup(g string, qs []core.Query, ls []core.Location) (float64, error) {
+	var sum float64
+	var defined int
+	for _, q := range qs {
+		for _, l := range ls {
+			v, ok, err := c.value(g, q, l)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				sum += v
+				defined++
+			}
+		}
+	}
+	return c.average(sum, defined, len(qs)*len(ls)), nil
+}
+
+// dQuery is the query analogue: d<G,q,L>.
+func (c *Comparer) dQuery(q core.Query, gs []string, ls []core.Location) (float64, error) {
+	var sum float64
+	var defined int
+	for _, g := range gs {
+		for _, l := range ls {
+			v, ok, err := c.value(g, q, l)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				sum += v
+				defined++
+			}
+		}
+	}
+	return c.average(sum, defined, len(gs)*len(ls)), nil
+}
+
+// dLocation is the location analogue: d<G,Q,l>.
+func (c *Comparer) dLocation(l core.Location, gs []string, qs []core.Query) (float64, error) {
+	var sum float64
+	var defined int
+	for _, g := range gs {
+		for _, q := range qs {
+			v, ok, err := c.value(g, q, l)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				sum += v
+				defined++
+			}
+		}
+	}
+	return c.average(sum, defined, len(gs)*len(qs)), nil
+}
+
+// reversed is the paper's Problem 2 predicate:
+// (d<r1,all> ≥ d<r2,all> ∧ d<r1,b> ≤ d<r2,b>) ∨
+// (d<r1,all> ≤ d<r2,all> ∧ d<r1,b> ≥ d<r2,b>),
+// with equality read up to eps, and excluding breakdowns whose values
+// replicate the overall comparison exactly on both sides (a breakdown
+// tied like a tied overall is not a difference).
+func reversed(o1, o2, b1, b2, eps float64) bool {
+	tieO := math.Abs(o1-o2) <= eps
+	tieB := math.Abs(b1-b2) <= eps
+	switch {
+	case tieO && tieB:
+		return false
+	case tieO || tieB:
+		return true
+	default:
+		return (o1 > o2 && b1 < b2) || (o1 < o2 && b1 > b2)
+	}
+}
+
+// Groups compares two groups (by canonical key), broken down by queries or
+// locations (Problem 2's group-comparison instance — e.g. Males vs Females
+// across locations, the paper's Tables 4, 12, 16, 17).
+func (c *Comparer) Groups(g1, g2 string, by Dimension, scope Scope) (*Comparison, error) {
+	if by == ByGroup {
+		return nil, fmt.Errorf("compare: cannot break a group comparison down by group")
+	}
+	s := c.scopeOrAll(scope)
+	o1, err := c.dGroup(g1, s.Queries, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	o2, err := c.dGroup(g2, s.Queries, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{R1: g1, R2: g2, By: by, Overall1: o1, Overall2: o2}
+	if by == ByLocation {
+		for _, l := range s.Locations {
+			v1, err := c.dGroup(g1, s.Queries, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dGroup(g2, s.Queries, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(string(l), v1, v2, c.Epsilon)
+		}
+	} else {
+		for _, q := range s.Queries {
+			v1, err := c.dGroup(g1, []core.Query{q}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dGroup(g2, []core.Query{q}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(string(q), v1, v2, c.Epsilon)
+		}
+	}
+	return cmp, nil
+}
+
+// Queries compares two queries broken down by groups or locations
+// (query-comparison — e.g. Lawn Mowing vs Event Decorating across
+// ethnicities, Tables 13, 14, 18, 19).
+func (c *Comparer) Queries(q1, q2 core.Query, by Dimension, scope Scope) (*Comparison, error) {
+	if by == ByQuery {
+		return nil, fmt.Errorf("compare: cannot break a query comparison down by query")
+	}
+	s := c.scopeOrAll(scope)
+	o1, err := c.dQuery(q1, s.Groups, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	o2, err := c.dQuery(q2, s.Groups, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{R1: string(q1), R2: string(q2), By: by, Overall1: o1, Overall2: o2}
+	if by == ByGroup {
+		for _, g := range s.Groups {
+			v1, err := c.dQuery(q1, []string{g}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dQuery(q2, []string{g}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(g, v1, v2, c.Epsilon)
+		}
+	} else {
+		for _, l := range s.Locations {
+			v1, err := c.dQuery(q1, s.Groups, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dQuery(q2, s.Groups, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(string(l), v1, v2, c.Epsilon)
+		}
+	}
+	return cmp, nil
+}
+
+// Locations compares two locations broken down by groups or queries
+// (location-comparison — e.g. San Francisco vs Chicago across General
+// Cleaning jobs, Tables 15, 20, 21).
+func (c *Comparer) Locations(l1, l2 core.Location, by Dimension, scope Scope) (*Comparison, error) {
+	if by == ByLocation {
+		return nil, fmt.Errorf("compare: cannot break a location comparison down by location")
+	}
+	s := c.scopeOrAll(scope)
+	o1, err := c.dLocation(l1, s.Groups, s.Queries)
+	if err != nil {
+		return nil, err
+	}
+	o2, err := c.dLocation(l2, s.Groups, s.Queries)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{R1: string(l1), R2: string(l2), By: by, Overall1: o1, Overall2: o2}
+	if by == ByGroup {
+		for _, g := range s.Groups {
+			v1, err := c.dLocation(l1, []string{g}, s.Queries)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dLocation(l2, []string{g}, s.Queries)
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(g, v1, v2, c.Epsilon)
+		}
+	} else {
+		for _, q := range s.Queries {
+			v1, err := c.dLocation(l1, s.Groups, []core.Query{q})
+			if err != nil {
+				return nil, err
+			}
+			v2, err := c.dLocation(l2, s.Groups, []core.Query{q})
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(string(q), v1, v2, c.Epsilon)
+		}
+	}
+	return cmp, nil
+}
+
+func (cmp *Comparison) add(b string, v1, v2, eps float64) {
+	row := Breakdown{B: b, V1: v1, V2: v2, Reversed: reversed(cmp.Overall1, cmp.Overall2, v1, v2, eps)}
+	cmp.All = append(cmp.All, row)
+	if row.Reversed {
+		cmp.Reversed = append(cmp.Reversed, row)
+	}
+}
+
+// QuerySets compares two sets of queries (e.g. the concrete jobs of two
+// marketplace categories, or the five formulations of two Google query
+// bases), broken down by groups or locations. Each side's unfairness is
+// aggregated over its whole query set; this is how the paper's Tables 13,
+// 14, 18 and 19 compare "Lawn Mowing" against "Event Decorating" or
+// "Running Errands" against "General Cleaning" as job families. Labels
+// name the two sets in the result.
+func (c *Comparer) QuerySets(label1, label2 string, qs1, qs2 []core.Query, by Dimension, scope Scope) (*Comparison, error) {
+	if by == ByQuery {
+		return nil, fmt.Errorf("compare: cannot break a query-set comparison down by query")
+	}
+	if len(qs1) == 0 || len(qs2) == 0 {
+		return nil, fmt.Errorf("compare: empty query set")
+	}
+	s := c.scopeOrAll(scope)
+	dSet := func(qs []core.Query, gs []string, ls []core.Location) (float64, error) {
+		var sum float64
+		var defined int
+		for _, q := range qs {
+			for _, g := range gs {
+				for _, l := range ls {
+					v, ok, err := c.value(g, q, l)
+					if err != nil {
+						return 0, err
+					}
+					if ok {
+						sum += v
+						defined++
+					}
+				}
+			}
+		}
+		return c.average(sum, defined, len(qs)*len(gs)*len(ls)), nil
+	}
+	o1, err := dSet(qs1, s.Groups, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	o2, err := dSet(qs2, s.Groups, s.Locations)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{R1: label1, R2: label2, By: by, Overall1: o1, Overall2: o2}
+	if by == ByGroup {
+		for _, g := range s.Groups {
+			v1, err := dSet(qs1, []string{g}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			v2, err := dSet(qs2, []string{g}, s.Locations)
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(g, v1, v2, c.Epsilon)
+		}
+	} else {
+		for _, l := range s.Locations {
+			v1, err := dSet(qs1, s.Groups, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			v2, err := dSet(qs2, s.Groups, []core.Location{l})
+			if err != nil {
+				return nil, err
+			}
+			cmp.add(string(l), v1, v2, c.Epsilon)
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's fairness framework (§3): protected
+// attributes, demographic groups as conjunctions of attribute predicates,
+// comparable groups via single-attribute variants, the unfairness measures
+// for search engines (§3.2) and online job marketplaces (§3.3), and the
+// triple table d<g,q,l> with its aggregations (§3.4).
+//
+// This package is the "F-Box" of the paper's Figures 6 and 9: crawl results
+// go in, unfairness values come out. It is deliberately independent of how
+// rankings were produced — the internal/marketplace and internal/search
+// simulators, or a real crawl, both feed it the same way.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute names a protected attribute, e.g. "gender" or "ethnicity".
+type Attribute string
+
+// Predicate is an equality constraint attribute = value.
+type Predicate struct {
+	Attr  Attribute
+	Value string
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s=%s", p.Attr, p.Value)
+}
+
+// Label is a conjunction of predicates over distinct attributes, the
+// paper's label(g). A Label is kept sorted by attribute name so that equal
+// conjunctions have equal representations.
+type Label []Predicate
+
+// NewLabel builds a canonical Label from predicates. It panics if the same
+// attribute appears twice, which would make the conjunction either
+// redundant or unsatisfiable.
+func NewLabel(preds ...Predicate) Label {
+	l := append(Label(nil), preds...)
+	sort.Slice(l, func(i, j int) bool { return l[i].Attr < l[j].Attr })
+	for i := 1; i < len(l); i++ {
+		if l[i].Attr == l[i-1].Attr {
+			panic(fmt.Sprintf("core: duplicate attribute %q in label", l[i].Attr))
+		}
+	}
+	return l
+}
+
+// Attributes returns A(g): the attributes constrained by the label, in
+// sorted order.
+func (l Label) Attributes() []Attribute {
+	attrs := make([]Attribute, len(l))
+	for i, p := range l {
+		attrs[i] = p.Attr
+	}
+	return attrs
+}
+
+// ValueOf returns the value the label constrains attr to, and whether the
+// label constrains attr at all.
+func (l Label) ValueOf(attr Attribute) (string, bool) {
+	for _, p := range l {
+		if p.Attr == attr {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the conjunction, e.g. "ethnicity=Black ∧ gender=Female".
+func (l Label) String() string {
+	if len(l) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(l))
+	for i, p := range l {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Key returns a canonical machine key for the label, usable as a map key
+// and stable across runs.
+func (l Label) Key() string {
+	if len(l) == 0 {
+		return "*"
+	}
+	parts := make([]string, len(l))
+	for i, p := range l {
+		parts[i] = string(p.Attr) + "=" + p.Value
+	}
+	return strings.Join(parts, "&")
+}
+
+// Group is a demographic group identified by its label.
+type Group struct {
+	Label Label
+}
+
+// NewGroup builds a group from predicates.
+func NewGroup(preds ...Predicate) Group {
+	return Group{Label: NewLabel(preds...)}
+}
+
+// Key returns the group's canonical key.
+func (g Group) Key() string { return g.Label.Key() }
+
+func (g Group) String() string { return g.Label.String() }
+
+// Name returns a human-readable name such as "Black Female" (values joined
+// in attribute order), matching how the paper names groups in its tables.
+func (g Group) Name() string {
+	if len(g.Label) == 0 {
+		return "All"
+	}
+	parts := make([]string, len(g.Label))
+	for i, p := range g.Label {
+		parts[i] = p.Value
+	}
+	return strings.Join(parts, " ")
+}
+
+// Assignment is a full description of one individual: a value for every
+// protected attribute the site tracks.
+type Assignment map[Attribute]string
+
+// Matches reports whether an individual with this assignment belongs to
+// the group labelled l, i.e. satisfies every predicate.
+func (a Assignment) Matches(l Label) bool {
+	for _, p := range l {
+		if a[p.Attr] != p.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// ParseGroupKey parses a canonical group key of the form
+// "attr1=value1&attr2=value2" (the output of Group.Key) back into a
+// Group. It returns an error on empty input, malformed predicates or
+// duplicate attributes.
+func ParseGroupKey(key string) (Group, error) {
+	if key == "" || key == "*" {
+		return Group{}, fmt.Errorf("core: empty group key")
+	}
+	parts := strings.Split(key, "&")
+	preds := make([]Predicate, 0, len(parts))
+	seen := make(map[Attribute]bool, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 || eq == len(p)-1 {
+			return Group{}, fmt.Errorf("core: malformed predicate %q in group key", p)
+		}
+		attr := Attribute(p[:eq])
+		if seen[attr] {
+			return Group{}, fmt.Errorf("core: duplicate attribute %q in group key", attr)
+		}
+		seen[attr] = true
+		preds = append(preds, Predicate{Attr: attr, Value: p[eq+1:]})
+	}
+	return NewGroup(preds...), nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNewLabelCanonicalOrder(t *testing.T) {
+	l1 := NewLabel(Predicate{"gender", "Male"}, Predicate{"ethnicity", "Black"})
+	l2 := NewLabel(Predicate{"ethnicity", "Black"}, Predicate{"gender", "Male"})
+	if l1.Key() != l2.Key() {
+		t.Fatalf("labels not canonical: %q vs %q", l1.Key(), l2.Key())
+	}
+	if l1.Key() != "ethnicity=Black&gender=Male" {
+		t.Fatalf("unexpected key %q", l1.Key())
+	}
+}
+
+func TestNewLabelDuplicateAttributePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLabel(Predicate{"gender", "Male"}, Predicate{"gender", "Female"})
+}
+
+func TestLabelAttributesAndValueOf(t *testing.T) {
+	l := NewLabel(Predicate{"gender", "Female"}, Predicate{"ethnicity", "Asian"})
+	attrs := l.Attributes()
+	if len(attrs) != 2 || attrs[0] != "ethnicity" || attrs[1] != "gender" {
+		t.Fatalf("Attributes = %v", attrs)
+	}
+	if v, ok := l.ValueOf("gender"); !ok || v != "Female" {
+		t.Fatalf("ValueOf(gender) = %q, %v", v, ok)
+	}
+	if _, ok := l.ValueOf("age"); ok {
+		t.Fatal("ValueOf(age) should be absent")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if got := (Label{}).String(); got != "⊤" {
+		t.Fatalf("empty label String = %q", got)
+	}
+	l := NewLabel(Predicate{"gender", "Male"})
+	if got := l.String(); got != "gender=Male" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestGroupName(t *testing.T) {
+	g := NewGroup(Predicate{"gender", "Female"}, Predicate{"ethnicity", "Black"})
+	// Attribute order is sorted: ethnicity before gender -> "Black Female".
+	if got := g.Name(); got != "Black Female" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewGroup().Name(); got != "All" {
+		t.Fatalf("empty group Name = %q", got)
+	}
+}
+
+func TestAssignmentMatches(t *testing.T) {
+	a := Assignment{"gender": "Female", "ethnicity": "Black", "nationality": "America"}
+	if !a.Matches(NewLabel(Predicate{"gender", "Female"})) {
+		t.Fatal("should match gender=Female")
+	}
+	if !a.Matches(NewLabel(Predicate{"gender", "Female"}, Predicate{"ethnicity", "Black"})) {
+		t.Fatal("should match conjunction")
+	}
+	if a.Matches(NewLabel(Predicate{"gender", "Male"})) {
+		t.Fatal("should not match gender=Male")
+	}
+	if !a.Matches(Label{}) {
+		t.Fatal("empty label matches everyone")
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{"gender": "Male"}
+	b := a.Clone()
+	b["gender"] = "Female"
+	if a["gender"] != "Male" {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestParseGroupKeyRoundTrip(t *testing.T) {
+	for _, g := range DefaultSchema().Universe() {
+		parsed, err := ParseGroupKey(g.Key())
+		if err != nil {
+			t.Fatalf("%s: %v", g.Key(), err)
+		}
+		if parsed.Key() != g.Key() {
+			t.Fatalf("round trip %q -> %q", g.Key(), parsed.Key())
+		}
+	}
+	// Order-insensitive.
+	g, err := ParseGroupKey("gender=Male&ethnicity=Black")
+	if err != nil || g.Name() != "Black Male" {
+		t.Fatalf("parse = %v, %v", g, err)
+	}
+}
+
+func TestParseGroupKeyErrors(t *testing.T) {
+	for _, bad := range []string{"", "*", "gender", "=Male", "gender=", "gender=Male&gender=Female"} {
+		if _, err := ParseGroupKey(bad); err == nil {
+			t.Errorf("ParseGroupKey(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fairjob/internal/metrics"
+	"fairjob/internal/stats"
+)
+
+// RankedWorker is one worker in a marketplace result page.
+type RankedWorker struct {
+	ID    string
+	Attrs Assignment
+	Rank  int // 1-based position in the result page
+	// Score is the platform's scoring-function value f_q^l(w) in [0, 1]
+	// when observable. Real marketplaces do not expose it (§3.3.1), in
+	// which case it is NaN and relevance is derived from Rank.
+	Score float64
+}
+
+// MarketplaceRanking is the result of one query at one location on an
+// online job marketplace: a ranked page of workers (TaskRabbit returns at
+// most 50).
+type MarketplaceRanking struct {
+	Query    Query
+	Location Location
+	Workers  []RankedWorker
+}
+
+// Relevance returns the relevance proxy used by both marketplace measures:
+// the observed score when useScores is set and the worker has one,
+// otherwise rel(w) = 1 − rank/N (§3.3.1).
+func (r *MarketplaceRanking) Relevance(w RankedWorker, useScores bool) float64 {
+	if useScores && !math.IsNaN(w.Score) {
+		return w.Score
+	}
+	return metrics.RelevanceFromRank(w.Rank, len(r.Workers))
+}
+
+// MarketplaceMeasure selects between the two marketplace unfairness
+// notions of §3.3.
+type MarketplaceMeasure int
+
+const (
+	// MeasureEMD is the Earth Mover's Distance between score histograms
+	// of a group and each comparable group (§3.3.1).
+	MeasureEMD MarketplaceMeasure = iota
+	// MeasureExposure is the deviation of a group's exposure share from
+	// its relevance share (§3.3.2).
+	MeasureExposure
+)
+
+func (m MarketplaceMeasure) String() string {
+	switch m {
+	case MeasureEMD:
+		return "EMD"
+	case MeasureExposure:
+		return "Exposure"
+	default:
+		return fmt.Sprintf("MarketplaceMeasure(%d)", int(m))
+	}
+}
+
+// DefaultEMDBins is the histogram resolution used by the EMD measure when
+// the evaluator does not override it. Ten bins over [0,1] matches the
+// relevance granularity of a ten-worker page from the paper's Figure 4
+// example and is ablated in BenchmarkAblationEMDBins.
+const DefaultEMDBins = 10
+
+// MarketplaceEvaluator computes d<g,q,l> for marketplace rankings.
+type MarketplaceEvaluator struct {
+	Schema  *Schema
+	Measure MarketplaceMeasure
+	// Bins is the EMD histogram bin count (DefaultEMDBins when 0).
+	Bins int
+	// UseScores makes relevance use the platform's observed scores when
+	// present instead of rank-derived relevance.
+	UseScores bool
+}
+
+func (e *MarketplaceEvaluator) bins() int {
+	if e.Bins <= 0 {
+		return DefaultEMDBins
+	}
+	return e.Bins
+}
+
+// Unfairness returns d<g,q,l> for the given ranking. The boolean is false
+// when the value is undefined: the group has no workers on the page, or no
+// comparable group does, leaving nothing to contrast against.
+func (e *MarketplaceEvaluator) Unfairness(r *MarketplaceRanking, g Group) (float64, bool) {
+	if len(r.Workers) == 0 {
+		return 0, false
+	}
+	switch e.Measure {
+	case MeasureEMD:
+		return e.emd(r, g)
+	case MeasureExposure:
+		return e.exposure(r, g)
+	default:
+		panic(fmt.Sprintf("core: unknown marketplace measure %d", int(e.Measure)))
+	}
+}
+
+func (e *MarketplaceEvaluator) membersOf(r *MarketplaceRanking, g Group) []RankedWorker {
+	var out []RankedWorker
+	for _, w := range r.Workers {
+		if w.Attrs.Matches(g.Label) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (e *MarketplaceEvaluator) histogramOf(r *MarketplaceRanking, workers []RankedWorker) *stats.Histogram {
+	h := stats.NewHistogram(0, 1, e.bins())
+	for _, w := range workers {
+		h.Add(r.Relevance(w, e.UseScores))
+	}
+	return h
+}
+
+// emd implements §3.3.1: average EMD between g's relevance histogram and
+// each non-empty comparable group's histogram.
+func (e *MarketplaceEvaluator) emd(r *MarketplaceRanking, g Group) (float64, bool) {
+	members := e.membersOf(r, g)
+	if len(members) == 0 {
+		return 0, false
+	}
+	hg := e.histogramOf(r, members)
+	var sum float64
+	var n int
+	for _, cg := range e.Schema.Comparable(g) {
+		cMembers := e.membersOf(r, cg)
+		if len(cMembers) == 0 {
+			continue
+		}
+		sum += metrics.EMDHistograms(hg, e.histogramOf(r, cMembers))
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// exposure implements §3.3.2: the L1 deviation of g's exposure share from
+// its relevance share, both taken over the population g ∪ comparable(g).
+//
+// Unlike the EMD measure, the exposure formula stays defined when no
+// comparable group is on the page: both shares are then g's share of
+// itself, 1, and the deviation is 0. This asymmetry is intentional and is
+// what makes aggregate exposure unfairness differ between, e.g., Males and
+// Females when one gender is absent from some result pages (the paper's
+// Table 12, where the two genders' overall values differ even though the
+// per-page deviations of two complementary groups are equal).
+func (e *MarketplaceEvaluator) exposure(r *MarketplaceRanking, g Group) (float64, bool) {
+	members := e.membersOf(r, g)
+	if len(members) == 0 {
+		return 0, false
+	}
+	var gExp, gRel float64
+	for _, w := range members {
+		gExp += metrics.ExposureAtRank(w.Rank)
+		gRel += r.Relevance(w, e.UseScores)
+	}
+	totExp, totRel := gExp, gRel
+	anyComparable := false
+	for _, cg := range e.Schema.Comparable(g) {
+		for _, w := range e.membersOf(r, cg) {
+			totExp += metrics.ExposureAtRank(w.Rank)
+			totRel += r.Relevance(w, e.UseScores)
+			anyComparable = true
+		}
+	}
+	if !anyComparable {
+		// g's share of itself is 1 on both sides: deviation 0.
+		return 0, true
+	}
+	return metrics.ExposureDeviation(
+		metrics.Share(gExp, totExp),
+		metrics.Share(gRel, totRel),
+	), true
+}
+
+// EvaluateAll computes d<g,q,l> for every ranking and every group,
+// producing the unfairness table the indices and problem solvers consume.
+// A nil groups slice evaluates the full schema universe.
+func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, groups []Group) *Table {
+	if groups == nil {
+		groups = e.Schema.Universe()
+	}
+	t := NewTable()
+	for _, r := range rankings {
+		for _, g := range groups {
+			if v, ok := e.Unfairness(r, g); ok {
+				t.Set(g, r.Query, r.Location, v)
+			}
+		}
+	}
+	return t
+}

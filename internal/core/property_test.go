@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/stats"
+)
+
+// randomSchema builds a small random schema from quick-generated sizes.
+func randomSchema(nAttrs, domSize uint8) *Schema {
+	na := int(nAttrs%3) + 1
+	domains := map[Attribute][]string{}
+	for a := 0; a < na; a++ {
+		size := int(domSize%3) + 2
+		vals := make([]string, size)
+		for v := range vals {
+			vals[v] = fmt.Sprintf("v%d", v)
+		}
+		domains[Attribute(fmt.Sprintf("attr%d", a))] = vals
+	}
+	return NewSchema(domains)
+}
+
+// Property: the universe size is Π(1+|dom_a|) − 1 (every attribute either
+// unconstrained or set to one of its values, minus the empty label).
+func TestUniverseSizeFormula(t *testing.T) {
+	f := func(nAttrs, domSize uint8) bool {
+		s := randomSchema(nAttrs, domSize)
+		want := 1
+		for _, a := range s.Attributes() {
+			want *= 1 + len(s.Domain(a))
+		}
+		want--
+		return len(s.Universe()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparable(g) never contains g, every comparable group
+// constrains exactly g's attributes, and for a full group the count is
+// Σ(|dom_a| − 1).
+func TestComparableGroupProperties(t *testing.T) {
+	f := func(nAttrs, domSize uint8) bool {
+		s := randomSchema(nAttrs, domSize)
+		for _, g := range s.Universe() {
+			attrs := g.Label.Attributes()
+			comp := s.Comparable(g)
+			for _, cg := range comp {
+				if cg.Key() == g.Key() {
+					return false
+				}
+				cAttrs := cg.Label.Attributes()
+				if len(cAttrs) != len(attrs) {
+					return false
+				}
+				for i := range attrs {
+					if cAttrs[i] != attrs[i] {
+						return false
+					}
+				}
+			}
+			if len(attrs) == len(s.Attributes()) {
+				want := 0
+				for _, a := range attrs {
+					want += len(s.Domain(a)) - 1
+				}
+				if len(comp) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a full assignment matches exactly one full group, and matches
+// a universe group iff the group's predicates agree with it.
+func TestAssignmentMembershipProperties(t *testing.T) {
+	f := func(nAttrs, domSize uint8, picks [4]uint8) bool {
+		s := randomSchema(nAttrs, domSize)
+		attrs := s.Attributes()
+		a := Assignment{}
+		for i, attr := range attrs {
+			dom := s.Domain(attr)
+			a[attr] = dom[int(picks[i%4])%len(dom)]
+		}
+		matched := 0
+		for _, g := range s.FullGroups() {
+			if a.Matches(g.Label) {
+				matched++
+			}
+		}
+		return matched == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomRanking builds a ranking of n workers with random demographics.
+func randomRanking(seed uint64, n int) *MarketplaceRanking {
+	rng := stats.NewRNG(seed)
+	genders := []string{"Male", "Female"}
+	eths := []string{"Asian", "Black", "White"}
+	r := &MarketplaceRanking{Query: "q", Location: "l"}
+	for i := 0; i < n; i++ {
+		r.Workers = append(r.Workers, RankedWorker{
+			ID:    fmt.Sprintf("w%03d", i),
+			Attrs: Assignment{"gender": genders[rng.Intn(2)], "ethnicity": eths[rng.Intn(3)]},
+			Rank:  i + 1,
+			Score: math.NaN(),
+		})
+	}
+	return r
+}
+
+// Property: marketplace unfairness is always in [0, 1] when defined, for
+// both measures, on arbitrary rankings.
+func TestMarketplaceUnfairnessBoundsProperty(t *testing.T) {
+	schema := DefaultSchema()
+	f := func(seed uint64, sz uint8) bool {
+		r := randomRanking(seed, int(sz%50)+1)
+		for _, m := range []MarketplaceMeasure{MeasureEMD, MeasureExposure} {
+			ev := &MarketplaceEvaluator{Schema: schema, Measure: m}
+			for _, g := range schema.Universe() {
+				if d, ok := ev.Unfairness(r, g); ok && (d < 0 || d > 1 || math.IsNaN(d)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the order of the Workers slice is irrelevant — only the Rank
+// field matters.
+func TestMarketplaceWorkerOrderIrrelevant(t *testing.T) {
+	schema := DefaultSchema()
+	f := func(seed uint64, sz uint8) bool {
+		r := randomRanking(seed, int(sz%30)+2)
+		shuffled := &MarketplaceRanking{Query: r.Query, Location: r.Location,
+			Workers: append([]RankedWorker(nil), r.Workers...)}
+		rng := stats.NewRNG(seed ^ 0xabc)
+		rng.Shuffle(len(shuffled.Workers), func(i, j int) {
+			shuffled.Workers[i], shuffled.Workers[j] = shuffled.Workers[j], shuffled.Workers[i]
+		})
+		for _, m := range []MarketplaceMeasure{MeasureEMD, MeasureExposure} {
+			ev := &MarketplaceEvaluator{Schema: schema, Measure: m}
+			for _, g := range schema.Universe() {
+				d1, ok1 := ev.Unfairness(r, g)
+				d2, ok2 := ev.Unfairness(shuffled, g)
+				if ok1 != ok2 || math.Abs(d1-d2) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for the two-member gender dimension, Male and Female always
+// measure identically on pages where both appear — the equality theorem
+// EXPERIMENTS.md's aggregation discussion rests on.
+func TestGenderEqualityTheorem(t *testing.T) {
+	schema := DefaultSchema()
+	male := NewGroup(Predicate{"gender", "Male"})
+	female := NewGroup(Predicate{"gender", "Female"})
+	f := func(seed uint64, sz uint8) bool {
+		r := randomRanking(seed, int(sz%40)+2)
+		hasM, hasF := false, false
+		for _, w := range r.Workers {
+			if w.Attrs["gender"] == "Male" {
+				hasM = true
+			} else {
+				hasF = true
+			}
+		}
+		if !hasM || !hasF {
+			return true
+		}
+		for _, m := range []MarketplaceMeasure{MeasureEMD, MeasureExposure} {
+			ev := &MarketplaceEvaluator{Schema: schema, Measure: m}
+			dm, okM := ev.Unfairness(r, male)
+			df, okF := ev.Unfairness(r, female)
+			if !okM || !okF || math.Abs(dm-df) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: search unfairness is in [0, 1] when defined, both measures.
+func TestSearchUnfairnessBoundsProperty(t *testing.T) {
+	schema := DefaultSchema()
+	f := func(seed uint64, nUsers, listLen uint8) bool {
+		rng := stats.NewRNG(seed)
+		sr := &SearchResults{Query: "q", Location: "l"}
+		genders := []string{"Male", "Female"}
+		eths := []string{"Asian", "Black", "White"}
+		n := int(nUsers%10) + 2
+		ll := int(listLen%12) + 1
+		for u := 0; u < n; u++ {
+			list := make([]string, ll)
+			for i := range list {
+				list[i] = fmt.Sprintf("item%d", rng.Intn(20))
+			}
+			sr.Users = append(sr.Users, UserResults{
+				ID:    fmt.Sprintf("u%d", u),
+				Attrs: Assignment{"gender": genders[rng.Intn(2)], "ethnicity": eths[rng.Intn(3)]},
+				List:  list,
+			})
+		}
+		for _, m := range []SearchMeasure{MeasureKendallTau, MeasureJaccard} {
+			ev := &SearchEvaluator{Schema: schema, Measure: m}
+			for _, g := range schema.Universe() {
+				if d, ok := ev.Unfairness(sr, g); ok && (d < 0 || d > 1 || math.IsNaN(d)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

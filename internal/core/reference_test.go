@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/stats"
+)
+
+// This file contains deliberately naive, independently written reference
+// implementations of the paper's formulas — greedy-transport EMD, O(n²)
+// Kendall, explicit share arithmetic — and differential tests checking the
+// production evaluators against them on random inputs.
+
+// refEMDHistograms computes EMD between normalized histograms by greedy
+// earth moving (two-pointer transport), independent of the CDF identity
+// the production code uses.
+func refEMDHistograms(c1, c2 []float64) float64 {
+	n := len(c1)
+	a := append([]float64(nil), c1...)
+	b := append([]float64(nil), c2...)
+	norm := func(xs []float64) {
+		var t float64
+		for _, x := range xs {
+			t += x
+		}
+		if t == 0 {
+			for i := range xs {
+				xs[i] = 1 / float64(len(xs))
+			}
+			return
+		}
+		for i := range xs {
+			xs[i] /= t
+		}
+	}
+	norm(a)
+	norm(b)
+	var cost float64
+	i, j := 0, 0
+	for i < n && j < n {
+		m := a[i]
+		if b[j] < m {
+			m = b[j]
+		}
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		cost += m * float64(d)
+		a[i] -= m
+		b[j] -= m
+		if a[i] <= 1e-15 {
+			i++
+		}
+		if b[j] <= 1e-15 {
+			j++
+		}
+	}
+	return cost / float64(n-1)
+}
+
+// refKendall is the O(n²) pairwise definition over common items.
+func refKendall(a, b []string) (float64, bool) {
+	posB := map[string]int{}
+	for i, x := range b {
+		if _, ok := posB[x]; !ok {
+			posB[x] = i
+		}
+	}
+	seen := map[string]bool{}
+	var common []string
+	for _, x := range a {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if _, ok := posB[x]; ok {
+			common = append(common, x)
+		}
+	}
+	if len(common) < 2 {
+		return 0, false
+	}
+	posA := map[string]int{}
+	for i, x := range a {
+		if _, ok := posA[x]; !ok {
+			posA[x] = i
+		}
+	}
+	disc, pairs := 0, 0
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			pairs++
+			x, y := common[i], common[j]
+			if (posA[x] < posA[y]) != (posB[x] < posB[y]) {
+				disc++
+			}
+		}
+	}
+	return float64(disc) / float64(pairs), true
+}
+
+// refMarketplaceEMD transliterates §3.3.1: per-group relevance histograms
+// (10 bins over [0,1], rel = 1 − rank/N), averaged greedy-EMD against each
+// non-empty comparable group.
+func refMarketplaceEMD(schema *Schema, r *MarketplaceRanking, g Group) (float64, bool) {
+	if len(r.Workers) == 0 {
+		return 0, false
+	}
+	hist := func(grp Group) ([]float64, int) {
+		counts := make([]float64, DefaultEMDBins)
+		members := 0
+		for _, w := range r.Workers {
+			if !w.Attrs.Matches(grp.Label) {
+				continue
+			}
+			members++
+			rel := 1 - float64(w.Rank)/float64(len(r.Workers))
+			bin := int(float64(DefaultEMDBins)*rel + 1e-9)
+			if bin >= DefaultEMDBins {
+				bin = DefaultEMDBins - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+			counts[bin]++
+		}
+		return counts, members
+	}
+	hg, ng := hist(g)
+	if ng == 0 {
+		return 0, false
+	}
+	var sum float64
+	var n int
+	for _, cg := range schema.Comparable(g) {
+		hc, nc := hist(cg)
+		if nc == 0 {
+			continue
+		}
+		sum += refEMDHistograms(hg, hc)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// refMarketplaceExposure transliterates §3.3.2 with explicit loops.
+func refMarketplaceExposure(schema *Schema, r *MarketplaceRanking, g Group) (float64, bool) {
+	if len(r.Workers) == 0 {
+		return 0, false
+	}
+	expOf := func(grp Group) (expSum, relSum float64, members int) {
+		for _, w := range r.Workers {
+			if !w.Attrs.Matches(grp.Label) {
+				continue
+			}
+			members++
+			expSum += 1 / math.Log(1+float64(w.Rank))
+			relSum += 1 - float64(w.Rank)/float64(len(r.Workers))
+		}
+		return
+	}
+	ge, gr, ng := expOf(g)
+	if ng == 0 {
+		return 0, false
+	}
+	te, tr := ge, gr
+	anyComp := false
+	for _, cg := range schema.Comparable(g) {
+		ce, cr, nc := expOf(cg)
+		if nc > 0 {
+			anyComp = true
+		}
+		te += ce
+		tr += cr
+	}
+	if !anyComp {
+		return 0, true
+	}
+	share := func(part, tot float64) float64 {
+		if tot == 0 {
+			return 0
+		}
+		return part / tot
+	}
+	return math.Abs(share(ge, te) - share(gr, tr)), true
+}
+
+// refSearchKendall transliterates Equation 1 with explicit loops.
+func refSearchKendall(schema *Schema, sr *SearchResults, g Group) (float64, bool) {
+	members := func(grp Group) []UserResults {
+		var out []UserResults
+		for _, u := range sr.Users {
+			if u.Attrs.Matches(grp.Label) {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	gUsers := members(g)
+	if len(gUsers) == 0 {
+		return 0, false
+	}
+	jacc := func(a, b []string) float64 {
+		sa, sb := map[string]bool{}, map[string]bool{}
+		for _, x := range a {
+			sa[x] = true
+		}
+		for _, x := range b {
+			sb[x] = true
+		}
+		if len(sa) == 0 && len(sb) == 0 {
+			return 0
+		}
+		inter := 0
+		for x := range sa {
+			if sb[x] {
+				inter++
+			}
+		}
+		return 1 - float64(inter)/float64(len(sa)+len(sb)-inter)
+	}
+	var sum float64
+	var n int
+	for _, cg := range schema.Comparable(g) {
+		cUsers := members(cg)
+		if len(cUsers) == 0 {
+			continue
+		}
+		var pairSum float64
+		for _, u := range gUsers {
+			for _, v := range cUsers {
+				if d, ok := refKendall(u.List, v.List); ok {
+					pairSum += d
+				} else {
+					pairSum += jacc(u.List, v.List)
+				}
+			}
+		}
+		sum += pairSum / float64(len(gUsers)*len(cUsers))
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func TestMarketplaceEvaluatorMatchesReference(t *testing.T) {
+	schema := DefaultSchema()
+	f := func(seed uint64, sz uint8) bool {
+		r := randomRanking(seed, int(sz%40)+1)
+		emd := &MarketplaceEvaluator{Schema: schema, Measure: MeasureEMD}
+		expo := &MarketplaceEvaluator{Schema: schema, Measure: MeasureExposure}
+		for _, g := range schema.Universe() {
+			d1, ok1 := emd.Unfairness(r, g)
+			d2, ok2 := refMarketplaceEMD(schema, r, g)
+			if ok1 != ok2 || (ok1 && math.Abs(d1-d2) > 1e-9) {
+				return false
+			}
+			e1, okE1 := expo.Unfairness(r, g)
+			e2, okE2 := refMarketplaceExposure(schema, r, g)
+			if okE1 != okE2 || (okE1 && math.Abs(e1-e2) > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchEvaluatorMatchesReference(t *testing.T) {
+	schema := DefaultSchema()
+	f := func(seed uint64, nUsers, listLen uint8) bool {
+		rng := stats.NewRNG(seed)
+		sr := &SearchResults{Query: "q", Location: "l"}
+		genders := []string{"Male", "Female"}
+		eths := []string{"Asian", "Black", "White"}
+		n := int(nUsers%8) + 2
+		ll := int(listLen%10) + 1
+		for u := 0; u < n; u++ {
+			list := make([]string, ll)
+			for i := range list {
+				list[i] = fmt.Sprintf("item%d", rng.Intn(15))
+			}
+			sr.Users = append(sr.Users, UserResults{
+				ID:    fmt.Sprintf("u%d", u),
+				Attrs: Assignment{"gender": genders[rng.Intn(2)], "ethnicity": eths[rng.Intn(3)]},
+				List:  list,
+			})
+		}
+		ev := &SearchEvaluator{Schema: schema, Measure: MeasureKendallTau}
+		for _, g := range schema.Universe() {
+			d1, ok1 := ev.Unfairness(sr, g)
+			d2, ok2 := refSearchKendall(schema, sr, g)
+			if ok1 != ok2 || (ok1 && math.Abs(d1-d2) > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

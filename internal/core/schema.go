@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema declares the protected attributes a site tracks and their value
+// domains. The paper's case study uses gender = {Male, Female} and
+// ethnicity = {Asian, Black, White}; the framework is generic over any
+// schema (§3.1 allows "any combination of protected attributes").
+type Schema struct {
+	attrs   []Attribute
+	domains map[Attribute][]string
+}
+
+// NewSchema builds a schema. Attribute iteration order is the sorted
+// attribute-name order, so group enumeration is deterministic. NewSchema
+// panics on an empty schema, an empty domain, or duplicate values, all of
+// which indicate a configuration bug.
+func NewSchema(domains map[Attribute][]string) *Schema {
+	if len(domains) == 0 {
+		panic("core: schema needs at least one attribute")
+	}
+	s := &Schema{domains: make(map[Attribute][]string, len(domains))}
+	for attr, values := range domains {
+		if len(values) == 0 {
+			panic(fmt.Sprintf("core: attribute %q has empty domain", attr))
+		}
+		seen := make(map[string]bool, len(values))
+		for _, v := range values {
+			if seen[v] {
+				panic(fmt.Sprintf("core: attribute %q has duplicate value %q", attr, v))
+			}
+			seen[v] = true
+		}
+		s.attrs = append(s.attrs, attr)
+		s.domains[attr] = append([]string(nil), values...)
+	}
+	sort.Slice(s.attrs, func(i, j int) bool { return s.attrs[i] < s.attrs[j] })
+	return s
+}
+
+// DefaultSchema returns the paper's case-study schema:
+// ethnicity ∈ {Asian, Black, White}, gender ∈ {Male, Female}.
+func DefaultSchema() *Schema {
+	return NewSchema(map[Attribute][]string{
+		"gender":    {"Male", "Female"},
+		"ethnicity": {"Asian", "Black", "White"},
+	})
+}
+
+// Attributes returns the schema's attributes in canonical order.
+func (s *Schema) Attributes() []Attribute {
+	return append([]Attribute(nil), s.attrs...)
+}
+
+// Domain returns the value domain of attr, or nil if the schema does not
+// track attr.
+func (s *Schema) Domain(attr Attribute) []string {
+	return append([]string(nil), s.domains[attr]...)
+}
+
+// Has reports whether the schema tracks attr.
+func (s *Schema) Has(attr Attribute) bool {
+	_, ok := s.domains[attr]
+	return ok
+}
+
+// Universe enumerates every group expressible over the schema: all
+// conjunctions over a non-empty subset of attributes with one value per
+// chosen attribute. For the default gender×ethnicity schema this yields
+// the 11 groups of the paper's Table 8 (6 full combinations + 3
+// ethnicity-only + 2 gender-only).
+func (s *Schema) Universe() []Group {
+	var out []Group
+	n := len(s.attrs)
+	// Iterate attribute subsets via bitmask; skip the empty subset.
+	for mask := 1; mask < 1<<n; mask++ {
+		var chosen []Attribute
+		for i, attr := range s.attrs {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, attr)
+			}
+		}
+		out = append(out, s.expand(chosen, nil)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func (s *Schema) expand(attrs []Attribute, prefix []Predicate) []Group {
+	if len(attrs) == 0 {
+		return []Group{NewGroup(prefix...)}
+	}
+	var out []Group
+	attr := attrs[0]
+	for _, v := range s.domains[attr] {
+		out = append(out, s.expand(attrs[1:], append(append([]Predicate(nil), prefix...), Predicate{attr, v}))...)
+	}
+	return out
+}
+
+// FullGroups enumerates only the groups that constrain every attribute
+// (the finest partition — 6 groups for the default schema).
+func (s *Schema) FullGroups() []Group {
+	return s.expand(s.attrs, nil)
+}
+
+// Variants returns variants(g, attr): all groups whose label agrees with
+// g's everywhere except on attr, where it takes each *other* domain value
+// (§3.1). The result is empty when g's label does not constrain attr.
+func (s *Schema) Variants(g Group, attr Attribute) []Group {
+	cur, ok := g.Label.ValueOf(attr)
+	if !ok {
+		return nil
+	}
+	var out []Group
+	for _, v := range s.domains[attr] {
+		if v == cur {
+			continue
+		}
+		preds := make([]Predicate, 0, len(g.Label))
+		for _, p := range g.Label {
+			if p.Attr == attr {
+				preds = append(preds, Predicate{attr, v})
+			} else {
+				preds = append(preds, p)
+			}
+		}
+		out = append(out, NewGroup(preds...))
+	}
+	return out
+}
+
+// Comparable returns g's comparable groups: the union of variants(g, a)
+// over all attributes a ∈ A(g). For "Black Female" under the default
+// schema this is {Black Male, Asian Female, White Female}, exactly the
+// paper's §1 example.
+func (s *Schema) Comparable(g Group) []Group {
+	var out []Group
+	for _, attr := range g.Label.Attributes() {
+		out = append(out, s.Variants(g, attr)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// GroupByName finds the universe group whose Name() equals name (e.g.
+// "Asian Female" or "Male"). The boolean reports whether it exists.
+func (s *Schema) GroupByName(name string) (Group, bool) {
+	for _, g := range s.Universe() {
+		if g.Name() == name {
+			return g, true
+		}
+	}
+	return Group{}, false
+}

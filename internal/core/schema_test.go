@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+func names(gs []Group) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDefaultSchemaUniverseHas11Groups(t *testing.T) {
+	// The paper's Table 8 lists exactly 11 groups for gender×ethnicity:
+	// 6 full combinations, 3 ethnicity-only, 2 gender-only.
+	u := DefaultSchema().Universe()
+	if len(u) != 11 {
+		t.Fatalf("universe size = %d, want 11: %v", len(u), names(u))
+	}
+	want := map[string]bool{
+		"Asian Female": true, "Asian Male": true, "Black Female": true,
+		"Black Male": true, "White Female": true, "White Male": true,
+		"Asian": true, "Black": true, "White": true, "Male": true, "Female": true,
+	}
+	for _, g := range u {
+		if !want[g.Name()] {
+			t.Errorf("unexpected group %q", g.Name())
+		}
+		delete(want, g.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing groups: %v", want)
+	}
+}
+
+func TestFullGroups(t *testing.T) {
+	fg := DefaultSchema().FullGroups()
+	if len(fg) != 6 {
+		t.Fatalf("full groups = %d, want 6", len(fg))
+	}
+	for _, g := range fg {
+		if len(g.Label) != 2 {
+			t.Errorf("full group %q constrains %d attributes", g.Name(), len(g.Label))
+		}
+	}
+}
+
+func TestVariantsMatchPaperExample(t *testing.T) {
+	// §3.1: for label (gender=male ∧ ethnicity=black),
+	// variants(g, gender) = {(gender=female ∧ ethnicity=black)} and
+	// variants(g, ethnicity) = {asian male, white male}.
+	s := DefaultSchema()
+	g := NewGroup(Predicate{"gender", "Male"}, Predicate{"ethnicity", "Black"})
+
+	genderVars := s.Variants(g, "gender")
+	if len(genderVars) != 1 || genderVars[0].Name() != "Black Female" {
+		t.Fatalf("variants(g, gender) = %v", names(genderVars))
+	}
+	ethVars := s.Variants(g, "ethnicity")
+	got := names(ethVars)
+	if len(got) != 2 || got[0] != "Asian Male" || got[1] != "White Male" {
+		t.Fatalf("variants(g, ethnicity) = %v", got)
+	}
+}
+
+func TestVariantsOfUnconstrainedAttributeEmpty(t *testing.T) {
+	s := DefaultSchema()
+	g := NewGroup(Predicate{"gender", "Male"})
+	if vs := s.Variants(g, "ethnicity"); vs != nil {
+		t.Fatalf("variants on unconstrained attr = %v", names(vs))
+	}
+}
+
+func TestComparableMatchesIntroExample(t *testing.T) {
+	// §1: comparable groups of "Black Females" are "Black Males",
+	// "White Females" and "Asian Females".
+	s := DefaultSchema()
+	g, ok := s.GroupByName("Black Female")
+	if !ok {
+		t.Fatal("Black Female not in universe")
+	}
+	got := names(s.Comparable(g))
+	want := []string{"Asian Female", "Black Male", "White Female"}
+	if len(got) != len(want) {
+		t.Fatalf("comparable = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("comparable = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestComparableOfSingleAttributeGroup(t *testing.T) {
+	s := DefaultSchema()
+	g, _ := s.GroupByName("Male")
+	got := names(s.Comparable(g))
+	if len(got) != 1 || got[0] != "Female" {
+		t.Fatalf("comparable(Male) = %v", got)
+	}
+	asian, _ := s.GroupByName("Asian")
+	got = names(s.Comparable(asian))
+	if len(got) != 2 || got[0] != "Black" || got[1] != "White" {
+		t.Fatalf("comparable(Asian) = %v", got)
+	}
+}
+
+func TestGroupByName(t *testing.T) {
+	s := DefaultSchema()
+	if _, ok := s.GroupByName("Purple Person"); ok {
+		t.Fatal("nonexistent group found")
+	}
+	g, ok := s.GroupByName("White Male")
+	if !ok || g.Name() != "White Male" {
+		t.Fatalf("GroupByName(White Male) = %v, %v", g, ok)
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	cases := map[string]map[Attribute][]string{
+		"empty schema":    {},
+		"empty domain":    {"gender": {}},
+		"duplicate value": {"gender": {"Male", "Male"}},
+	}
+	for name, domains := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			NewSchema(domains)
+		}()
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := DefaultSchema()
+	attrs := s.Attributes()
+	if len(attrs) != 2 || attrs[0] != "ethnicity" || attrs[1] != "gender" {
+		t.Fatalf("Attributes = %v", attrs)
+	}
+	if !s.Has("gender") || s.Has("age") {
+		t.Fatal("Has misbehaves")
+	}
+	d := s.Domain("ethnicity")
+	if len(d) != 3 {
+		t.Fatalf("Domain(ethnicity) = %v", d)
+	}
+	// Mutating the returned slice must not affect the schema.
+	d[0] = "Martian"
+	if s.Domain("ethnicity")[0] == "Martian" {
+		t.Fatal("Domain leaks internal slice")
+	}
+}
+
+func TestUniverseWithThreeAttributes(t *testing.T) {
+	s := NewSchema(map[Attribute][]string{
+		"gender":    {"Male", "Female"},
+		"ethnicity": {"Asian", "Black", "White"},
+		"age":       {"Young", "Old"},
+	})
+	// Subsets: g(2) + e(3) + a(2) + ge(6) + ga(4) + ea(6) + gea(12) = 35.
+	if got := len(s.Universe()); got != 35 {
+		t.Fatalf("universe size = %d, want 35", got)
+	}
+	// A full group's comparables: one per alternative value per attribute.
+	g := NewGroup(Predicate{"gender", "Male"}, Predicate{"ethnicity", "Black"}, Predicate{"age", "Young"})
+	if got := len(s.Comparable(g)); got != 4 { // 1 gender + 2 ethnicity + 1 age
+		t.Fatalf("comparable count = %d, want 4", got)
+	}
+}

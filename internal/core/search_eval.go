@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"fairjob/internal/metrics"
+)
+
+// UserResults is one study participant's personalized result list for a
+// (query, location) pair on a search engine: E_q^l(u) in §3.2.
+type UserResults struct {
+	ID    string
+	Attrs Assignment
+	List  []string // result identifiers, best first
+}
+
+// SearchResults bundles all participants' result lists for one (query,
+// location) pair.
+type SearchResults struct {
+	Query    Query
+	Location Location
+	Users    []UserResults
+}
+
+// SearchMeasure selects between the two search-engine distance measures of
+// §3.2. Both are distances: higher means more divergent results and
+// therefore more unfair (see DESIGN.md §5 on orientation).
+type SearchMeasure int
+
+const (
+	// MeasureKendallTau is the normalized Kendall tau distance between
+	// result lists.
+	MeasureKendallTau SearchMeasure = iota
+	// MeasureJaccard is the Jaccard distance between result sets.
+	MeasureJaccard
+)
+
+func (m SearchMeasure) String() string {
+	switch m {
+	case MeasureKendallTau:
+		return "KendallTau"
+	case MeasureJaccard:
+		return "Jaccard"
+	default:
+		return fmt.Sprintf("SearchMeasure(%d)", int(m))
+	}
+}
+
+// SearchEvaluator computes d<g,q,l> for search-engine result lists
+// following §3.2: the unfairness of group g is the average over comparable
+// groups g' of the average pairwise distance between result lists of users
+// in g and users in g'.
+type SearchEvaluator struct {
+	Schema  *Schema
+	Measure SearchMeasure
+}
+
+func (e *SearchEvaluator) dist(a, b []string) float64 {
+	switch e.Measure {
+	case MeasureKendallTau:
+		return metrics.KendallTauDistance(a, b)
+	case MeasureJaccard:
+		return metrics.JaccardDistance(a, b)
+	default:
+		panic(fmt.Sprintf("core: unknown search measure %d", int(e.Measure)))
+	}
+}
+
+func usersOf(sr *SearchResults, g Group) []UserResults {
+	var out []UserResults
+	for _, u := range sr.Users {
+		if u.Attrs.Matches(g.Label) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Unfairness returns d<g,q,l> per Equation 1. The boolean is false when
+// the value is undefined: no users of g participated, or no comparable
+// group has participants.
+func (e *SearchEvaluator) Unfairness(sr *SearchResults, g Group) (float64, bool) {
+	gUsers := usersOf(sr, g)
+	if len(gUsers) == 0 {
+		return 0, false
+	}
+	var sum float64
+	var n int
+	for _, cg := range e.Schema.Comparable(g) {
+		cUsers := usersOf(sr, cg)
+		if len(cUsers) == 0 {
+			continue
+		}
+		var pairSum float64
+		for _, u := range gUsers {
+			for _, v := range cUsers {
+				pairSum += e.dist(u.List, v.List)
+			}
+		}
+		sum += pairSum / float64(len(gUsers)*len(cUsers))
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// PairwiseUnfairness returns the partial unfairness DIST(g, g') between two
+// specific groups — the quantity the paper's Figure 3 illustrates — and
+// false when either group has no participants.
+func (e *SearchEvaluator) PairwiseUnfairness(sr *SearchResults, g, other Group) (float64, bool) {
+	gUsers := usersOf(sr, g)
+	oUsers := usersOf(sr, other)
+	if len(gUsers) == 0 || len(oUsers) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, u := range gUsers {
+		for _, v := range oUsers {
+			sum += e.dist(u.List, v.List)
+		}
+	}
+	return sum / float64(len(gUsers)*len(oUsers)), true
+}
+
+// EvaluateAll computes the full unfairness table over all result sets and
+// groups. A nil groups slice evaluates the schema universe.
+func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) *Table {
+	if groups == nil {
+		groups = e.Schema.Universe()
+	}
+	t := NewTable()
+	for _, sr := range results {
+		for _, g := range groups {
+			if v, ok := e.Unfairness(sr, g); ok {
+				t.Set(g, sr.Query, sr.Location, v)
+			}
+		}
+	}
+	return t
+}

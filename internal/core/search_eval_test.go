@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+)
+
+// toySearch builds a small search-results fixture with hand-computable
+// distances:
+//
+//	bf1 (Black Female): [a b c]     bf2 (Black Female): [a c b]
+//	bm1 (Black Male):   [a b c]
+//	af1 (Asian Female): [c b a]
+//	wf1 (White Female): [x y z]
+func toySearch() *SearchResults {
+	mk := func(id, gender, ethnicity string, list ...string) UserResults {
+		return UserResults{ID: id, Attrs: Assignment{"gender": gender, "ethnicity": ethnicity}, List: list}
+	}
+	return &SearchResults{
+		Query:    "home cleaning",
+		Location: "San Francisco, CA",
+		Users: []UserResults{
+			mk("bf1", "Female", "Black", "a", "b", "c"),
+			mk("bf2", "Female", "Black", "a", "c", "b"),
+			mk("bm1", "Male", "Black", "a", "b", "c"),
+			mk("af1", "Female", "Asian", "c", "b", "a"),
+			mk("wf1", "Female", "White", "x", "y", "z"),
+		},
+	}
+}
+
+func TestSearchJaccardHandComputed(t *testing.T) {
+	// BF vs BM: identical sets -> 0. BF vs AF: identical sets -> 0.
+	// BF vs WF: disjoint -> 1. d = (0+0+1)/3 = 1/3.
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureJaccard}
+	d, ok := e.Unfairness(toySearch(), blackFemale())
+	if !ok || !approx(d, 1.0/3, 1e-12) {
+		t.Fatalf("jaccard unfairness = %v, %v; want 1/3", d, ok)
+	}
+}
+
+func TestSearchKendallHandComputed(t *testing.T) {
+	// BF vs BM: pairs (bf1,bm1)=0, (bf2,bm1)=1/3 -> 1/6.
+	// BF vs AF: (bf1,af1)=1, (bf2,af1)=2/3 -> 5/6.
+	// BF vs WF: disjoint -> 1.
+	// d = (1/6 + 5/6 + 1)/3 = 2/3.
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureKendallTau}
+	d, ok := e.Unfairness(toySearch(), blackFemale())
+	if !ok || !approx(d, 2.0/3, 1e-12) {
+		t.Fatalf("kendall unfairness = %v, %v; want 2/3", d, ok)
+	}
+}
+
+func TestSearchPairwiseUnfairness(t *testing.T) {
+	// The Figure 3 quantity: partial unfairness between one group and one
+	// comparable group.
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureKendallTau}
+	bm := NewGroup(Predicate{"gender", "Male"}, Predicate{"ethnicity", "Black"})
+	d, ok := e.PairwiseUnfairness(toySearch(), blackFemale(), bm)
+	if !ok || !approx(d, 1.0/6, 1e-12) {
+		t.Fatalf("pairwise = %v, %v; want 1/6", d, ok)
+	}
+	wm := NewGroup(Predicate{"gender", "Male"}, Predicate{"ethnicity", "White"})
+	if _, ok := e.PairwiseUnfairness(toySearch(), blackFemale(), wm); ok {
+		t.Fatal("pairwise with empty group should be undefined")
+	}
+}
+
+func TestSearchUnfairnessUndefinedCases(t *testing.T) {
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureJaccard}
+
+	// No users at all.
+	if _, ok := e.Unfairness(&SearchResults{}, blackFemale()); ok {
+		t.Fatal("empty results should be undefined")
+	}
+
+	// Group with users but no comparable users.
+	sr := &SearchResults{Users: []UserResults{
+		{ID: "u", Attrs: Assignment{"gender": "Female", "ethnicity": "Black"}, List: []string{"a"}},
+	}}
+	if _, ok := e.Unfairness(sr, blackFemale()); ok {
+		t.Fatal("no comparable users should be undefined")
+	}
+}
+
+func TestSearchIdenticalResultsAreFair(t *testing.T) {
+	// When everyone sees the same list, every group's unfairness is 0
+	// under both measures — the "no personalization = fair" baseline.
+	list := []string{"j1", "j2", "j3", "j4"}
+	sr := &SearchResults{Query: "q", Location: "l"}
+	for _, g := range DefaultSchema().FullGroups() {
+		attrs := Assignment{}
+		for _, p := range g.Label {
+			attrs[p.Attr] = p.Value
+		}
+		sr.Users = append(sr.Users, UserResults{ID: g.Key(), Attrs: attrs, List: list})
+	}
+	for _, m := range []SearchMeasure{MeasureKendallTau, MeasureJaccard} {
+		e := &SearchEvaluator{Schema: DefaultSchema(), Measure: m}
+		for _, g := range DefaultSchema().Universe() {
+			d, ok := e.Unfairness(sr, g)
+			if !ok {
+				t.Fatalf("%v %s: undefined", m, g.Name())
+			}
+			if d != 0 {
+				t.Fatalf("%v %s: unfairness = %v, want 0", m, g.Name(), d)
+			}
+		}
+	}
+}
+
+func TestSearchEvaluateAll(t *testing.T) {
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureJaccard}
+	tbl := e.EvaluateAll([]*SearchResults{toySearch()}, nil)
+	if tbl.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	// White Male has no users and must not appear.
+	wm := NewGroup(Predicate{"gender", "Male"}, Predicate{"ethnicity", "White"})
+	if _, ok := tbl.Get(wm, "home cleaning", "San Francisco, CA"); ok {
+		t.Fatal("group with no users should not be recorded")
+	}
+	// Black Female appears with the hand-computed value.
+	if v, ok := tbl.Get(blackFemale(), "home cleaning", "San Francisco, CA"); !ok || !approx(v, 1.0/3, 1e-12) {
+		t.Fatalf("table value = %v, %v", v, ok)
+	}
+}
+
+func TestSearchMeasureString(t *testing.T) {
+	if MeasureKendallTau.String() != "KendallTau" || MeasureJaccard.String() != "Jaccard" {
+		t.Fatal("measure names wrong")
+	}
+	if SearchMeasure(42).String() == "" {
+		t.Fatal("unknown measure should render")
+	}
+}
+
+func TestSearchUnfairnessSymmetricInUsers(t *testing.T) {
+	// Shuffling user order must not change the result.
+	e := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureKendallTau}
+	sr := toySearch()
+	d1, _ := e.Unfairness(sr, blackFemale())
+	reversed := &SearchResults{Query: sr.Query, Location: sr.Location}
+	for i := len(sr.Users) - 1; i >= 0; i-- {
+		reversed.Users = append(reversed.Users, sr.Users[i])
+	}
+	d2, _ := e.Unfairness(reversed, blackFemale())
+	if !approx(d1, d2, 1e-12) {
+		t.Fatalf("user order changed result: %v vs %v", d1, d2)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Query is a job-related query (a job category on TaskRabbit, a search
+// formulation on Google job search).
+type Query string
+
+// Location is a geographic location such as "San Francisco, CA".
+type Location string
+
+// Triple identifies one unfairness value d<g,q,l>. GroupKey is the
+// canonical key of the group's label.
+type Triple struct {
+	GroupKey string
+	Query    Query
+	Location Location
+}
+
+// Table stores unfairness values d<g,q,l> for every evaluated triple. It
+// is the substrate the three index families and both problem solvers read
+// from. A Table is cheap to copy by reference; it is not safe for
+// concurrent mutation.
+type Table struct {
+	values map[Triple]float64
+	groups map[string]Group
+	qs     map[Query]struct{}
+	ls     map[Location]struct{}
+}
+
+// NewTable returns an empty unfairness table.
+func NewTable() *Table {
+	return &Table{
+		values: make(map[Triple]float64),
+		groups: make(map[string]Group),
+		qs:     make(map[Query]struct{}),
+		ls:     make(map[Location]struct{}),
+	}
+}
+
+// Set records d<g,q,l> = v, overwriting any previous value.
+func (t *Table) Set(g Group, q Query, l Location, v float64) {
+	t.values[Triple{g.Key(), q, l}] = v
+	t.groups[g.Key()] = g
+	t.qs[q] = struct{}{}
+	t.ls[l] = struct{}{}
+}
+
+// Get returns d<g,q,l> and whether it was recorded.
+func (t *Table) Get(g Group, q Query, l Location) (float64, bool) {
+	v, ok := t.values[Triple{g.Key(), q, l}]
+	return v, ok
+}
+
+// GetKey is Get for callers that hold a group key rather than a Group.
+func (t *Table) GetKey(groupKey string, q Query, l Location) (float64, bool) {
+	v, ok := t.values[Triple{groupKey, q, l}]
+	return v, ok
+}
+
+// Len returns the number of recorded triples.
+func (t *Table) Len() int { return len(t.values) }
+
+// Groups returns the distinct groups appearing in the table, sorted by
+// key.
+func (t *Table) Groups() []Group {
+	keys := make([]string, 0, len(t.groups))
+	for k := range t.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		out[i] = t.groups[k]
+	}
+	return out
+}
+
+// GroupByKey resolves a group key recorded in the table.
+func (t *Table) GroupByKey(key string) (Group, bool) {
+	g, ok := t.groups[key]
+	return g, ok
+}
+
+// Queries returns the distinct queries in the table, sorted.
+func (t *Table) Queries() []Query {
+	out := make([]Query, 0, len(t.qs))
+	for q := range t.qs {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Locations returns the distinct locations in the table, sorted.
+func (t *Table) Locations() []Location {
+	out := make([]Location, 0, len(t.ls))
+	for l := range t.ls {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range calls fn for every recorded triple in an unspecified order.
+func (t *Table) Range(fn func(tr Triple, v float64)) {
+	for tr, v := range t.values {
+		fn(tr, v)
+	}
+}
+
+// AggregateGroup returns d<g,Q,L> (§3.4): the average of d<g,q,l> over the
+// given queries and locations, counting only recorded triples. The boolean
+// is false when no triple was recorded for g over Q×L.
+func (t *Table) AggregateGroup(g Group, qs []Query, ls []Location) (float64, bool) {
+	return t.aggregateKey(g.Key(), qs, ls)
+}
+
+func (t *Table) aggregateKey(key string, qs []Query, ls []Location) (float64, bool) {
+	var sum float64
+	var n int
+	for _, q := range qs {
+		for _, l := range ls {
+			if v, ok := t.values[Triple{key, q, l}]; ok {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// AggregateQuery returns d<G,q,L>: the average unfairness of query q over
+// the given groups and locations.
+func (t *Table) AggregateQuery(q Query, gs []Group, ls []Location) (float64, bool) {
+	var sum float64
+	var n int
+	for _, g := range gs {
+		for _, l := range ls {
+			if v, ok := t.values[Triple{g.Key(), q, l}]; ok {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// AggregateLocation returns d<G,Q,l>: the average unfairness of location l
+// over the given groups and queries.
+func (t *Table) AggregateLocation(l Location, gs []Group, qs []Query) (float64, bool) {
+	var sum float64
+	var n int
+	for _, g := range gs {
+		for _, q := range qs {
+			if v, ok := t.values[Triple{g.Key(), q, l}]; ok {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// String summarizes the table's dimensions.
+func (t *Table) String() string {
+	return fmt.Sprintf("Table{%d groups × %d queries × %d locations, %d triples}",
+		len(t.groups), len(t.qs), len(t.ls), len(t.values))
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTableSetGet(t *testing.T) {
+	tbl := NewTable()
+	g := NewGroup(Predicate{"gender", "Male"})
+	tbl.Set(g, "cleaning", "NYC", 0.4)
+	if v, ok := tbl.Get(g, "cleaning", "NYC"); !ok || v != 0.4 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := tbl.Get(g, "cleaning", "LA"); ok {
+		t.Fatal("unexpected value for unrecorded triple")
+	}
+	tbl.Set(g, "cleaning", "NYC", 0.6) // overwrite
+	if v, _ := tbl.Get(g, "cleaning", "NYC"); v != 0.6 {
+		t.Fatalf("overwrite failed: %v", v)
+	}
+	if v, ok := tbl.GetKey(g.Key(), "cleaning", "NYC"); !ok || v != 0.6 {
+		t.Fatalf("GetKey = %v, %v", v, ok)
+	}
+}
+
+func TestTableDimensions(t *testing.T) {
+	tbl := NewTable()
+	male := NewGroup(Predicate{"gender", "Male"})
+	female := NewGroup(Predicate{"gender", "Female"})
+	tbl.Set(male, "q1", "l1", 0.1)
+	tbl.Set(male, "q2", "l2", 0.2)
+	tbl.Set(female, "q1", "l2", 0.3)
+
+	if gs := tbl.Groups(); len(gs) != 2 {
+		t.Fatalf("Groups = %v", gs)
+	}
+	if qs := tbl.Queries(); len(qs) != 2 || qs[0] != "q1" || qs[1] != "q2" {
+		t.Fatalf("Queries = %v", qs)
+	}
+	if ls := tbl.Locations(); len(ls) != 2 || ls[0] != "l1" || ls[1] != "l2" {
+		t.Fatalf("Locations = %v", ls)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if g, ok := tbl.GroupByKey(male.Key()); !ok || g.Name() != "Male" {
+		t.Fatalf("GroupByKey = %v, %v", g, ok)
+	}
+}
+
+func TestTableAggregateGroup(t *testing.T) {
+	tbl := NewTable()
+	g := NewGroup(Predicate{"gender", "Female"})
+	tbl.Set(g, "q1", "l1", 0.2)
+	tbl.Set(g, "q1", "l2", 0.4)
+	tbl.Set(g, "q2", "l1", 0.6)
+	// q2/l2 missing: aggregation averages over recorded triples only.
+	v, ok := tbl.AggregateGroup(g, []Query{"q1", "q2"}, []Location{"l1", "l2"})
+	if !ok || !approx(v, 0.4, 1e-12) {
+		t.Fatalf("AggregateGroup = %v, %v", v, ok)
+	}
+	// Restricting the query set restricts the average.
+	v, _ = tbl.AggregateGroup(g, []Query{"q1"}, []Location{"l1", "l2"})
+	if !approx(v, 0.3, 1e-12) {
+		t.Fatalf("restricted AggregateGroup = %v", v)
+	}
+	if _, ok := tbl.AggregateGroup(g, []Query{"nope"}, []Location{"l1"}); ok {
+		t.Fatal("aggregate over unrecorded cells should be undefined")
+	}
+}
+
+func TestTableAggregateQueryAndLocation(t *testing.T) {
+	tbl := NewTable()
+	male := NewGroup(Predicate{"gender", "Male"})
+	female := NewGroup(Predicate{"gender", "Female"})
+	tbl.Set(male, "q1", "l1", 0.1)
+	tbl.Set(female, "q1", "l1", 0.3)
+	tbl.Set(male, "q1", "l2", 0.5)
+
+	gs := []Group{male, female}
+	v, ok := tbl.AggregateQuery("q1", gs, []Location{"l1"})
+	if !ok || !approx(v, 0.2, 1e-12) {
+		t.Fatalf("AggregateQuery = %v, %v", v, ok)
+	}
+	v, ok = tbl.AggregateLocation("l2", gs, []Query{"q1"})
+	if !ok || !approx(v, 0.5, 1e-12) {
+		t.Fatalf("AggregateLocation = %v, %v", v, ok)
+	}
+	if _, ok := tbl.AggregateLocation("l3", gs, []Query{"q1"}); ok {
+		t.Fatal("missing location should be undefined")
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tbl := NewTable()
+	g := NewGroup(Predicate{"gender", "Male"})
+	tbl.Set(g, "q1", "l1", 0.25)
+	tbl.Set(g, "q2", "l1", 0.75)
+	var sum float64
+	var count int
+	tbl.Range(func(tr Triple, v float64) {
+		sum += v
+		count++
+	})
+	if count != 2 || !approx(sum, 1.0, 1e-12) {
+		t.Fatalf("Range visited %d values summing to %v", count, sum)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable()
+	tbl.Set(NewGroup(Predicate{"gender", "Male"}), "q", "l", 0.5)
+	if got := tbl.String(); got == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,268 @@
+// Package dataset defines the on-disk representation of crawled data —
+// the synthetic equivalents of the paper's TaskRabbit crawl and Google
+// study exports — as JSON-lines files, plus the dataset statistics the
+// paper reports (the Figure 7–8 demographic breakdowns). Persisting the
+// crawl decouples data collection (cmd/datagen) from analysis
+// (cmd/fairjob, cmd/experiments), mirroring Figures 6 and 9 where the
+// F-Box consumes recorded results.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fairjob/internal/core"
+)
+
+// TaskerRecord is one crawled tasker profile. Gender and Ethnicity are
+// the observed (majority-vote) labels; Unknown-labeled attributes are
+// stored as "Unknown".
+type TaskerRecord struct {
+	ID         string  `json:"id"`
+	City       string  `json:"city"`
+	Gender     string  `json:"gender"`
+	Ethnicity  string  `json:"ethnicity"`
+	Rating     float64 `json:"rating"`
+	Completed  int     `json:"completed"`
+	HourlyRate float64 `json:"hourly_rate"`
+	Elite      bool    `json:"elite"`
+	PhotoID    string  `json:"photo_id"`
+}
+
+// PageRecord is one marketplace result page: worker IDs in rank order
+// with the observed scores (NaN scores are stored as -1).
+type PageRecord struct {
+	Query    string    `json:"query"`
+	Location string    `json:"location"`
+	Workers  []string  `json:"workers"`
+	Scores   []float64 `json:"scores,omitempty"`
+}
+
+// SearchRecord is one study participant's personalized result list for
+// one (term, location) pair.
+type SearchRecord struct {
+	Query     string   `json:"query"`
+	Location  string   `json:"location"`
+	UserID    string   `json:"user_id"`
+	Gender    string   `json:"gender"`
+	Ethnicity string   `json:"ethnicity"`
+	Results   []string `json:"results"`
+}
+
+// Marketplace bundles a full marketplace crawl.
+type Marketplace struct {
+	Taskers []TaskerRecord
+	Pages   []PageRecord
+}
+
+// Google bundles a full search-study export.
+type Google struct {
+	Records []SearchRecord
+}
+
+// FromRankings converts evaluated rankings plus tasker profiles into a
+// persistable marketplace dataset. The rankings' worker attributes are
+// recorded per tasker (first occurrence wins; attributes are per-tasker,
+// not per-page).
+func FromRankings(rankings []*core.MarketplaceRanking, profiles []TaskerRecord) *Marketplace {
+	ds := &Marketplace{Taskers: profiles}
+	for _, r := range rankings {
+		page := PageRecord{Query: string(r.Query), Location: string(r.Location)}
+		for _, w := range r.Workers {
+			page.Workers = append(page.Workers, w.ID)
+			score := w.Score
+			if math.IsNaN(score) {
+				score = -1
+			}
+			page.Scores = append(page.Scores, score)
+		}
+		ds.Pages = append(ds.Pages, page)
+	}
+	return ds
+}
+
+// ToRankings reconstructs evaluator-ready rankings from a dataset,
+// attaching each tasker's recorded demographics.
+func (ds *Marketplace) ToRankings() ([]*core.MarketplaceRanking, error) {
+	attrs := make(map[string]core.Assignment, len(ds.Taskers))
+	for _, t := range ds.Taskers {
+		attrs[t.ID] = core.Assignment{"gender": t.Gender, "ethnicity": t.Ethnicity}
+	}
+	out := make([]*core.MarketplaceRanking, 0, len(ds.Pages))
+	for _, p := range ds.Pages {
+		r := &core.MarketplaceRanking{Query: core.Query(p.Query), Location: core.Location(p.Location)}
+		for i, id := range p.Workers {
+			a, ok := attrs[id]
+			if !ok {
+				return nil, fmt.Errorf("dataset: page %s/%s references unknown tasker %s", p.Query, p.Location, id)
+			}
+			score := math.NaN()
+			if i < len(p.Scores) && p.Scores[i] >= 0 {
+				score = p.Scores[i]
+			}
+			r.Workers = append(r.Workers, core.RankedWorker{ID: id, Attrs: a.Clone(), Rank: i + 1, Score: score})
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FromSearchResults converts evaluated search results into a persistable
+// dataset.
+func FromSearchResults(results []*core.SearchResults) *Google {
+	ds := &Google{}
+	for _, sr := range results {
+		for _, u := range sr.Users {
+			ds.Records = append(ds.Records, SearchRecord{
+				Query:     string(sr.Query),
+				Location:  string(sr.Location),
+				UserID:    u.ID,
+				Gender:    u.Attrs["gender"],
+				Ethnicity: u.Attrs["ethnicity"],
+				Results:   append([]string(nil), u.List...),
+			})
+		}
+	}
+	return ds
+}
+
+// ToSearchResults reconstructs evaluator-ready search results, grouping
+// records by (query, location) in first-appearance order.
+func (ds *Google) ToSearchResults() []*core.SearchResults {
+	type key struct {
+		q core.Query
+		l core.Location
+	}
+	byPair := map[key]*core.SearchResults{}
+	var order []key
+	for _, rec := range ds.Records {
+		k := key{core.Query(rec.Query), core.Location(rec.Location)}
+		sr, ok := byPair[k]
+		if !ok {
+			sr = &core.SearchResults{Query: k.q, Location: k.l}
+			byPair[k] = sr
+			order = append(order, k)
+		}
+		sr.Users = append(sr.Users, core.UserResults{
+			ID:    rec.UserID,
+			Attrs: core.Assignment{"gender": rec.Gender, "ethnicity": rec.Ethnicity},
+			List:  append([]string(nil), rec.Results...),
+		})
+	}
+	out := make([]*core.SearchResults, len(order))
+	for i, k := range order {
+		out[i] = byPair[k]
+	}
+	return out
+}
+
+// writeJSONL writes one JSON object per line.
+func writeJSONL[T any](w io.Writer, items []T) error {
+	enc := json.NewEncoder(w)
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
+			return fmt.Errorf("dataset: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// readJSONL decodes one JSON object per line.
+func readJSONL[T any](r io.Reader) ([]T, error) {
+	var out []T
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var item T
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, item)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	return out, nil
+}
+
+// WriteTaskers / ReadTaskers persist tasker profiles as JSONL.
+func WriteTaskers(w io.Writer, ts []TaskerRecord) error { return writeJSONL(w, ts) }
+
+// ReadTaskers reads tasker profiles from JSONL.
+func ReadTaskers(r io.Reader) ([]TaskerRecord, error) { return readJSONL[TaskerRecord](r) }
+
+// WritePages / ReadPages persist result pages as JSONL.
+func WritePages(w io.Writer, ps []PageRecord) error { return writeJSONL(w, ps) }
+
+// ReadPages reads result pages from JSONL.
+func ReadPages(r io.Reader) ([]PageRecord, error) { return readJSONL[PageRecord](r) }
+
+// WriteSearchRecords / ReadSearchRecords persist search records as JSONL.
+func WriteSearchRecords(w io.Writer, rs []SearchRecord) error { return writeJSONL(w, rs) }
+
+// ReadSearchRecords reads search records from JSONL.
+func ReadSearchRecords(r io.Reader) ([]SearchRecord, error) { return readJSONL[SearchRecord](r) }
+
+// Share is one slice of a demographic breakdown.
+type Share struct {
+	Value    string
+	Count    int
+	Fraction float64
+}
+
+// Breakdown computes the demographic breakdown of the taskers that appear
+// on at least one page — the statistic behind the paper's Figures 7
+// (gender) and 8 (ethnicity). attr selects "gender" or "ethnicity".
+func (ds *Marketplace) Breakdown(attr string) []Share {
+	appearing := map[string]bool{}
+	for _, p := range ds.Pages {
+		for _, id := range p.Workers {
+			appearing[id] = true
+		}
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, t := range ds.Taskers {
+		if !appearing[t.ID] {
+			continue
+		}
+		v := t.Gender
+		if attr == "ethnicity" {
+			v = t.Ethnicity
+		}
+		counts[v]++
+		total++
+	}
+	out := make([]Share, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, Share{Value: v, Count: c, Fraction: float64(c) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// UniqueTaskersOnPages counts distinct taskers appearing in result pages —
+// the paper's "3,311 unique taskers" statistic.
+func (ds *Marketplace) UniqueTaskersOnPages() int {
+	seen := map[string]bool{}
+	for _, p := range ds.Pages {
+		for _, id := range p.Workers {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fairjob/internal/core"
+)
+
+func sampleMarketplace() *Marketplace {
+	return &Marketplace{
+		Taskers: []TaskerRecord{
+			{ID: "t1", City: "NYC", Gender: "Male", Ethnicity: "White", Rating: 4.5, Completed: 100},
+			{ID: "t2", City: "NYC", Gender: "Female", Ethnicity: "Black", Rating: 4.1, Completed: 80},
+			{ID: "t3", City: "NYC", Gender: "Male", Ethnicity: "Asian", Rating: 3.9, Completed: 60},
+			{ID: "t4", City: "NYC", Gender: "Male", Ethnicity: "White", Rating: 4.8, Completed: 10},
+		},
+		Pages: []PageRecord{
+			{Query: "cleaning", Location: "NYC", Workers: []string{"t1", "t2", "t3"}, Scores: []float64{0.9, 0.5, 0.1}},
+			{Query: "moving", Location: "NYC", Workers: []string{"t3", "t1"}, Scores: []float64{-1, 0.4}},
+		},
+	}
+}
+
+func TestToRankingsRoundTrip(t *testing.T) {
+	ds := sampleMarketplace()
+	rankings, err := ds.ToRankings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankings) != 2 {
+		t.Fatalf("rankings = %d", len(rankings))
+	}
+	r := rankings[0]
+	if r.Query != "cleaning" || len(r.Workers) != 3 {
+		t.Fatalf("page = %+v", r)
+	}
+	if r.Workers[1].ID != "t2" || r.Workers[1].Rank != 2 || r.Workers[1].Attrs["gender"] != "Female" {
+		t.Fatalf("worker = %+v", r.Workers[1])
+	}
+	// Score -1 decodes as NaN (unobserved).
+	if !math.IsNaN(rankings[1].Workers[0].Score) {
+		t.Fatalf("expected NaN score, got %v", rankings[1].Workers[0].Score)
+	}
+	// Round trip back.
+	back := FromRankings(rankings, ds.Taskers)
+	if len(back.Pages) != 2 || back.Pages[0].Workers[2] != "t3" {
+		t.Fatalf("round trip pages = %+v", back.Pages)
+	}
+	if back.Pages[1].Scores[0] != -1 {
+		t.Fatalf("NaN should re-encode as -1, got %v", back.Pages[1].Scores[0])
+	}
+}
+
+func TestToRankingsUnknownWorker(t *testing.T) {
+	ds := &Marketplace{Pages: []PageRecord{{Query: "q", Location: "l", Workers: []string{"ghost"}}}}
+	if _, err := ds.ToRankings(); err == nil {
+		t.Fatal("unknown worker should error")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := sampleMarketplace()
+	var tb, pb bytes.Buffer
+	if err := WriteTaskers(&tb, ds.Taskers); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePages(&pb, ds.Pages); err != nil {
+		t.Fatal(err)
+	}
+	taskers, err := ReadTaskers(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := ReadPages(&pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taskers) != 4 || taskers[1].ID != "t2" || taskers[1].Rating != 4.1 {
+		t.Fatalf("taskers = %+v", taskers)
+	}
+	if len(pages) != 2 || pages[0].Workers[0] != "t1" {
+		t.Fatalf("pages = %+v", pages)
+	}
+}
+
+func TestReadJSONLSkipsBlankAndReportsErrors(t *testing.T) {
+	in := strings.NewReader("{\"id\":\"a\"}\n\n{\"id\":\"b\"}\n")
+	ts, err := ReadTaskers(in)
+	if err != nil || len(ts) != 2 {
+		t.Fatalf("read = %v, %v", ts, err)
+	}
+	if _, err := ReadTaskers(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("malformed line should error")
+	}
+}
+
+func TestSearchRoundTrip(t *testing.T) {
+	results := []*core.SearchResults{{
+		Query:    "yard work jobs",
+		Location: "Detroit, MI",
+		Users: []core.UserResults{
+			{ID: "u1", Attrs: core.Assignment{"gender": "Male", "ethnicity": "White"}, List: []string{"a", "b"}},
+			{ID: "u2", Attrs: core.Assignment{"gender": "Female", "ethnicity": "Asian"}, List: []string{"b", "c"}},
+		},
+	}}
+	ds := FromSearchResults(results)
+	if len(ds.Records) != 2 {
+		t.Fatalf("records = %d", len(ds.Records))
+	}
+	var buf bytes.Buffer
+	if err := WriteSearchRecords(&buf, ds.Records); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSearchRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := (&Google{Records: recs}).ToSearchResults()
+	if len(back) != 1 || len(back[0].Users) != 2 {
+		t.Fatalf("back = %+v", back)
+	}
+	if back[0].Users[1].Attrs["ethnicity"] != "Asian" || back[0].Users[1].List[1] != "c" {
+		t.Fatalf("user = %+v", back[0].Users[1])
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	ds := sampleMarketplace()
+	// t4 never appears on a page and must be excluded.
+	genders := ds.Breakdown("gender")
+	if len(genders) != 2 {
+		t.Fatalf("genders = %+v", genders)
+	}
+	if genders[0].Value != "Male" || genders[0].Count != 2 {
+		t.Fatalf("top gender = %+v", genders[0])
+	}
+	if got := genders[0].Fraction; math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("male fraction = %v", got)
+	}
+	eths := ds.Breakdown("ethnicity")
+	if len(eths) != 3 {
+		t.Fatalf("ethnicities = %+v", eths)
+	}
+	if ds.UniqueTaskersOnPages() != 3 {
+		t.Fatalf("unique = %d", ds.UniqueTaskersOnPages())
+	}
+}

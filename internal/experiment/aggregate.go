@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"sort"
+
+	"fairjob/internal/core"
+)
+
+// Ranked is one row of a defined-only ranking.
+type Ranked struct {
+	Key   string
+	Name  string
+	Value float64
+}
+
+// groupRanking ranks all groups in the table by defined-only average
+// unfairness, descending — the aggregation the paper's empirical tables
+// use (DESIGN.md §5).
+func groupRanking(tbl *core.Table) []Ranked {
+	qs, ls := tbl.Queries(), tbl.Locations()
+	var out []Ranked
+	for _, g := range tbl.Groups() {
+		if v, ok := tbl.AggregateGroup(g, qs, ls); ok {
+			out = append(out, Ranked{Key: g.Key(), Name: g.Name(), Value: v})
+		}
+	}
+	sortRanked(out)
+	return out
+}
+
+// locationRanking ranks all locations by defined-only average unfairness,
+// descending.
+func locationRanking(tbl *core.Table) []Ranked {
+	gs, qs := tbl.Groups(), tbl.Queries()
+	var out []Ranked
+	for _, l := range tbl.Locations() {
+		if v, ok := tbl.AggregateLocation(l, gs, qs); ok {
+			out = append(out, Ranked{Key: string(l), Name: string(l), Value: v})
+		}
+	}
+	sortRanked(out)
+	return out
+}
+
+// querySetRanking ranks named query sets (categories, bases) by
+// defined-only average unfairness, descending.
+func querySetRanking(tbl *core.Table, sets map[string][]core.Query) []Ranked {
+	gs, ls := tbl.Groups(), tbl.Locations()
+	var out []Ranked
+	for name, qs := range sets {
+		var sum float64
+		var n int
+		for _, q := range qs {
+			for _, g := range gs {
+				for _, l := range ls {
+					if v, ok := tbl.Get(g, q, l); ok {
+						sum += v
+						n++
+					}
+				}
+			}
+		}
+		if n > 0 {
+			out = append(out, Ranked{Key: name, Name: name, Value: sum / float64(n)})
+		}
+	}
+	sortRanked(out)
+	return out
+}
+
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Value != rs[j].Value {
+			return rs[i].Value > rs[j].Value
+		}
+		return rs[i].Key < rs[j].Key
+	})
+}
+
+// rankOf returns the position of key in a ranking, or -1.
+func rankOf(rs []Ranked, key string) int {
+	for i, r := range rs {
+		if r.Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// genderValue is the hierarchical gender aggregate: the average
+// unfairness of the gender's full groups over the scope. The literal
+// single-attribute gender groups have provably equal per-cell values
+// whenever both genders appear, so the paper's asymmetric gender rows
+// must be group-mediated (see EXPERIMENTS.md).
+func genderValue(tbl *core.Table, gender string, qs []core.Query, ls []core.Location) (float64, bool) {
+	var sum float64
+	var n int
+	for _, g := range core.DefaultSchema().FullGroups() {
+		if v, ok := g.Label.ValueOf("gender"); !ok || v != gender {
+			continue
+		}
+		if v, ok := tbl.AggregateGroup(g, qs, ls); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func ethnicityGroupKeys() []string {
+	return []string{
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "Asian"}).Key(),
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "Black"}).Key(),
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "White"}).Key(),
+	}
+}

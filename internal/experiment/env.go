@@ -1,0 +1,191 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (§5), wired to the synthetic substrates: each runner
+// regenerates its artifact — the same rows the paper reports — and
+// annotates it with the shape properties that hold or diverge. The
+// cmd/experiments binary executes the full registry; bench_test.go
+// benchmarks each runner.
+package experiment
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+	"fairjob/internal/dataset"
+	"fairjob/internal/labeling"
+	"fairjob/internal/marketplace"
+	"fairjob/internal/report"
+	"fairjob/internal/search"
+)
+
+// DefaultSeed is the seed used by cmd/experiments and the benchmarks; it
+// matches the calibration tests.
+const DefaultSeed = 7
+
+// Env lazily builds and caches the shared datasets: the marketplace crawl
+// (with AMT-style observed labels), the Google study sweep, and the
+// unfairness tables for every measure.
+type Env struct {
+	// Seed drives all generation.
+	Seed uint64
+	// ObservedLabels runs the faithful Figure 6 pipeline: worker
+	// demographics come from the simulated AMT majority vote, labeling
+	// noise included. The default (false) uses ground-truth
+	// demographics, because several of the paper's comparison margins
+	// are razor-thin (Table 15's overall gap is ~0.02 in the paper
+	// itself) and per-tasker label errors persist across all of a
+	// city's pages, re-introducing exactly the composition luck the
+	// generator stratifies away. The labeling step's impact is
+	// quantified by TestObservedLabelsStayCloseToGroundTruth and noted
+	// in EXPERIMENTS.md.
+	ObservedLabels bool
+
+	mkt         *marketplace.Marketplace
+	mktCrawl    []*core.MarketplaceRanking // observed-label rankings
+	labels      map[string]core.Assignment
+	mktTables   map[core.MarketplaceMeasure]*core.Table
+	googleRes   []*core.SearchResults
+	googleTbls  map[core.SearchMeasure]*core.Table
+	mktDataset  *dataset.Marketplace
+	searchCache *search.Engine
+}
+
+// NewEnv creates an environment; 0 selects DefaultSeed.
+func NewEnv(seed uint64) *Env {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return &Env{
+		Seed:       seed,
+		mktTables:  map[core.MarketplaceMeasure]*core.Table{},
+		googleTbls: map[core.SearchMeasure]*core.Table{},
+	}
+}
+
+// Market returns the simulated marketplace.
+func (e *Env) Market() *marketplace.Marketplace {
+	if e.mkt == nil {
+		e.mkt = marketplace.New(marketplace.Config{Seed: e.Seed})
+	}
+	return e.mkt
+}
+
+// Labels returns the observed (AMT majority-vote) demographic labels per
+// tasker.
+func (e *Env) Labels() map[string]core.Assignment {
+	if e.labels == nil {
+		m := e.Market()
+		subjects := make([]labeling.Subject, len(m.Taskers))
+		for i, t := range m.Taskers {
+			subjects[i] = labeling.Subject{ID: t.ID, PhotoID: t.PhotoID, Gender: t.Gender, Ethnicity: t.Ethnicity}
+		}
+		e.labels = labeling.New(labeling.DefaultConfig(e.Seed)).LabelAll(subjects)
+	}
+	return e.labels
+}
+
+// MarketCrawl returns the full 5,361-query crawl, with the pipeline's
+// observed labels applied when ObservedLabels is set.
+func (e *Env) MarketCrawl() []*core.MarketplaceRanking {
+	if e.mktCrawl == nil {
+		crawl := e.Market().CrawlAll()
+		if e.ObservedLabels {
+			e.mktCrawl = labeling.Relabel(crawl, e.Labels())
+		} else {
+			e.mktCrawl = crawl
+		}
+	}
+	return e.mktCrawl
+}
+
+// MarketTable returns the marketplace unfairness table for a measure.
+func (e *Env) MarketTable(m core.MarketplaceMeasure) *core.Table {
+	if tbl, ok := e.mktTables[m]; ok {
+		return tbl
+	}
+	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m}
+	tbl := ev.EvaluateAll(e.MarketCrawl(), nil)
+	e.mktTables[m] = tbl
+	return tbl
+}
+
+// MarketDataset returns the persistable dataset built from the crawl.
+func (e *Env) MarketDataset() *dataset.Marketplace {
+	if e.mktDataset == nil {
+		m := e.Market()
+		labels := e.Labels()
+		profiles := make([]dataset.TaskerRecord, len(m.Taskers))
+		for i, t := range m.Taskers {
+			gender, ethnicity := t.Gender, t.Ethnicity
+			if e.ObservedLabels {
+				obs := labels[t.ID]
+				gender, ethnicity = obs["gender"], obs["ethnicity"]
+			}
+			profiles[i] = dataset.TaskerRecord{
+				ID: t.ID, City: string(t.City),
+				Gender: gender, Ethnicity: ethnicity,
+				Rating: t.Rating, Completed: t.Completed,
+				HourlyRate: t.HourlyRate, Elite: t.Elite, PhotoID: t.PhotoID,
+			}
+		}
+		e.mktDataset = dataset.FromRankings(e.MarketCrawl(), profiles)
+	}
+	return e.mktDataset
+}
+
+// SearchEngine returns the simulated Google engine.
+func (e *Env) SearchEngine() *search.Engine {
+	if e.searchCache == nil {
+		e.searchCache = search.New(search.Config{Seed: e.Seed + 4})
+	}
+	return e.searchCache
+}
+
+// GoogleResults returns the full study sweep.
+func (e *Env) GoogleResults() []*core.SearchResults {
+	if e.googleRes == nil {
+		e.googleRes = e.SearchEngine().CrawlAll()
+	}
+	return e.googleRes
+}
+
+// GoogleTable returns the Google unfairness table for a measure.
+func (e *Env) GoogleTable(m core.SearchMeasure) *core.Table {
+	if tbl, ok := e.googleTbls[m]; ok {
+		return tbl
+	}
+	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m}
+	tbl := ev.EvaluateAll(e.GoogleResults(), nil)
+	e.googleTbls[m] = tbl
+	return tbl
+}
+
+// Result is the output of one experiment runner.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	// Notes record the shape properties checked against the paper and
+	// any documented divergences.
+	Notes []string
+}
+
+func (r *Result) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// check appends a PASS/FAIL shape note.
+func (r *Result) check(ok bool, format string, args ...interface{}) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("shape [%s]: %s", status, fmt.Sprintf(format, args...)))
+}
+
+// Runner regenerates one of the paper's artifacts.
+type Runner struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(env *Env) (*Result, error)
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sharedEnv is reused across tests: the crawl and tables are expensive and
+// deterministic.
+var sharedEnv = NewEnv(0)
+
+// TestAllRunnersPassTheirShapeChecks runs the full registry and requires
+// every embedded shape check to pass: this is the repository's end-to-end
+// reproduction test.
+func TestAllRunnersPassTheirShapeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction sweep")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(sharedEnv)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if res.ID != r.ID {
+				t.Errorf("result ID %q != runner ID %q", res.ID, r.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", r.ID)
+			}
+			shapeChecks := 0
+			for _, note := range res.Notes {
+				t.Log(note)
+				if strings.HasPrefix(note, "shape [FAIL]") {
+					t.Errorf("%s: %s", r.ID, note)
+				}
+				if strings.HasPrefix(note, "shape [") {
+					shapeChecks++
+				}
+			}
+			if shapeChecks == 0 {
+				t.Errorf("%s has no shape checks", r.ID)
+			}
+			// Every table must render in every format.
+			for _, tbl := range res.Tables {
+				var buf bytes.Buffer
+				if err := tbl.WriteText(&buf); err != nil {
+					t.Errorf("%s: text render: %v", r.ID, err)
+				}
+				if err := tbl.WriteMarkdown(&buf); err != nil {
+					t.Errorf("%s: markdown render: %v", r.ID, err)
+				}
+				if err := tbl.WriteCSV(&buf); err != nil {
+					t.Errorf("%s: csv render: %v", r.ID, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs = %d, runners = %d", len(ids), len(All()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate runner ID %q", id)
+		}
+		seen[id] = true
+		r, err := ByID(id)
+		if err != nil || r.ID != id {
+			t.Errorf("ByID(%q) = %v, %v", id, r.ID, err)
+		}
+		if r.Title == "" || r.Description == "" {
+			t.Errorf("%s missing title or description", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+	// The registry must cover the paper's evaluation artifacts.
+	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "F7", "F8",
+		"T6", "T7", "T8", "T9", "T10", "T12", "T13", "T15", "GQ", "T16", "T18", "T20"} {
+		if !seen[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestPermutationWithInversions(t *testing.T) {
+	counts := func(perm []string) int {
+		// Count inversions relative to sorted order of the labels.
+		inv := 0
+		for i := 0; i < len(perm); i++ {
+			for j := i + 1; j < len(perm); j++ {
+				if perm[i] > perm[j] {
+					inv++
+				}
+			}
+		}
+		return inv
+	}
+	for _, tc := range []struct{ n, k int }{{5, 0}, {5, 10}, {5, 7}, {20, 133}, {20, 95}, {20, 57}, {2, 1}} {
+		perm := permutationWithInversions(tc.n, tc.k)
+		if got := counts(perm); got != tc.k {
+			t.Errorf("permutationWithInversions(%d, %d) has %d inversions", tc.n, tc.k, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for impossible inversion count")
+		}
+	}()
+	permutationWithInversions(3, 99)
+}
+
+func TestEnvCachesAndSeeds(t *testing.T) {
+	e := NewEnv(0)
+	if e.Seed != DefaultSeed {
+		t.Fatalf("seed = %d", e.Seed)
+	}
+	if e.Market() != e.Market() {
+		t.Fatal("Market not cached")
+	}
+	e2 := NewEnv(123)
+	if e2.Seed != 123 {
+		t.Fatalf("seed = %d", e2.Seed)
+	}
+}
+
+// TestObservedLabelsStayCloseToGroundTruth verifies that the simulated
+// AMT labeling step does not change the headline shape: the most
+// discriminated-against group is the same under observed and true labels.
+func TestObservedLabelsStayCloseToGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full crawls")
+	}
+	observed := NewEnv(0)
+	observed.ObservedLabels = true
+	truth := sharedEnv
+	for _, mk := range []struct{ name string }{{"EMD"}} {
+		_ = mk
+		obsRank := groupRanking(observed.MarketTable(0)) // MeasureEMD == 0
+		truthRank := groupRanking(truth.MarketTable(0))
+		if obsRank[0].Name != truthRank[0].Name {
+			t.Errorf("top group differs: observed %s vs truth %s", obsRank[0].Name, truthRank[0].Name)
+		}
+	}
+}

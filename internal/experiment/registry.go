@@ -1,0 +1,52 @@
+package experiment
+
+import "fmt"
+
+// All returns every experiment runner in canonical order: the paper's
+// worked examples first, then the TaskRabbit case study, then Google job
+// search. Each entry maps to one table or figure of the paper; see
+// DESIGN.md §4 for the index.
+func All() []Runner {
+	return []Runner{
+		figure1(),
+		figure2(),
+		figure3(),
+		figure4(),
+		figure5(),
+		breakdownRunner("F7", "Figure 7 — gender breakdown of crawled taskers", "gender", "Male", 0.72),
+		breakdownRunner("F8", "Figure 8 — ethnic breakdown of crawled taskers", "ethnicity", "White", 0.66),
+		table8(),
+		table9(),
+		tables10and11(),
+		table12(),
+		tables13and14(),
+		table15(),
+		table6(),
+		table7(),
+		googleQuant(),
+		tables16and17(),
+		tables18and19(),
+		tables20and21(),
+		significanceRunner(),
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiment: unknown id %q", id)
+}
+
+// IDs lists all runner IDs in canonical order.
+func IDs() []string {
+	rs := All()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}

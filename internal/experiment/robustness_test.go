@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"testing"
+
+	"fairjob/internal/core"
+)
+
+// TestHeadlineShapesRobustToSeed re-runs the headline findings under two
+// alternative seeds: the calibrated shapes must come from the bias
+// mechanisms, not from one lucky random stream. (Most generated attributes
+// are stratified, so the residual seed sensitivity is the per-query rank
+// jitter and the search engine's personalization draws.)
+func TestHeadlineShapesRobustToSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full crawls")
+	}
+	for _, seed := range []uint64{101, 20260705} {
+		env := NewEnv(seed)
+
+		// TaskRabbit headline: Asian Female tops the EMD ranking and the
+		// extreme locations keep their ends.
+		emd := groupRanking(env.MarketTable(core.MeasureEMD))
+		if emd[0].Name != "Asian Female" {
+			t.Errorf("seed %d: EMD top group = %s, want Asian Female", seed, emd[0].Name)
+		}
+		locs := locationRanking(env.MarketTable(core.MeasureEMD))
+		if got := rankOf(locs, "Birmingham, UK"); got > 4 {
+			t.Errorf("seed %d: Birmingham rank %d, want top 5", seed, got+1)
+		}
+		if got := rankOf(locs, "Chicago, IL"); got < len(locs)-8 {
+			t.Errorf("seed %d: Chicago rank %d of %d, want among fairest 8", seed, got+1, len(locs))
+		}
+
+		// Google headline: White Female most and Black Male least
+		// divergent results under Kendall Tau.
+		gt := env.GoogleTable(core.MeasureKendallTau)
+		var full []Ranked
+		for _, r := range groupRanking(gt) {
+			if g, ok := gt.GroupByKey(r.Key); ok && len(g.Label) == 2 {
+				full = append(full, r)
+			}
+		}
+		if full[0].Name != "White Female" {
+			t.Errorf("seed %d: Google top group = %s, want White Female", seed, full[0].Name)
+		}
+		if full[len(full)-1].Name != "Black Male" {
+			t.Errorf("seed %d: Google bottom group = %s, want Black Male", seed, full[len(full)-1].Name)
+		}
+		gLocs := locationRanking(gt)
+		if gLocs[0].Name != "London, UK" {
+			t.Errorf("seed %d: Google unfairest location = %s, want London", seed, gLocs[0].Name)
+		}
+		if gLocs[len(gLocs)-1].Name != "Washington, DC" {
+			t.Errorf("seed %d: Google fairest location = %s, want Washington DC", seed, gLocs[len(gLocs)-1].Name)
+		}
+	}
+}

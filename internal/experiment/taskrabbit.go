@@ -1,0 +1,290 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/marketplace"
+	"fairjob/internal/report"
+)
+
+// figure7and8 reproduces Figures 7–8: the gender and ethnic breakdowns of
+// the taskers appearing in the crawl.
+func breakdownRunner(id, title, attr string, wantTop string, wantShare float64) Runner {
+	return Runner{
+		ID:    id,
+		Title: title,
+		Description: fmt.Sprintf("Computes the %s breakdown of the taskers appearing in crawled "+
+			"result pages, the statistic behind the paper's pie chart.", attr),
+		Run: func(env *Env) (*Result, error) {
+			ds := env.MarketDataset()
+			shares := ds.Breakdown(attr)
+			res := &Result{ID: id, Title: title}
+			tbl := report.NewTable(title, attr, "Count", "Share")
+			var topShare float64
+			for _, s := range shares {
+				tbl.AddRow(s.Value, s.Count, s.Fraction)
+				if s.Value == wantTop {
+					topShare = s.Fraction
+				}
+			}
+			res.Tables = append(res.Tables, tbl)
+			res.check(approxEq(topShare, wantShare, 0.04),
+				"%s share = %.2f (paper: ≈%.2f)", wantTop, topShare, wantShare)
+			res.notef("unique taskers on pages: %d (paper's crawl: 3,311; our supply is larger so truncation exists — DESIGN.md §2)",
+				ds.UniqueTaskersOnPages())
+			return res, nil
+		},
+	}
+}
+
+// table8 reproduces Table 8: all 11 groups ranked by EMD and exposure.
+func table8() Runner {
+	return Runner{
+		ID:    "T8",
+		Title: "Table 8 — EMD and Exposure of all groups on TaskRabbit",
+		Description: "Ranks the 11 demographic groups by defined-only average unfairness " +
+			"under both marketplace measures, as in the paper's Table 8.",
+		Run: func(env *Env) (*Result, error) {
+			emd := groupRanking(env.MarketTable(core.MeasureEMD))
+			exp := groupRanking(env.MarketTable(core.MeasureExposure))
+			res := &Result{ID: "T8", Title: "Table 8"}
+			tbl := report.NewTable("Groups ranked from unfairest to fairest",
+				"Group (EMD)", "EMD", "Group (Exposure)", "Exposure")
+			for i := range emd {
+				eName, eVal := "", ""
+				if i < len(exp) {
+					eName, eVal = exp[i].Name, fmt.Sprintf("%.3f", exp[i].Value)
+				}
+				tbl.AddRow(emd[i].Name, emd[i].Value, eName, eVal)
+			}
+			res.Tables = append(res.Tables, tbl)
+
+			res.check(emd[0].Name == "Asian Female", "EMD: Asian Female most discriminated against (got %s)", emd[0].Name)
+			amPos := -1
+			for i, r := range emd {
+				if r.Name == "Asian Male" {
+					amPos = i
+				}
+			}
+			res.check(amPos >= 0 && amPos <= 3, "EMD: Asian Male in the top 4 (got rank %d)", amPos+1)
+			res.check(exp[0].Name == "Asian" || exp[0].Name == "Asian Female" || exp[0].Name == "Asian Male",
+				"Exposure: an Asian group most discriminated against (got %s)", exp[0].Name)
+			res.notef("divergence: under exposure, dense pages rank beneficiary groups (White, White Male) higher than the paper's sparse crawl did — see EXPERIMENTS.md")
+			return res, nil
+		},
+	}
+}
+
+func categorySets() map[string][]core.Query {
+	sets := map[string][]core.Query{}
+	for _, cat := range marketplace.Categories() {
+		sets[cat.Name] = marketplace.QueriesOf(cat)
+	}
+	return sets
+}
+
+// table9 reproduces Table 9: the 8 job categories ranked by both measures.
+func table9() Runner {
+	return Runner{
+		ID:    "T9",
+		Title: "Table 9 — EMD and Exposure for all jobs on TaskRabbit",
+		Description: "Ranks the eight job categories by defined-only average unfairness " +
+			"under both marketplace measures.",
+		Run: func(env *Env) (*Result, error) {
+			sets := categorySets()
+			emd := querySetRanking(env.MarketTable(core.MeasureEMD), sets)
+			exp := querySetRanking(env.MarketTable(core.MeasureExposure), sets)
+			res := &Result{ID: "T9", Title: "Table 9"}
+			tbl := report.NewTable("Job categories ranked from unfairest to fairest",
+				"Job (EMD)", "EMD", "Job (Exposure)", "Exposure")
+			for i := range emd {
+				tbl.AddRow(emd[i].Name, emd[i].Value, exp[i].Name, exp[i].Value)
+			}
+			res.Tables = append(res.Tables, tbl)
+			for _, rk := range [][]Ranked{emd, exp} {
+				top := rk[0].Name
+				res.check(top == "Handyman" || top == "Yard Work",
+					"most unfair category is Handyman or Yard Work (got %s)", top)
+				res.check(rankOf(rk, "Delivery") >= 5 && rankOf(rk, "Furniture Assembly") >= 5,
+					"Delivery (rank %d) and Furniture Assembly (rank %d) among the fairest 3",
+					rankOf(rk, "Delivery")+1, rankOf(rk, "Furniture Assembly")+1)
+			}
+			return res, nil
+		},
+	}
+}
+
+// tables10and11 reproduces Tables 10–11: the least and most fair
+// locations.
+func tables10and11() Runner {
+	return Runner{
+		ID:    "T10",
+		Title: "Tables 10–11 — unfairest and fairest locations on TaskRabbit",
+		Description: "Ranks the 56 cities by defined-only average unfairness under both " +
+			"measures and reports the top and bottom 10, as in Tables 10 and 11.",
+		Run: func(env *Env) (*Result, error) {
+			emd := locationRanking(env.MarketTable(core.MeasureEMD))
+			exp := locationRanking(env.MarketTable(core.MeasureExposure))
+			res := &Result{ID: "T10", Title: "Tables 10–11"}
+
+			unfair := report.NewTable("Table 10 — ten unfairest locations",
+				"City (EMD)", "EMD", "City (Exposure)", "Exposure")
+			for i := 0; i < 10; i++ {
+				unfair.AddRow(emd[i].Name, emd[i].Value, exp[i].Name, exp[i].Value)
+			}
+			fair := report.NewTable("Table 11 — ten fairest locations",
+				"City (EMD)", "EMD", "City (Exposure)", "Exposure")
+			for i := 0; i < 10; i++ {
+				j := len(emd) - 1 - i
+				fair.AddRow(emd[j].Name, emd[j].Value, exp[j].Name, exp[j].Value)
+			}
+			res.Tables = append(res.Tables, unfair, fair)
+
+			res.check(rankOf(emd, "Birmingham, UK") <= 2, "EMD: Birmingham, UK among the 3 least fair (rank %d)", rankOf(emd, "Birmingham, UK")+1)
+			res.check(rankOf(emd, "Oklahoma City, OK") <= 3, "EMD: Oklahoma City among the 4 least fair (rank %d)", rankOf(emd, "Oklahoma City, OK")+1)
+			n := len(emd)
+			res.check(rankOf(emd, "Chicago, IL") >= n-5, "EMD: Chicago among the 5 fairest (rank %d of %d)", rankOf(emd, "Chicago, IL")+1, n)
+			res.check(rankOf(emd, "San Francisco, CA") >= n-5, "EMD: San Francisco among the 5 fairest (rank %d of %d)", rankOf(emd, "San Francisco, CA")+1, n)
+			res.check(rankOf(exp, "Birmingham, UK") <= 9, "Exposure: Birmingham among the 10 least fair (rank %d)", rankOf(exp, "Birmingham, UK")+1)
+			return res, nil
+		},
+	}
+}
+
+// table12 reproduces Table 12: males vs females by location under
+// exposure, listing the locations whose comparison differs from the
+// overall one.
+func table12() Runner {
+	return Runner{
+		ID:    "T12",
+		Title: "Table 12 — male/female comparison by location (Exposure)",
+		Description: "Solves the group-comparison instance of Problem 2 for Males vs " +
+			"Females with locations as the breakdown, under the exposure measure.",
+		Run: func(env *Env) (*Result, error) {
+			tbl := env.MarketTable(core.MeasureExposure)
+			cmp, err := compare.NewDefinedOnly(tbl).Groups(
+				core.NewGroup(core.Predicate{Attr: "gender", Value: "Male"}).Key(),
+				core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}).Key(),
+				compare.ByLocation, compare.Scope{})
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{ID: "T12", Title: "Table 12"}
+			out := report.NewTable("Locations where females are treated at least as fairly as males",
+				"Group-comparison", "Males", "Females")
+			out.AddRow("All", cmp.Overall1, cmp.Overall2)
+			for _, b := range cmp.Reversed {
+				out.AddRow(b.B, b.V1, b.V2)
+			}
+			res.Tables = append(res.Tables, out)
+
+			res.check(cmp.Overall1 < cmp.Overall2,
+				"overall, females are treated less fairly (male %.4f < female %.4f)", cmp.Overall1, cmp.Overall2)
+			ffHit := 0
+			reversed := map[string]bool{}
+			for _, b := range cmp.Reversed {
+				reversed[b.B] = true
+			}
+			var ffTotal int
+			for _, c := range marketplace.Cities() {
+				if c.FemaleFavored {
+					ffTotal++
+					if reversed[string(c.Name)] {
+						ffHit++
+					}
+				}
+			}
+			res.check(ffHit == ffTotal, "all %d female-favoring cities appear in the reversal set (%d found, %d total reversals)",
+				ffTotal, ffHit, len(cmp.Reversed))
+			return res, nil
+		},
+	}
+}
+
+// tables13and14 reproduces Tables 13–14: Lawn Mowing vs Event Decorating
+// broken down by ethnicity, under EMD and exposure.
+func tables13and14() Runner {
+	return Runner{
+		ID:    "T13",
+		Title: "Tables 13–14 — Lawn Mowing vs Event Decorating by ethnicity",
+		Description: "Solves the query-comparison instance of Problem 2 for Lawn Mowing vs " +
+			"Event Decorating with ethnicity as the breakdown, under EMD (Table 13) and " +
+			"exposure (Table 14).",
+		Run: func(env *Env) (*Result, error) {
+			res := &Result{ID: "T13", Title: "Tables 13–14"}
+			for _, mc := range []struct {
+				measure  core.MarketplaceMeasure
+				tableNo  string
+				mustFlip string
+			}{
+				{core.MeasureEMD, "Table 13", "White"},
+				{core.MeasureExposure, "Table 14", "Black"},
+			} {
+				tbl := env.MarketTable(mc.measure)
+				cmp, err := compare.NewDefinedOnly(tbl).Queries(
+					"Lawn Mowing", "Event Decorating", compare.ByGroup,
+					compare.Scope{Groups: ethnicityGroupKeys()})
+				if err != nil {
+					return nil, err
+				}
+				out := report.NewTable(fmt.Sprintf("%s (%v)", mc.tableNo, mc.measure),
+					"Job-comparison", "Lawn Mowing", "Event Decorating", "differs")
+				out.AddRow("All", cmp.Overall1, cmp.Overall2, "")
+				flipped := map[string]bool{}
+				for _, b := range cmp.All {
+					g, _ := tbl.GroupByKey(b.B)
+					out.AddRow(g.Name(), b.V1, b.V2, fmt.Sprintf("%v", b.Reversed))
+					if b.Reversed {
+						flipped[g.Name()] = true
+					}
+				}
+				res.Tables = append(res.Tables, out)
+				res.check(cmp.Overall1 > cmp.Overall2,
+					"%v: Lawn Mowing less fair than Event Decorating overall (%.3f vs %.3f)",
+					mc.measure, cmp.Overall1, cmp.Overall2)
+				res.check(flipped[mc.mustFlip], "%v: the comparison reverses for %s (paper's %s)",
+					mc.measure, mc.mustFlip, mc.tableNo)
+			}
+			res.notef("as in the paper, EMD and exposure disagree on which ethnicity reverses — flagged there as warranting further investigation")
+			return res, nil
+		},
+	}
+}
+
+// table15 reproduces Table 15: SF Bay Area vs Chicago broken down by
+// General Cleaning jobs under EMD.
+func table15() Runner {
+	return Runner{
+		ID:    "T15",
+		Title: "Table 15 — SF Bay Area vs Chicago across General Cleaning jobs (EMD)",
+		Description: "Solves the location-comparison instance of Problem 2 for the San " +
+			"Francisco Bay Area vs Chicago with General Cleaning jobs as the breakdown.",
+		Run: func(env *Env) (*Result, error) {
+			tbl := env.MarketTable(core.MeasureEMD)
+			gc, _ := marketplace.CategoryByName("General Cleaning")
+			cmp, err := compare.NewDefinedOnly(tbl).Locations(
+				"San Francisco Bay Area, CA", "Chicago, IL", compare.ByQuery,
+				compare.Scope{Queries: marketplace.QueriesOf(gc)})
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{ID: "T15", Title: "Table 15"}
+			out := report.NewTable("Jobs where the SF-fairer trend inverts",
+				"Location-comparison", "San Francisco Bay Area, CA", "Chicago, IL")
+			out.AddRow("All", cmp.Overall1, cmp.Overall2)
+			reversed := map[string]bool{}
+			for _, b := range cmp.Reversed {
+				out.AddRow(b.B, b.V1, b.V2)
+				reversed[b.B] = true
+			}
+			res.Tables = append(res.Tables, out)
+			res.check(cmp.Overall1 < cmp.Overall2,
+				"SF Bay Area fairer than Chicago overall (%.3f vs %.3f)", cmp.Overall1, cmp.Overall2)
+			ok := reversed["Back To Organized"] && reversed["Organize & Declutter"] && reversed["Organize Closet"]
+			res.check(ok, "the trend inverts for Back To Organized, Organize & Declutter and Organize Closet")
+			return res, nil
+		},
+	}
+}

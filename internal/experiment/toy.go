@@ -1,0 +1,306 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+	"fairjob/internal/metrics"
+	"fairjob/internal/report"
+	"fairjob/internal/stats"
+)
+
+// permutationWithInversions builds a permutation of [0, n) with exactly k
+// inversions (0 <= k <= n(n-1)/2), rendered as item names. It lets the toy
+// runners reconstruct the paper's worked examples with exact Kendall
+// distances.
+func permutationWithInversions(n, k int) []string {
+	if max := n * (n - 1) / 2; k < 0 || k > max {
+		panic(fmt.Sprintf("experiment: cannot build %d inversions with %d items", k, n))
+	}
+	// Insert items back-to-front: placing item i (0-based from the end)
+	// j positions from the left of the remaining slots creates j
+	// inversions with the smaller items... Simpler constructive scheme:
+	// Lehmer code. digits[i] ∈ [0, n-1-i] counts inversions contributed
+	// by position i.
+	digits := make([]int, n)
+	rem := k
+	for i := 0; i < n; i++ {
+		maxDigit := n - 1 - i
+		d := rem
+		if d > maxDigit {
+			d = maxDigit
+		}
+		digits[i] = d
+		rem -= d
+	}
+	// Decode the Lehmer code.
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	out := make([]string, n)
+	for i, d := range digits {
+		v := avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+		out[i] = fmt.Sprintf("job%02d", v)
+	}
+	return out
+}
+
+func identityList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("job%02d", i)
+	}
+	return out
+}
+
+func toyUser(id, gender, eth string, list []string) core.UserResults {
+	return core.UserResults{ID: id, Attrs: core.Assignment{"gender": gender, "ethnicity": eth}, List: list}
+}
+
+// figure1 reproduces Figure 1: the unfairness of "Black Females" for a
+// Google query is the average Kendall Tau distance to the three comparable
+// groups — 0.70, 0.50 and 0.30, averaging to exactly 0.50.
+func figure1() Runner {
+	return Runner{
+		ID:    "F1",
+		Title: "Figure 1 — Kendall Tau unfairness on a search engine (worked example)",
+		Description: "Reconstructs the paper's Figure 1: search-result lists whose pairwise " +
+			"Kendall distances to Black Females are exactly 0.70, 0.50 and 0.30.",
+		Run: func(env *Env) (*Result, error) {
+			const n = 20
+			pairs := n * (n - 1) / 2 // 190
+			sr := &core.SearchResults{Query: "Home Cleaning", Location: "San Francisco, CA", Users: []core.UserResults{
+				toyUser("bf", "Female", "Black", identityList(n)),
+				toyUser("bm", "Male", "Black", permutationWithInversions(n, 7*pairs/10)),
+				toyUser("wf", "Female", "White", permutationWithInversions(n, 5*pairs/10)),
+				toyUser("af", "Female", "Asian", permutationWithInversions(n, 3*pairs/10)),
+			}}
+			ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureKendallTau}
+			bf := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Black"})
+
+			res := &Result{ID: "F1", Title: "Figure 1 worked example"}
+			tbl := report.NewTable("Partial unfairness of Black Females (Kendall Tau)", "Comparable group", "DIST")
+			var total float64
+			for _, cg := range core.DefaultSchema().Comparable(bf) {
+				d, ok := ev.PairwiseUnfairness(sr, bf, cg)
+				if !ok {
+					return nil, fmt.Errorf("F1: pairwise unfairness undefined for %s", cg.Name())
+				}
+				tbl.AddRow(cg.Name(), d)
+				total += d
+			}
+			d, _ := ev.Unfairness(sr, bf)
+			tbl.AddRow("average (= d<g,q,l>)", d)
+			res.Tables = append(res.Tables, tbl)
+			res.check(approxEq(d, 0.50, 1e-9), "d<Black Female> = %.3f, paper: (0.70+0.50+0.30)/3 = 0.50", d)
+			return res, nil
+		},
+	}
+}
+
+// figure2 reproduces Figure 2: EMD unfairness on a marketplace, averaging
+// distances 0.45, 0.25 and 0.65 to exactly 0.45.
+func figure2() Runner {
+	return Runner{
+		ID:    "F2",
+		Title: "Figure 2 — EMD unfairness on a marketplace (worked example)",
+		Description: "Reconstructs Figure 2: ranking-score histograms whose EMDs to Black " +
+			"Females are exactly 0.45, 0.25 and 0.65.",
+		Run: func(env *Env) (*Result, error) {
+			// With 21 bins over [0,1], a point mass k bins away has
+			// normalized EMD exactly k/20.
+			const bins = 21
+			mass := func(bin int) *stats.Histogram {
+				h := stats.NewHistogram(0, 1, bins)
+				h.AddWeighted((float64(bin)+0.5)/bins, 1)
+				return h
+			}
+			bf := mass(0)
+			comparables := []struct {
+				name string
+				bin  int
+				want float64
+			}{
+				{"Black Male", 9, 0.45},
+				{"Asian Female", 5, 0.25},
+				{"White Female", 13, 0.65},
+			}
+			res := &Result{ID: "F2", Title: "Figure 2 worked example"}
+			tbl := report.NewTable("EMD between ranking distributions", "Comparable group", "EMD")
+			var sum float64
+			allExact := true
+			for _, c := range comparables {
+				d := metrics.EMDHistograms(bf, mass(c.bin))
+				tbl.AddRow(c.name, d)
+				sum += d
+				allExact = allExact && approxEq(d, c.want, 1e-9)
+			}
+			avg := sum / float64(len(comparables))
+			tbl.AddRow("average (= d<g,q,l>)", avg)
+			res.Tables = append(res.Tables, tbl)
+			res.check(allExact && approxEq(avg, 0.45, 1e-9),
+				"EMDs = 0.45, 0.25, 0.65; average = %.3f (paper: 0.45)", avg)
+			return res, nil
+		},
+	}
+}
+
+// figure3 reproduces Figure 3 (with Table 1's setting): the partial
+// unfairness between Black Females and Asian Females as the average
+// pairwise Jaccard index (0.8 + 0.5)/2 = 0.65.
+func figure3() Runner {
+	return Runner{
+		ID:    "F3",
+		Title: "Figure 3 / Table 1 — partial Jaccard unfairness between two groups",
+		Description: "Reconstructs Figure 3: result lists with pairwise Jaccard indices " +
+			"0.8 and 0.5 against Black Females, averaging 0.65. (The paper quotes the " +
+			"Jaccard index here; the framework's distance is 1 − index.)",
+		Run: func(env *Env) (*Result, error) {
+			// bf's list vs af1 (index 0.8: 8 common of 10 union) and af2
+			// (index 0.5: 6 common of 12 union).
+			bf := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+			af1 := []string{"a", "b", "c", "d", "e", "f", "g", "h", "x"}
+			af2 := []string{"a", "b", "c", "d", "e", "f", "x", "y", "z"}
+			sr := &core.SearchResults{Query: "Home Cleaning", Location: "San Francisco, CA", Users: []core.UserResults{
+				toyUser("bf1", "Female", "Black", bf),
+				toyUser("af1", "Female", "Asian", af1),
+				toyUser("af2", "Female", "Asian", af2),
+			}}
+			ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureJaccard}
+			g := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Black"})
+			ag := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Asian"})
+			dist, ok := ev.PairwiseUnfairness(sr, g, ag)
+			if !ok {
+				return nil, fmt.Errorf("F3: pairwise unfairness undefined")
+			}
+			index := 1 - dist
+
+			res := &Result{ID: "F3", Title: "Figure 3 worked example"}
+			tbl := report.NewTable("Pairwise Jaccard between Black and Asian Females", "Pair", "Jaccard index")
+			tbl.AddRow("bf1 vs af1", metrics.JaccardIndex(bf, af1))
+			tbl.AddRow("bf1 vs af2", metrics.JaccardIndex(bf, af2))
+			tbl.AddRow("average", index)
+			res.Tables = append(res.Tables, tbl)
+			res.check(approxEq(index, 0.65, 1e-9), "average Jaccard index = %.3f (paper: (0.8+0.5)/2 = 0.65)", index)
+			return res, nil
+		},
+	}
+}
+
+// paperRanking reconstructs Tables 2–3: the ten workers and their ranking
+// for "Home Cleaning" in San Francisco.
+func paperRanking() *core.MarketplaceRanking {
+	type row struct {
+		id, gender, eth string
+		rank            int
+		score           float64
+	}
+	rows := []row{
+		{"w3", "Female", "White", 1, 0.9}, {"w8", "Male", "Black", 2, 0.8},
+		{"w6", "Male", "Black", 3, 0.7}, {"w2", "Male", "White", 4, 0.6},
+		{"w1", "Female", "Asian", 5, 0.5}, {"w4", "Male", "Asian", 6, 0.4},
+		{"w7", "Female", "Black", 7, 0.3}, {"w5", "Female", "Black", 8, 0.2},
+		{"w9", "Male", "White", 9, 0.1}, {"w10", "Female", "White", 10, 0.0},
+	}
+	r := &core.MarketplaceRanking{Query: "Home Cleaning", Location: "San Francisco, CA"}
+	for _, x := range rows {
+		r.Workers = append(r.Workers, core.RankedWorker{
+			ID:    x.id,
+			Attrs: core.Assignment{"gender": x.gender, "ethnicity": x.eth},
+			Rank:  x.rank,
+			Score: x.score,
+		})
+	}
+	return r
+}
+
+// figure4 reproduces Figure 4 with the Tables 2–3 data: the EMD unfairness
+// of Black Females from the actual 10-worker ranking.
+func figure4() Runner {
+	return Runner{
+		ID:    "F4",
+		Title: "Figure 4 / Tables 2–3 — EMD unfairness of Black Females",
+		Description: "Runs the EMD measure on the paper's 10-worker ranking. The figure's " +
+			"0.70/0.50/0.30 values are illustrative; this reports the measure's actual " +
+			"output on the Table 3 ranking.",
+		Run: func(env *Env) (*Result, error) {
+			r := paperRanking()
+			bf := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Black"})
+			res := &Result{ID: "F4", Title: "Figure 4 worked example"}
+			tbl := report.NewTable("EMD unfairness on the Table 3 ranking", "Group", "EMD")
+			ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureEMD}
+			var bfVal float64
+			for _, g := range core.DefaultSchema().FullGroups() {
+				if d, ok := ev.Unfairness(r, g); ok {
+					tbl.AddRow(g.Name(), d)
+					if g.Key() == bf.Key() {
+						bfVal = d
+					}
+				}
+			}
+			res.Tables = append(res.Tables, tbl)
+			res.check(bfVal > 0 && bfVal <= 1, "d<Black Female> = %.3f is defined and in (0,1]", bfVal)
+			res.notef("the figure's 0.50 is an illustration; the measure's exact value on this ranking is %.3f", bfVal)
+			return res, nil
+		},
+	}
+}
+
+// figure5 reproduces Figure 5 exactly: exposure share 0.19, relevance
+// share 0.15, unfairness 0.04.
+func figure5() Runner {
+	return Runner{
+		ID:    "F5",
+		Title: "Figure 5 — exposure unfairness of Black Females",
+		Description: "Runs the exposure measure on the Tables 2–3 ranking; the paper " +
+			"computes 0.94/(0.94+4.0) − 0.5/(0.5+2.9) = 0.19 − 0.15 = 0.04.",
+		Run: func(env *Env) (*Result, error) {
+			r := paperRanking()
+			bf := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Black"})
+			ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureExposure}
+			d, ok := ev.Unfairness(r, bf)
+			if !ok {
+				return nil, fmt.Errorf("F5: exposure undefined")
+			}
+
+			var gExp, gRel, totExp, totRel float64
+			for _, w := range r.Workers {
+				if w.Attrs.Matches(bf.Label) {
+					gExp += metrics.ExposureAtRank(w.Rank)
+					gRel += metrics.RelevanceFromRank(w.Rank, len(r.Workers))
+				}
+			}
+			for _, cg := range core.DefaultSchema().Comparable(bf) {
+				for _, w := range r.Workers {
+					if w.Attrs.Matches(cg.Label) {
+						totExp += metrics.ExposureAtRank(w.Rank)
+						totRel += metrics.RelevanceFromRank(w.Rank, len(r.Workers))
+					}
+				}
+			}
+			res := &Result{ID: "F5", Title: "Figure 5 worked example"}
+			tbl := report.NewTable("Exposure unfairness of Black Females", "Quantity", "Value")
+			tbl.AddRow("group exposure", gExp)
+			tbl.AddRow("comparable exposure", totExp)
+			tbl.AddRow("exposure share", gExp/(gExp+totExp))
+			tbl.AddRow("group relevance", gRel)
+			tbl.AddRow("comparable relevance", totRel)
+			tbl.AddRow("relevance share", gRel/(gRel+totRel))
+			tbl.AddRow("unfairness |exp - rel|", d)
+			res.Tables = append(res.Tables, tbl)
+			res.check(approxEq(d, 0.04, 0.01), "exposure unfairness = %.3f (paper: 0.19 − 0.15 = 0.04)", d)
+			res.check(approxEq(gExp, 0.94, 0.005), "group exposure = %.3f (paper: 0.94)", gExp)
+			return res, nil
+		},
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,367 @@
+// Package explore implements the iterative exploration workflow the
+// paper's conclusion sketches ("Our framework can be used to generate
+// hypotheses and verify them across sites. That is what we did from
+// TaskRabbit to Google job search... one could use it in iterative
+// scenarios where the purpose is to explore and compare fairness.").
+//
+// An exploration step takes a *source* platform, derives hypotheses from
+// its fairness-quantification answers (who is treated worst, which query
+// families and locations are least fair), and verifies each hypothesis on
+// a *target* platform, reporting which findings transfer. Subjects carry
+// across platforms by name: demographic groups share the schema, locations
+// match by name, and query families are matched through caller-provided
+// name → query-set maps (e.g. the "yard work" marketplace category to the
+// "yard work" Google search formulations).
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/significance"
+	"fairjob/internal/stats"
+)
+
+// Kind classifies a hypothesis.
+type Kind int
+
+// Hypothesis kinds.
+const (
+	// MostUnfairGroup: Subject is the group the source treats worst.
+	MostUnfairGroup Kind = iota
+	// LeastUnfairGroup: Subject is the group the source treats best.
+	LeastUnfairGroup
+	// UnfairestLocation / FairestLocation: Subject is a location name.
+	UnfairestLocation
+	FairestLocation
+	// UnfairestQuerySet / FairestQuerySet: Subject is a query-family
+	// name resolvable on both platforms.
+	UnfairestQuerySet
+	FairestQuerySet
+	// GroupOrder: Subject is treated less fairly than Other, with the
+	// difference statistically significant on the source.
+	GroupOrder
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MostUnfairGroup:
+		return "most-unfair-group"
+	case LeastUnfairGroup:
+		return "least-unfair-group"
+	case UnfairestLocation:
+		return "unfairest-location"
+	case FairestLocation:
+		return "fairest-location"
+	case UnfairestQuerySet:
+		return "unfairest-queryset"
+	case FairestQuerySet:
+		return "fairest-queryset"
+	case GroupOrder:
+		return "group-order"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Hypothesis is one transferable finding.
+type Hypothesis struct {
+	Kind    Kind
+	Subject string
+	// Other is the comparison partner for GroupOrder hypotheses.
+	Other string
+	// Source names the platform the hypothesis was generated on;
+	// SourceValue is the supporting aggregate there.
+	Source      string
+	SourceValue float64
+}
+
+func (h Hypothesis) String() string {
+	if h.Kind == GroupOrder {
+		return fmt.Sprintf("[%s] %s less fairly treated than %s (from %s)", h.Kind, h.Subject, h.Other, h.Source)
+	}
+	return fmt.Sprintf("[%s] %s (from %s, %.3f)", h.Kind, h.Subject, h.Source, h.SourceValue)
+}
+
+// Platform is one site's evaluated unfairness table plus the query-family
+// naming shared across platforms.
+type Platform struct {
+	Name  string
+	Table *core.Table
+	// QuerySets maps a cross-platform family name (e.g. "yard work") to
+	// the platform's queries in that family (a marketplace category's
+	// jobs, a Google base's formulations).
+	QuerySets map[string][]core.Query
+}
+
+// Options tunes hypothesis generation.
+type Options struct {
+	// TopLocations is how many locations from each end become
+	// hypotheses (default 1).
+	TopLocations int
+	// OrderPairs limits how many significant group-order hypotheses are
+	// generated (default 3). Pairs are tested most-extreme first.
+	OrderPairs int
+	// Resamples for the significance tests (0 = significance.DefaultResamples).
+	Resamples int
+	// Alpha is the significance level for GroupOrder hypotheses
+	// (default 0.05).
+	Alpha float64
+	// Seed drives the resampling RNG.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopLocations == 0 {
+		o.TopLocations = 1
+	}
+	if o.OrderPairs == 0 {
+		o.OrderPairs = 3
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+type ranked struct {
+	name string
+	key  string
+	v    float64
+}
+
+func rankGroups(tbl *core.Table) []ranked {
+	qs, ls := tbl.Queries(), tbl.Locations()
+	var out []ranked
+	for _, g := range tbl.Groups() {
+		if v, ok := tbl.AggregateGroup(g, qs, ls); ok {
+			out = append(out, ranked{g.Name(), g.Key(), v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+func rankLocations(tbl *core.Table) []ranked {
+	gs, qs := tbl.Groups(), tbl.Queries()
+	var out []ranked
+	for _, l := range tbl.Locations() {
+		if v, ok := tbl.AggregateLocation(l, gs, qs); ok {
+			out = append(out, ranked{string(l), string(l), v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+func rankQuerySets(p Platform) []ranked {
+	gs, ls := p.Table.Groups(), p.Table.Locations()
+	var out []ranked
+	for name, qs := range p.QuerySets {
+		var sum float64
+		var n int
+		for _, q := range qs {
+			for _, g := range gs {
+				for _, l := range ls {
+					if v, ok := p.Table.Get(g, q, l); ok {
+						sum += v
+						n++
+					}
+				}
+			}
+		}
+		if n > 0 {
+			out = append(out, ranked{name, name, sum / float64(n)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// Generate derives hypotheses from the source platform: the most and
+// least fairly treated groups, the extreme locations and query families,
+// and up to OrderPairs statistically significant group orderings.
+func Generate(src Platform, opts Options) []Hypothesis {
+	opts = opts.withDefaults()
+	var out []Hypothesis
+
+	groups := rankGroups(src.Table)
+	if len(groups) > 0 {
+		out = append(out,
+			Hypothesis{Kind: MostUnfairGroup, Subject: groups[0].name, Source: src.Name, SourceValue: groups[0].v},
+			Hypothesis{Kind: LeastUnfairGroup, Subject: groups[len(groups)-1].name, Source: src.Name, SourceValue: groups[len(groups)-1].v},
+		)
+	}
+
+	locs := rankLocations(src.Table)
+	for i := 0; i < opts.TopLocations && i < len(locs); i++ {
+		out = append(out, Hypothesis{Kind: UnfairestLocation, Subject: locs[i].name, Source: src.Name, SourceValue: locs[i].v})
+		j := len(locs) - 1 - i
+		if j > i {
+			out = append(out, Hypothesis{Kind: FairestLocation, Subject: locs[j].name, Source: src.Name, SourceValue: locs[j].v})
+		}
+	}
+
+	sets := rankQuerySets(src)
+	if len(sets) > 0 {
+		out = append(out,
+			Hypothesis{Kind: UnfairestQuerySet, Subject: sets[0].name, Source: src.Name, SourceValue: sets[0].v},
+			Hypothesis{Kind: FairestQuerySet, Subject: sets[len(sets)-1].name, Source: src.Name, SourceValue: sets[len(sets)-1].v},
+		)
+	}
+
+	// Group-order hypotheses: extreme pairs first, kept only when the
+	// paired difference is significant on the source.
+	rng := stats.NewRNG(opts.Seed ^ 0xe7e7e7)
+	added := 0
+	for d := 0; d < len(groups)-1 && added < opts.OrderPairs; d++ {
+		hi, lo := groups[d], groups[len(groups)-1-d]
+		if hi.key == lo.key {
+			break
+		}
+		res, err := significance.Groups(rng, src.Table, hi.key, lo.key, opts.Resamples)
+		if err != nil || !res.Significant(opts.Alpha) || res.MeanDiff <= 0 {
+			continue
+		}
+		out = append(out, Hypothesis{
+			Kind: GroupOrder, Subject: hi.name, Other: lo.name,
+			Source: src.Name, SourceValue: res.MeanDiff,
+		})
+		added++
+	}
+	return out
+}
+
+// Verdict is the outcome of verifying one hypothesis on a target
+// platform.
+type Verdict struct {
+	Hypothesis
+	// Tested is false when the subject does not exist on the target
+	// (e.g. a city the other platform has no data for).
+	Tested bool
+	// Holds reports whether the finding transferred.
+	Holds bool
+	// TargetValue is the supporting aggregate (or mean difference) on
+	// the target.
+	TargetValue float64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// verifyRank checks that subject sits in the expected third of a ranking.
+func verifyRank(rk []ranked, subject string, unfairEnd bool) (Verdict, bool) {
+	pos := -1
+	var val float64
+	for i, r := range rk {
+		if r.name == subject {
+			pos, val = i, r.v
+			break
+		}
+	}
+	if pos < 0 {
+		return Verdict{}, false
+	}
+	third := (len(rk) + 2) / 3
+	var holds bool
+	var detail string
+	if unfairEnd {
+		holds = pos < third
+		detail = fmt.Sprintf("rank %d of %d from the unfair end", pos+1, len(rk))
+	} else {
+		holds = pos >= len(rk)-third
+		detail = fmt.Sprintf("rank %d of %d from the unfair end", pos+1, len(rk))
+	}
+	return Verdict{Tested: true, Holds: holds, TargetValue: val, Detail: detail}, true
+}
+
+// Verify tests one hypothesis against the target platform. A hypothesis
+// whose subject is absent from the target yields Tested == false rather
+// than an error: cross-platform designs rarely share every location.
+func Verify(h Hypothesis, target Platform, opts Options) Verdict {
+	opts = opts.withDefaults()
+	out := Verdict{Hypothesis: h}
+	switch h.Kind {
+	case MostUnfairGroup, LeastUnfairGroup:
+		v, ok := verifyRank(rankGroups(target.Table), h.Subject, h.Kind == MostUnfairGroup)
+		if !ok {
+			out.Detail = "group absent on target"
+			return out
+		}
+		v.Hypothesis = h
+		return v
+	case UnfairestLocation, FairestLocation:
+		v, ok := verifyRank(rankLocations(target.Table), h.Subject, h.Kind == UnfairestLocation)
+		if !ok {
+			out.Detail = "location absent on target"
+			return out
+		}
+		v.Hypothesis = h
+		return v
+	case UnfairestQuerySet, FairestQuerySet:
+		v, ok := verifyRank(rankQuerySets(target), h.Subject, h.Kind == UnfairestQuerySet)
+		if !ok {
+			out.Detail = "query family absent on target"
+			return out
+		}
+		v.Hypothesis = h
+		return v
+	case GroupOrder:
+		g1, ok1 := findGroupKey(target.Table, h.Subject)
+		g2, ok2 := findGroupKey(target.Table, h.Other)
+		if !ok1 || !ok2 {
+			out.Detail = "group absent on target"
+			return out
+		}
+		rng := stats.NewRNG(opts.Seed ^ 0x5eed)
+		res, err := significance.Groups(rng, target.Table, g1, g2, opts.Resamples)
+		if err != nil {
+			out.Detail = err.Error()
+			return out
+		}
+		out.Tested = true
+		out.TargetValue = res.MeanDiff
+		out.Holds = res.MeanDiff > 0 && res.Significant(opts.Alpha)
+		out.Detail = res.String()
+		return out
+	default:
+		out.Detail = fmt.Sprintf("unknown hypothesis kind %v", h.Kind)
+		return out
+	}
+}
+
+func findGroupKey(tbl *core.Table, name string) (string, bool) {
+	for _, g := range tbl.Groups() {
+		if g.Name() == name {
+			return g.Key(), true
+		}
+	}
+	return "", false
+}
+
+// Transfer runs the full exploration step the paper describes: generate
+// hypotheses on src, verify each on target, and return the verdicts in
+// generation order.
+func Transfer(src, target Platform, opts Options) []Verdict {
+	hs := Generate(src, opts)
+	out := make([]Verdict, len(hs))
+	for i, h := range hs {
+		out[i] = Verify(h, target, opts)
+	}
+	return out
+}

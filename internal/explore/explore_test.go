@@ -1,0 +1,160 @@
+package explore
+
+import (
+	"testing"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// buildPlatform makes a synthetic platform whose group/location/query-set
+// orderings are controlled by simple offsets, shared noise keyed on seed.
+func buildPlatform(name string, seed uint64, groupBias map[string]float64,
+	locBias map[core.Location]float64, setBias map[string]float64) Platform {
+	rng := stats.NewRNG(seed)
+	tbl := core.NewTable()
+	sets := map[string][]core.Query{}
+	for setName := range setBias {
+		sets[setName] = []core.Query{core.Query(setName + "-q1"), core.Query(setName + "-q2")}
+	}
+	for gName, gb := range groupBias {
+		g := core.NewGroup(core.Predicate{Attr: "g", Value: gName})
+		for setName, sb := range setBias {
+			for _, q := range sets[setName] {
+				for loc, lb := range locBias {
+					v := 0.2 + gb + sb + lb + 0.02*rng.NormFloat64()
+					tbl.Set(g, q, loc, stats.Clamp(v, 0, 1))
+				}
+			}
+		}
+	}
+	return Platform{Name: name, Table: tbl, QuerySets: sets}
+}
+
+func agreeingPlatforms() (Platform, Platform) {
+	groups := map[string]float64{"alpha": 0.25, "beta": 0.10, "gamma": 0.0}
+	locs := map[core.Location]float64{"cityA": 0.15, "cityB": 0.05, "cityC": 0.0}
+	sets := map[string]float64{"hardwork": 0.12, "easywork": 0.0}
+	src := buildPlatform("source", 1, groups, locs, sets)
+	dst := buildPlatform("target", 2, groups, locs, sets)
+	return src, dst
+}
+
+func TestGenerateProducesExpectedHypotheses(t *testing.T) {
+	src, _ := agreeingPlatforms()
+	hs := Generate(src, Options{Seed: 3, Resamples: 199})
+	kinds := map[Kind][]Hypothesis{}
+	for _, h := range hs {
+		kinds[h.Kind] = append(kinds[h.Kind], h)
+		if h.Source != "source" {
+			t.Errorf("hypothesis source = %q", h.Source)
+		}
+	}
+	if len(kinds[MostUnfairGroup]) != 1 || kinds[MostUnfairGroup][0].Subject != "alpha" {
+		t.Errorf("most unfair group = %+v", kinds[MostUnfairGroup])
+	}
+	if len(kinds[LeastUnfairGroup]) != 1 || kinds[LeastUnfairGroup][0].Subject != "gamma" {
+		t.Errorf("least unfair group = %+v", kinds[LeastUnfairGroup])
+	}
+	if len(kinds[UnfairestLocation]) != 1 || kinds[UnfairestLocation][0].Subject != "cityA" {
+		t.Errorf("unfairest location = %+v", kinds[UnfairestLocation])
+	}
+	if len(kinds[FairestLocation]) != 1 || kinds[FairestLocation][0].Subject != "cityC" {
+		t.Errorf("fairest location = %+v", kinds[FairestLocation])
+	}
+	if len(kinds[UnfairestQuerySet]) != 1 || kinds[UnfairestQuerySet][0].Subject != "hardwork" {
+		t.Errorf("unfairest set = %+v", kinds[UnfairestQuerySet])
+	}
+	if len(kinds[FairestQuerySet]) != 1 || kinds[FairestQuerySet][0].Subject != "easywork" {
+		t.Errorf("fairest set = %+v", kinds[FairestQuerySet])
+	}
+	// alpha vs gamma is a large, consistent difference -> at least one
+	// order hypothesis.
+	if len(kinds[GroupOrder]) == 0 {
+		t.Error("no group-order hypotheses generated")
+	}
+}
+
+func TestTransferConfirmsOnAgreeingTarget(t *testing.T) {
+	src, dst := agreeingPlatforms()
+	verdicts := Transfer(src, dst, Options{Seed: 5, Resamples: 199})
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts")
+	}
+	for _, v := range verdicts {
+		if !v.Tested {
+			t.Errorf("%s: not tested (%s)", v.Hypothesis, v.Detail)
+			continue
+		}
+		if !v.Holds {
+			t.Errorf("%s should transfer to an agreeing platform: %s", v.Hypothesis, v.Detail)
+		}
+	}
+}
+
+func TestTransferRefutesOnInvertedTarget(t *testing.T) {
+	src, _ := agreeingPlatforms()
+	// Target with the group ordering inverted.
+	inverted := buildPlatform("inverted", 9,
+		map[string]float64{"alpha": 0.0, "beta": 0.10, "gamma": 0.25},
+		map[core.Location]float64{"cityA": 0.15, "cityB": 0.05, "cityC": 0.0},
+		map[string]float64{"hardwork": 0.12, "easywork": 0.0})
+	verdicts := Transfer(src, inverted, Options{Seed: 11, Resamples: 199})
+	refuted := 0
+	for _, v := range verdicts {
+		if v.Tested && !v.Holds &&
+			(v.Kind == MostUnfairGroup || v.Kind == LeastUnfairGroup || v.Kind == GroupOrder) {
+			refuted++
+		}
+	}
+	if refuted == 0 {
+		t.Fatal("inverted group ordering not refuted")
+	}
+}
+
+func TestVerifyAbsentSubjects(t *testing.T) {
+	src, _ := agreeingPlatforms()
+	smaller := buildPlatform("small", 13,
+		map[string]float64{"alpha": 0.2, "beta": 0.0},
+		map[core.Location]float64{"cityX": 0.0},
+		map[string]float64{"otherwork": 0.0})
+	for _, h := range []Hypothesis{
+		{Kind: UnfairestLocation, Subject: "cityA", Source: "source"},
+		{Kind: UnfairestQuerySet, Subject: "hardwork", Source: "source"},
+		{Kind: MostUnfairGroup, Subject: "gamma", Source: "source"},
+		{Kind: GroupOrder, Subject: "alpha", Other: "gamma", Source: "source"},
+	} {
+		v := Verify(h, smaller, Options{Seed: 1, Resamples: 99})
+		if v.Tested {
+			t.Errorf("%s should be untestable on the small platform", h)
+		}
+	}
+	_ = src
+}
+
+func TestKindAndHypothesisStrings(t *testing.T) {
+	for k := MostUnfairGroup; k <= GroupOrder; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d renders empty", int(k))
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+	h := Hypothesis{Kind: GroupOrder, Subject: "a", Other: "b", Source: "s"}
+	if h.String() == "" {
+		t.Error("empty hypothesis string")
+	}
+	h2 := Hypothesis{Kind: MostUnfairGroup, Subject: "a", Source: "s", SourceValue: 0.5}
+	if h2.String() == "" {
+		t.Error("empty hypothesis string")
+	}
+}
+
+func TestVerifyUnknownKind(t *testing.T) {
+	_, dst := agreeingPlatforms()
+	v := Verify(Hypothesis{Kind: Kind(42), Subject: "x"}, dst, Options{})
+	if v.Tested {
+		t.Fatal("unknown kind should not be tested")
+	}
+}

@@ -1,0 +1,219 @@
+// Package index implements the three pre-computed index families of the
+// paper's Table 5: group-based indices I(q,l), query-based indices I(g,l)
+// and location-based indices I(g,q). Each index is an inverted list of
+// (member, unfairness) postings sorted by descending unfairness, supporting
+// the two access modes Fagin-style algorithms need: sorted access (next
+// posting) and random access (value of a given member).
+//
+// Completion invariant: every posting list over a dimension contains an
+// entry for every member of that dimension that appears anywhere in the
+// source table, with unfairness 0 for triples the evaluator left undefined.
+// This mirrors Algorithm 1's unconditional division by |Q|·|L| and is what
+// makes the threshold bound valid in both top-k directions.
+package index
+
+import (
+	"sort"
+
+	"fairjob/internal/core"
+)
+
+// Entry is one posting: a dimension member (group key, query, or location)
+// and its unfairness value.
+type Entry struct {
+	Key   string
+	Value float64
+}
+
+// Inverted is a posting list sorted by descending Value (ties broken by
+// ascending Key so ordering is deterministic). It supports sorted access
+// via At and random access via Find.
+type Inverted struct {
+	entries []Entry
+	byKey   map[string]float64
+}
+
+func newInverted(entries []Entry) *Inverted {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Value != entries[j].Value {
+			return entries[i].Value > entries[j].Value
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	byKey := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		byKey[e.Key] = e.Value
+	}
+	return &Inverted{entries: entries, byKey: byKey}
+}
+
+// Len returns the number of postings.
+func (iv *Inverted) Len() int { return len(iv.entries) }
+
+// At performs a sorted access: the posting at position pos (0 = highest
+// unfairness). ok is false past the end of the list.
+func (iv *Inverted) At(pos int) (Entry, bool) {
+	if pos < 0 || pos >= len(iv.entries) {
+		return Entry{}, false
+	}
+	return iv.entries[pos], true
+}
+
+// Find performs a random access: the unfairness value recorded for key.
+func (iv *Inverted) Find(key string) (float64, bool) {
+	v, ok := iv.byKey[key]
+	return v, ok
+}
+
+// Entries returns a copy of the posting list in sorted order.
+func (iv *Inverted) Entries() []Entry {
+	return append([]Entry(nil), iv.entries...)
+}
+
+// QL identifies a (query, location) pair.
+type QL struct {
+	Q core.Query
+	L core.Location
+}
+
+// GL identifies a (group, location) pair; the group is its canonical key.
+type GL struct {
+	G string
+	L core.Location
+}
+
+// GQ identifies a (group, query) pair.
+type GQ struct {
+	G string
+	Q core.Query
+}
+
+// GroupIndex holds one inverted list of groups per (query, location) pair:
+// the I(q,l) family.
+type GroupIndex struct {
+	lists map[QL]*Inverted
+	// Dimension metadata, sorted, shared by consumers.
+	GroupKeys []string
+	Queries   []core.Query
+	Locations []core.Location
+	groups    map[string]core.Group
+}
+
+// QueryIndex holds one inverted list of queries per (group, location)
+// pair: the I(g,l) family.
+type QueryIndex struct {
+	lists     map[GL]*Inverted
+	GroupKeys []string
+	Queries   []core.Query
+	Locations []core.Location
+}
+
+// LocationIndex holds one inverted list of locations per (group, query)
+// pair: the I(g,q) family.
+type LocationIndex struct {
+	lists     map[GQ]*Inverted
+	GroupKeys []string
+	Queries   []core.Query
+	Locations []core.Location
+}
+
+func dims(t *core.Table) (gks []string, gmap map[string]core.Group, qs []core.Query, ls []core.Location) {
+	groups := t.Groups()
+	gks = make([]string, len(groups))
+	gmap = make(map[string]core.Group, len(groups))
+	for i, g := range groups {
+		gks[i] = g.Key()
+		gmap[g.Key()] = g
+	}
+	return gks, gmap, t.Queries(), t.Locations()
+}
+
+// value returns the table's value for the triple, or 0 when undefined
+// (the completion invariant).
+func value(t *core.Table, g string, q core.Query, l core.Location) float64 {
+	v, ok := t.GetKey(g, q, l)
+	if !ok {
+		return 0
+	}
+	return v
+}
+
+// BuildGroupIndex builds the I(q,l) family from an unfairness table.
+func BuildGroupIndex(t *core.Table) *GroupIndex {
+	gks, gmap, qs, ls := dims(t)
+	gi := &GroupIndex{
+		lists:     make(map[QL]*Inverted, len(qs)*len(ls)),
+		GroupKeys: gks, Queries: qs, Locations: ls, groups: gmap,
+	}
+	for _, q := range qs {
+		for _, l := range ls {
+			entries := make([]Entry, len(gks))
+			for i, g := range gks {
+				entries[i] = Entry{Key: g, Value: value(t, g, q, l)}
+			}
+			gi.lists[QL{q, l}] = newInverted(entries)
+		}
+	}
+	return gi
+}
+
+// Get returns the inverted list of groups for (q, l), or nil when the pair
+// was not indexed.
+func (gi *GroupIndex) Get(q core.Query, l core.Location) *Inverted {
+	return gi.lists[QL{q, l}]
+}
+
+// Group resolves a group key to the core.Group recorded in the source
+// table.
+func (gi *GroupIndex) Group(key string) (core.Group, bool) {
+	g, ok := gi.groups[key]
+	return g, ok
+}
+
+// BuildQueryIndex builds the I(g,l) family from an unfairness table.
+func BuildQueryIndex(t *core.Table) *QueryIndex {
+	gks, _, qs, ls := dims(t)
+	qi := &QueryIndex{
+		lists:     make(map[GL]*Inverted, len(gks)*len(ls)),
+		GroupKeys: gks, Queries: qs, Locations: ls,
+	}
+	for _, g := range gks {
+		for _, l := range ls {
+			entries := make([]Entry, len(qs))
+			for i, q := range qs {
+				entries[i] = Entry{Key: string(q), Value: value(t, g, q, l)}
+			}
+			qi.lists[GL{g, l}] = newInverted(entries)
+		}
+	}
+	return qi
+}
+
+// Get returns the inverted list of queries for (groupKey, l).
+func (qi *QueryIndex) Get(g string, l core.Location) *Inverted {
+	return qi.lists[GL{g, l}]
+}
+
+// BuildLocationIndex builds the I(g,q) family from an unfairness table.
+func BuildLocationIndex(t *core.Table) *LocationIndex {
+	gks, _, qs, ls := dims(t)
+	li := &LocationIndex{
+		lists:     make(map[GQ]*Inverted, len(gks)*len(qs)),
+		GroupKeys: gks, Queries: qs, Locations: ls,
+	}
+	for _, g := range gks {
+		for _, q := range qs {
+			entries := make([]Entry, len(ls))
+			for i, l := range ls {
+				entries[i] = Entry{Key: string(l), Value: value(t, g, q, l)}
+			}
+			li.lists[GQ{g, q}] = newInverted(entries)
+		}
+	}
+	return li
+}
+
+// Get returns the inverted list of locations for (groupKey, q).
+func (li *LocationIndex) Get(g string, q core.Query) *Inverted {
+	return li.lists[GQ{g, q}]
+}

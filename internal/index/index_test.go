@@ -1,0 +1,200 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+func sampleTable() *core.Table {
+	t := core.NewTable()
+	male := core.NewGroup(core.Predicate{Attr: "gender", Value: "Male"})
+	female := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"})
+	t.Set(male, "q1", "l1", 0.2)
+	t.Set(female, "q1", "l1", 0.8)
+	t.Set(male, "q2", "l1", 0.5)
+	t.Set(female, "q2", "l1", 0.4)
+	t.Set(male, "q1", "l2", 0.9)
+	// female@q1,l2 and both@q2,l2 left undefined: completion fills 0.
+	return t
+}
+
+func TestInvertedOrderingAndAccess(t *testing.T) {
+	iv := newInverted([]Entry{{"a", 0.3}, {"b", 0.9}, {"c", 0.3}})
+	if iv.Len() != 3 {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	e0, ok := iv.At(0)
+	if !ok || e0.Key != "b" {
+		t.Fatalf("At(0) = %v, %v", e0, ok)
+	}
+	// Ties broken by key: a before c.
+	e1, _ := iv.At(1)
+	e2, _ := iv.At(2)
+	if e1.Key != "a" || e2.Key != "c" {
+		t.Fatalf("tie order: %v, %v", e1, e2)
+	}
+	if _, ok := iv.At(3); ok {
+		t.Fatal("At past end should fail")
+	}
+	if _, ok := iv.At(-1); ok {
+		t.Fatal("At(-1) should fail")
+	}
+	if v, ok := iv.Find("c"); !ok || v != 0.3 {
+		t.Fatalf("Find(c) = %v, %v", v, ok)
+	}
+	if _, ok := iv.Find("zzz"); ok {
+		t.Fatal("Find of absent key should fail")
+	}
+}
+
+func TestInvertedEntriesCopy(t *testing.T) {
+	iv := newInverted([]Entry{{"a", 1}, {"b", 2}})
+	es := iv.Entries()
+	es[0].Value = 99
+	if e, _ := iv.At(0); e.Value == 99 {
+		t.Fatal("Entries leaks internal slice")
+	}
+}
+
+func TestGroupIndexSortedByUnfairness(t *testing.T) {
+	gi := BuildGroupIndex(sampleTable())
+	iv := gi.Get("q1", "l1")
+	if iv == nil {
+		t.Fatal("missing list")
+	}
+	top, _ := iv.At(0)
+	if top.Key != "gender=Female" || top.Value != 0.8 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestGroupIndexCompletion(t *testing.T) {
+	gi := BuildGroupIndex(sampleTable())
+	// female@q1,l2 was undefined -> completed with 0.
+	iv := gi.Get("q1", "l2")
+	v, ok := iv.Find("gender=Female")
+	if !ok || v != 0 {
+		t.Fatalf("completed value = %v, %v", v, ok)
+	}
+	// Every list has every group.
+	for _, q := range gi.Queries {
+		for _, l := range gi.Locations {
+			if got := gi.Get(q, l).Len(); got != len(gi.GroupKeys) {
+				t.Fatalf("list (%s,%s) has %d entries, want %d", q, l, got, len(gi.GroupKeys))
+			}
+		}
+	}
+}
+
+func TestGroupIndexGroupResolution(t *testing.T) {
+	gi := BuildGroupIndex(sampleTable())
+	g, ok := gi.Group("gender=Male")
+	if !ok || g.Name() != "Male" {
+		t.Fatalf("Group = %v, %v", g, ok)
+	}
+	if _, ok := gi.Group("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestGroupIndexMissingPair(t *testing.T) {
+	gi := BuildGroupIndex(sampleTable())
+	if gi.Get("zzz", "l1") != nil {
+		t.Fatal("unknown pair should return nil")
+	}
+}
+
+func TestQueryIndex(t *testing.T) {
+	qi := BuildQueryIndex(sampleTable())
+	iv := qi.Get("gender=Male", "l1")
+	if iv == nil || iv.Len() != 2 {
+		t.Fatalf("list = %v", iv)
+	}
+	top, _ := iv.At(0)
+	if top.Key != "q2" || top.Value != 0.5 {
+		t.Fatalf("top query = %v", top)
+	}
+	// Completion: male@q2,l2 undefined -> 0.
+	if v, ok := qi.Get("gender=Male", "l2").Find("q2"); !ok || v != 0 {
+		t.Fatalf("completed = %v, %v", v, ok)
+	}
+}
+
+func TestLocationIndex(t *testing.T) {
+	li := BuildLocationIndex(sampleTable())
+	iv := li.Get("gender=Male", "q1")
+	if iv == nil || iv.Len() != 2 {
+		t.Fatalf("list = %v", iv)
+	}
+	top, _ := iv.At(0)
+	if top.Key != "l2" || top.Value != 0.9 {
+		t.Fatalf("top location = %v", top)
+	}
+}
+
+func TestIndexDimsSorted(t *testing.T) {
+	gi := BuildGroupIndex(sampleTable())
+	if len(gi.Queries) != 2 || gi.Queries[0] != "q1" {
+		t.Fatalf("Queries = %v", gi.Queries)
+	}
+	if len(gi.Locations) != 2 || gi.Locations[0] != "l1" {
+		t.Fatalf("Locations = %v", gi.Locations)
+	}
+	if len(gi.GroupKeys) != 2 || gi.GroupKeys[0] != "gender=Female" {
+		t.Fatalf("GroupKeys = %v", gi.GroupKeys)
+	}
+}
+
+// Property: for random tables, every posting list has identical membership
+// (the completion invariant), entries sorted by descending value, and
+// random access agrees with sorted access.
+func TestIndexInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, ng, nq, nl uint8) bool {
+		rng := stats.NewRNG(seed)
+		tbl := core.NewTable()
+		g := int(ng%6) + 1
+		q := int(nq%5) + 1
+		l := int(nl%5) + 1
+		for gi := 0; gi < g; gi++ {
+			grp := core.NewGroup(core.Predicate{Attr: "g", Value: fmt.Sprintf("g%d", gi)})
+			for qi := 0; qi < q; qi++ {
+				for li := 0; li < l; li++ {
+					if rng.Bernoulli(0.7) { // sparse on purpose
+						tbl.Set(grp, core.Query(fmt.Sprintf("q%d", qi)), core.Location(fmt.Sprintf("l%d", li)), rng.Float64())
+					}
+				}
+			}
+		}
+		if tbl.Len() == 0 {
+			return true
+		}
+		gi := BuildGroupIndex(tbl)
+		for _, qq := range gi.Queries {
+			for _, ll := range gi.Locations {
+				iv := gi.Get(qq, ll)
+				if iv == nil || iv.Len() != len(gi.GroupKeys) {
+					return false
+				}
+				prev := 2.0
+				for pos := 0; pos < iv.Len(); pos++ {
+					e, ok := iv.At(pos)
+					if !ok || e.Value > prev {
+						return false
+					}
+					prev = e.Value
+					if v, ok := iv.Find(e.Key); !ok || v != e.Value {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package labeling simulates the crowdsourced demographic-labeling step of
+// the paper's pipeline (§5.1.1): tasker demographics were not available on
+// the platform, so each profile picture was labeled by three Amazon
+// Mechanical Turk contributors choosing from pre-defined gender and
+// ethnicity categories, with a majority vote deciding the final label.
+//
+// The simulation reproduces the pipeline position and its failure modes:
+// contributors sometimes mislabel or abstain, and a photo without a
+// majority gets the Unknown label, excluding the worker from every
+// demographic group downstream — exactly what happens to unlabeled
+// workers in the real pipeline.
+package labeling
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// Unknown is the label recorded when the contributor majority vote fails.
+// It is deliberately outside every schema domain, so workers labeled
+// Unknown match no demographic group.
+const Unknown = "Unknown"
+
+// Subject is one profile to label: the ground truth is what the photo
+// actually shows; the labeler output is what the F-Box will see.
+type Subject struct {
+	ID        string
+	PhotoID   string
+	Gender    string
+	Ethnicity string
+}
+
+// Config parameterizes the simulated AMT labeling task.
+type Config struct {
+	// Seed makes labeling deterministic.
+	Seed uint64
+	// Contributors per photo; the paper used 3.
+	Contributors int
+	// ErrorRate is the chance a contributor picks a wrong value for an
+	// attribute (uniformly among the other domain values).
+	ErrorRate float64
+	// AbstainRate is the chance a contributor cannot tell and abstains
+	// for an attribute.
+	AbstainRate float64
+	// GenderDomain and EthnicityDomain are the pre-defined categories
+	// contributors choose from; defaults match the paper's task.
+	GenderDomain    []string
+	EthnicityDomain []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Contributors == 0 {
+		c.Contributors = 3
+	}
+	if c.GenderDomain == nil {
+		c.GenderDomain = []string{"Male", "Female"}
+	}
+	if c.EthnicityDomain == nil {
+		c.EthnicityDomain = []string{"Asian", "Black", "White"}
+	}
+	return c
+}
+
+// DefaultConfig returns the labeling setup used by the experiment
+// pipeline: 3 contributors, 4% per-attribute error, 3% abstention.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, Contributors: 3, ErrorRate: 0.04, AbstainRate: 0.03}
+}
+
+// Labeler runs the simulated labeling task.
+type Labeler struct {
+	cfg Config
+}
+
+// New builds a Labeler.
+func New(cfg Config) *Labeler {
+	return &Labeler{cfg: cfg.withDefaults()}
+}
+
+// vote returns contributor k's vote for one attribute of a photo, or ""
+// for an abstention. Votes are deterministic in (seed, photo, contributor,
+// attribute).
+func (l *Labeler) vote(photoID, attr, truth string, domain []string, k int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", l.cfg.Seed, photoID, attr, k)
+	r := stats.NewRNG(h.Sum64())
+	if r.Bernoulli(l.cfg.AbstainRate) {
+		return ""
+	}
+	if r.Bernoulli(l.cfg.ErrorRate) {
+		others := make([]string, 0, len(domain)-1)
+		for _, v := range domain {
+			if v != truth {
+				others = append(others, v)
+			}
+		}
+		if len(others) == 0 {
+			return truth
+		}
+		return others[r.Intn(len(others))]
+	}
+	return truth
+}
+
+// majority tallies votes and returns the winner, or Unknown when no value
+// reaches a strict majority of the contributor count.
+func (l *Labeler) majority(photoID, attr, truth string, domain []string) string {
+	counts := make(map[string]int, len(domain))
+	for k := 0; k < l.cfg.Contributors; k++ {
+		if v := l.vote(photoID, attr, truth, domain, k); v != "" {
+			counts[v]++
+		}
+	}
+	need := l.cfg.Contributors/2 + 1
+	for _, v := range domain {
+		if counts[v] >= need {
+			return v
+		}
+	}
+	return Unknown
+}
+
+// Label returns the observed demographic assignment for one subject.
+func (l *Labeler) Label(s Subject) core.Assignment {
+	return core.Assignment{
+		"gender":    l.majority(s.PhotoID, "gender", s.Gender, l.cfg.GenderDomain),
+		"ethnicity": l.majority(s.PhotoID, "ethnicity", s.Ethnicity, l.cfg.EthnicityDomain),
+	}
+}
+
+// LabelAll labels every subject, returning observed assignments by
+// subject ID.
+func (l *Labeler) LabelAll(subjects []Subject) map[string]core.Assignment {
+	out := make(map[string]core.Assignment, len(subjects))
+	for _, s := range subjects {
+		out[s.ID] = l.Label(s)
+	}
+	return out
+}
+
+// Accuracy reports the fraction of subjects whose observed label matches
+// ground truth on both attributes — a quality metric for the simulated
+// task, analogous to the inter-annotator checks run on real AMT batches.
+func Accuracy(subjects []Subject, labels map[string]core.Assignment) float64 {
+	if len(subjects) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range subjects {
+		obs := labels[s.ID]
+		if obs["gender"] == s.Gender && obs["ethnicity"] == s.Ethnicity {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(subjects))
+}
+
+// Relabel returns copies of the rankings with worker attributes replaced
+// by observed labels. Workers without an entry in labels keep their
+// original attributes. The originals are not modified — the ground-truth
+// crawl stays available for validation.
+func Relabel(rankings []*core.MarketplaceRanking, labels map[string]core.Assignment) []*core.MarketplaceRanking {
+	out := make([]*core.MarketplaceRanking, len(rankings))
+	for i, r := range rankings {
+		nr := &core.MarketplaceRanking{Query: r.Query, Location: r.Location, Workers: make([]core.RankedWorker, len(r.Workers))}
+		copy(nr.Workers, r.Workers)
+		for j := range nr.Workers {
+			if obs, ok := labels[nr.Workers[j].ID]; ok {
+				nr.Workers[j].Attrs = obs.Clone()
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}

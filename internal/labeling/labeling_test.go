@@ -1,0 +1,144 @@
+package labeling
+
+import (
+	"fmt"
+	"testing"
+
+	"fairjob/internal/core"
+)
+
+func subjects(n int) []Subject {
+	genders := []string{"Male", "Female"}
+	eths := []string{"Asian", "Black", "White"}
+	out := make([]Subject, n)
+	for i := range out {
+		out[i] = Subject{
+			ID:        fmt.Sprintf("w%04d", i),
+			PhotoID:   fmt.Sprintf("p%04d", i),
+			Gender:    genders[i%2],
+			Ethnicity: eths[i%3],
+		}
+	}
+	return out
+}
+
+func TestPerfectContributorsAreAlwaysRight(t *testing.T) {
+	l := New(Config{Seed: 1, ErrorRate: 0, AbstainRate: 0})
+	subs := subjects(200)
+	labels := l.LabelAll(subs)
+	if acc := Accuracy(subs, labels); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+}
+
+func TestDefaultConfigAccuracyHigh(t *testing.T) {
+	l := New(DefaultConfig(7))
+	subs := subjects(2000)
+	labels := l.LabelAll(subs)
+	acc := Accuracy(subs, labels)
+	// With 4% error and 3% abstention per contributor, majority voting
+	// should recover the truth for the overwhelming majority.
+	if acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+	if acc == 1 {
+		t.Fatal("accuracy exactly 1: noise not exercised")
+	}
+}
+
+func TestLabelingDeterminism(t *testing.T) {
+	subs := subjects(100)
+	a := New(DefaultConfig(42)).LabelAll(subs)
+	b := New(DefaultConfig(42)).LabelAll(subs)
+	for id, la := range a {
+		lb := b[id]
+		if la["gender"] != lb["gender"] || la["ethnicity"] != lb["ethnicity"] {
+			t.Fatalf("labels differ for %s: %v vs %v", id, la, lb)
+		}
+	}
+}
+
+func TestUnknownAppearsUnderHeavyNoise(t *testing.T) {
+	l := New(Config{Seed: 3, ErrorRate: 0.4, AbstainRate: 0.3})
+	subs := subjects(500)
+	labels := l.LabelAll(subs)
+	unknown := 0
+	for _, lab := range labels {
+		if lab["gender"] == Unknown || lab["ethnicity"] == Unknown {
+			unknown++
+		}
+	}
+	if unknown == 0 {
+		t.Fatal("heavy noise produced no Unknown labels")
+	}
+}
+
+func TestUnknownMatchesNoGroup(t *testing.T) {
+	attrs := core.Assignment{"gender": Unknown, "ethnicity": "Black"}
+	for _, g := range core.DefaultSchema().Universe() {
+		if _, ok := g.Label.ValueOf("gender"); ok && attrs.Matches(g.Label) {
+			t.Fatalf("Unknown gender matched group %s", g.Name())
+		}
+	}
+}
+
+func TestMajorityNeedsStrictMajority(t *testing.T) {
+	// With 2 contributors a single disagreement forces Unknown: strict
+	// majority of 2 requires both votes to agree.
+	l := New(Config{Seed: 5, Contributors: 2, ErrorRate: 0.5, AbstainRate: 0})
+	subs := subjects(300)
+	labels := l.LabelAll(subs)
+	unknown := 0
+	for _, lab := range labels {
+		if lab["gender"] == Unknown {
+			unknown++
+		}
+	}
+	// P(disagree) = 2·0.5·0.5 = 0.5 for the binary gender attribute.
+	if unknown < 50 {
+		t.Fatalf("expected frequent Unknowns with split votes, got %d/300", unknown)
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+}
+
+func TestRelabelPreservesOriginal(t *testing.T) {
+	orig := []*core.MarketplaceRanking{{
+		Query:    "q",
+		Location: "l",
+		Workers: []core.RankedWorker{
+			{ID: "w1", Attrs: core.Assignment{"gender": "Male", "ethnicity": "White"}, Rank: 1},
+			{ID: "w2", Attrs: core.Assignment{"gender": "Female", "ethnicity": "Black"}, Rank: 2},
+		},
+	}}
+	labels := map[string]core.Assignment{
+		"w1": {"gender": "Female", "ethnicity": Unknown},
+	}
+	relabeled := Relabel(orig, labels)
+	if relabeled[0].Workers[0].Attrs["gender"] != "Female" {
+		t.Fatal("relabel did not apply")
+	}
+	if relabeled[0].Workers[1].Attrs["gender"] != "Female" {
+		t.Fatal("worker without label should keep original attrs")
+	}
+	if orig[0].Workers[0].Attrs["gender"] != "Male" {
+		t.Fatal("original mutated")
+	}
+	// Mutating the relabeled copy must not touch the label map or orig.
+	relabeled[0].Workers[0].Attrs["gender"] = "X"
+	if labels["w1"]["gender"] != "Female" {
+		t.Fatal("relabel aliased the label map")
+	}
+}
+
+func TestLabelSingleSubject(t *testing.T) {
+	l := New(Config{Seed: 9, ErrorRate: 0, AbstainRate: 0})
+	got := l.Label(Subject{ID: "x", PhotoID: "px", Gender: "Female", Ethnicity: "Asian"})
+	if got["gender"] != "Female" || got["ethnicity"] != "Asian" {
+		t.Fatalf("Label = %v", got)
+	}
+}

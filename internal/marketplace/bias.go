@@ -1,0 +1,233 @@
+package marketplace
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+)
+
+// Gender and ethnicity values used across the simulation. They mirror the
+// pre-defined AMT labeling categories of §5.1.1.
+const (
+	Male   = "Male"
+	Female = "Female"
+
+	Asian = "Asian"
+	Black = "Black"
+	White = "White"
+)
+
+// Genders lists the gender domain.
+func Genders() []string { return []string{Male, Female} }
+
+// Ethnicities lists the ethnicity domain.
+func Ethnicities() []string { return []string{Asian, Black, White} }
+
+// GroupBias describes how discrimination hits members of one demographic
+// group. Rather than a uniform score shift — which would make every
+// group's score distribution a pure translation of every other's, and
+// translations telescope under the symmetric EMD measure — each member is
+// either hit deeply (pushed toward the bottom of result pages), hit
+// shallowly, or left alone. The mixture shape is what lets the calibrated
+// model reproduce the paper's Table 8 ordering, where both the most- and
+// least-favored groups sit at the extremes of measured unfairness.
+type GroupBias struct {
+	// DeepProb is the probability a member takes the deep penalty.
+	DeepProb float64
+	// DeepDepth is the deep score penalty before scaling.
+	DeepDepth float64
+	// ShallowProb is the probability of the shallow penalty instead.
+	ShallowProb float64
+	// ShallowDepth is the shallow score penalty before scaling.
+	ShallowDepth float64
+}
+
+// Expected returns the mean penalty of the mixture.
+func (b GroupBias) Expected() float64 {
+	return b.DeepProb*b.DeepDepth + b.ShallowProb*b.ShallowDepth
+}
+
+// BiasModel is the parameterized discrimination model of the simulator.
+// The effective penalty subtracted from a tasker's ranking score is
+//
+//	Strength · hit(u, group) · categoryBias · cityScale(cityBias)
+//
+// where u is the tasker's persistent uniform draw and hit is the group's
+// mixture. In cities flagged FemaleFavored the gender is flipped before
+// the group lookup (damped by FemaleFavoredDamping to keep the city's
+// total penalty mass comparable despite the 72/28 gender imbalance),
+// producing the paper's Table 12 reversal locations.
+type BiasModel struct {
+	// Strength is the global bias multiplier; 0 disables discrimination
+	// entirely (the "fair platform" null model used in tests).
+	Strength float64
+	// Groups maps "Gender/Ethnicity" to the group's penalty mixture.
+	Groups map[string]GroupBias
+	// RatingBias is how strongly group penalties contaminate consumer
+	// ratings (the consumer-feedback loop of Hannak et al. and
+	// Rosenblat et al. that the paper's introduction cites). Ratings
+	// feed back into ranking scores.
+	RatingBias float64
+	// FemaleFavoredDamping scales the female penalty depth relative to
+	// the male one in FemaleFavored cities (< 1 favors females).
+	FemaleFavoredDamping float64
+	// JobEthnicityBias replaces an ethnicity's penalty mixture on
+	// specific jobs: on "Event Decorating", Black workers take a deep
+	// Asian-like mixture. Pulling Black toward Asian on one job narrows
+	// the Black-Asian contrast there while widening both groups'
+	// distance to White, which is what makes the Lawn-Mowing-vs-
+	// Event-Decorating comparison reverse for White under EMD (the
+	// paper's Table 13) and for Black under exposure (Table 14).
+	JobEthnicityBias map[string]map[string]GroupBias
+	// JobBoost multiplies the penalty on specific jobs everywhere: Lawn
+	// Mowing is the most biased Yard Work job, keeping the Lawn-Mowing
+	// side of the Tables 13–14 comparison above Event Decorating under
+	// both measures.
+	JobBoost map[string]float64
+	// CityJobBoost multiplies the penalty for specific (job, city)
+	// pairs: the organizing jobs are disproportionately biased in the
+	// San Francisco Bay Area, producing the Table 15 reversal.
+	CityJobBoost map[string]map[string]float64
+}
+
+// GroupKey builds the Groups lookup key.
+func GroupKey(gender, ethnicity string) string {
+	return gender + "/" + ethnicity
+}
+
+// DefaultBiasModel returns the calibrated model used by the experiment
+// harness. Calibration targets the shape of the paper's Tables 8–15; see
+// EXPERIMENTS.md for the certified properties.
+func DefaultBiasModel() *BiasModel {
+	return &BiasModel{
+		Strength:             0.45,
+		RatingBias:           0.35,
+		FemaleFavoredDamping: 0.5,
+		JobEthnicityBias: map[string]map[string]GroupBias{
+			"Event Decorating": {
+				Black: {DeepProb: 0.85, DeepDepth: 0.55, ShallowProb: 0.08, ShallowDepth: 0.22},
+				Asian: {DeepProb: 0.52, DeepDepth: 0.50, ShallowProb: 0.20, ShallowDepth: 0.20},
+			},
+		},
+		JobBoost: map[string]float64{
+			"Lawn Mowing": 1.45,
+		},
+		CityJobBoost: map[string]map[string]float64{
+			"Back To Organized":    {"San Francisco Bay Area, CA": 2.5},
+			"Organize & Declutter": {"San Francisco Bay Area, CA": 2.8},
+			"Organize Closet":      {"San Francisco Bay Area, CA": 2.5},
+		},
+		Groups: map[string]GroupBias{
+			// Asian Female: almost everyone pushed to the page bottom.
+			GroupKey(Female, Asian): {DeepProb: 0.88, DeepDepth: 0.55, ShallowProb: 0.06, ShallowDepth: 0.22},
+			// Asian Male: pervasive but mostly shallow displacement.
+			GroupKey(Male, Asian): {DeepProb: 0.62, DeepDepth: 0.50, ShallowProb: 0.22, ShallowDepth: 0.21},
+			// Black Female: frequent shallow hits, occasional deep.
+			GroupKey(Female, Black): {DeepProb: 0.04, DeepDepth: 0.45, ShallowProb: 0.28, ShallowDepth: 0.13},
+			// Black Male: occasional shallow hits.
+			GroupKey(Male, Black): {DeepProb: 0.02, DeepDepth: 0.40, ShallowProb: 0.26, ShallowDepth: 0.11},
+			// White Female: rare, mild hits.
+			GroupKey(Female, White): {DeepProb: 0.02, DeepDepth: 0.35, ShallowProb: 0.18, ShallowDepth: 0.08},
+			// White Male: essentially untouched.
+			GroupKey(Male, White): {DeepProb: 0, DeepDepth: 0, ShallowProb: 0.05, ShallowDepth: 0.05},
+		},
+	}
+}
+
+// FairModel returns a null model with no discrimination, used as the
+// control in validation tests: with it, measured unfairness must hover
+// near the sampling-noise floor for every group.
+func FairModel() *BiasModel {
+	m := DefaultBiasModel()
+	m.Strength = 0
+	m.RatingBias = 0
+	return m
+}
+
+// effectiveParams resolves the (group params, depth damping) for a tasker
+// in a city. In FemaleFavored cities both genders take the (milder) male
+// penalty mixture of their ethnicity and females are additionally damped —
+// females end up treated *better* than comparable males there, without the
+// penalty-mass inflation a naive parameter swap would cause in a 72%-male
+// pool.
+func (m *BiasModel) effectiveParams(gender, ethnicity string, city City) (GroupBias, float64) {
+	g := gender
+	damp := 1.0
+	if city.FemaleFavored {
+		g = Male
+		if gender == Female {
+			damp = m.FemaleFavoredDamping
+		}
+	}
+	gb, ok := m.Groups[GroupKey(g, ethnicity)]
+	if !ok {
+		panic(fmt.Sprintf("marketplace: no bias entry for %s/%s", gender, ethnicity))
+	}
+	return gb, damp
+}
+
+// jobBias returns the mixture override for (job, ethnicity), if any.
+func (m *BiasModel) jobBias(job, ethnicity string) (GroupBias, bool) {
+	if byEth, ok := m.JobEthnicityBias[job]; ok {
+		gb, ok := byEth[ethnicity]
+		return gb, ok
+	}
+	return GroupBias{}, false
+}
+
+// JobCityBoost returns the penalty multiplier for a (job, city) pair,
+// including the job-wide boost (1 when no interaction is configured).
+func (m *BiasModel) JobCityBoost(job string, city core.Location) float64 {
+	boost := 1.0
+	if b, ok := m.JobBoost[job]; ok {
+		boost *= b
+	}
+	if byCity, ok := m.CityJobBoost[job]; ok {
+		if b, ok := byCity[string(city)]; ok {
+			boost *= b
+		}
+	}
+	return boost
+}
+
+// Hit returns the (pre-Strength-scaling) penalty depth for a tasker with
+// persistent uniform draw u and the given demographics in the given city.
+// It panics on demographics outside the schema, which indicates a
+// generation bug rather than data noise.
+func (m *BiasModel) Hit(u float64, gender, ethnicity string, city City) float64 {
+	return m.HitOnJob(u, gender, ethnicity, "", city)
+}
+
+// HitOnJob is Hit with the job-level ethnicity mixture override applied
+// (an empty job name skips overrides).
+func (m *BiasModel) HitOnJob(u float64, gender, ethnicity, job string, city City) float64 {
+	gb, damp := m.effectiveParams(gender, ethnicity, city)
+	if job != "" {
+		if override, ok := m.jobBias(job, ethnicity); ok {
+			gb = override
+		}
+	}
+	depth := 0.0
+	switch {
+	case u < gb.DeepProb:
+		depth = gb.DeepDepth
+	case u < gb.DeepProb+gb.ShallowProb:
+		depth = gb.ShallowDepth
+	}
+	return depth * damp
+}
+
+// ExpectedPenalty returns the mean mixture penalty for a group in a city,
+// used by the rating-contamination step.
+func (m *BiasModel) ExpectedPenalty(gender, ethnicity string, city City) float64 {
+	gb, damp := m.effectiveParams(gender, ethnicity, city)
+	return gb.Expected() * damp
+}
+
+// cityScale converts a city's bias intensity into the multiplicative
+// penalty scale; the 0.25 floor keeps some discrimination everywhere (the
+// paper found no perfectly fair location) while the 4× range separates
+// the fairest and unfairest cities sharply.
+func cityScale(bias float64) float64 {
+	return 0.25 + 0.75*bias
+}

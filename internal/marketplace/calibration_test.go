@@ -1,0 +1,362 @@
+package marketplace
+
+import (
+	"sort"
+	"testing"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/topk"
+)
+
+// crawlCache holds the unfairness tables of one full 5,361-query crawl per
+// measure; the shape tests below all read from it. These tests certify
+// the calibration targets of DESIGN.md §6 — the qualitative findings of
+// the paper's Tables 8–12 — against the synthetic marketplace.
+var crawlCache = map[core.MarketplaceMeasure]*core.Table{}
+
+func crawlTable(t *testing.T, measure core.MarketplaceMeasure) *core.Table {
+	t.Helper()
+	if tbl, ok := crawlCache[measure]; ok {
+		return tbl
+	}
+	m := New(Config{Seed: 7})
+	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: measure}
+	tbl := ev.EvaluateAll(m.CrawlAll(), nil)
+	crawlCache[measure] = tbl
+	return tbl
+}
+
+// groupRanking ranks groups by defined-only average unfairness — the
+// aggregation the paper's empirical tables use (see DESIGN.md §5 and the
+// experiment package).
+func groupRanking(t *testing.T, tbl *core.Table) []topk.Result {
+	t.Helper()
+	qs, ls := tbl.Queries(), tbl.Locations()
+	var res []topk.Result
+	for _, g := range tbl.Groups() {
+		if v, ok := tbl.AggregateGroup(g, qs, ls); ok {
+			res = append(res, topk.Result{Key: g.Key(), Value: v})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Value > res[j].Value })
+	return res
+}
+
+func nameOf(t *testing.T, tbl *core.Table, key string) string {
+	t.Helper()
+	g, ok := tbl.GroupByKey(key)
+	if !ok {
+		t.Fatalf("unknown group key %q", key)
+	}
+	return g.Name()
+}
+
+// categoryAverages aggregates query-level unfairness to the 8 categories
+// with defined-only semantics.
+func categoryAverages(tbl *core.Table) map[string]float64 {
+	gs, ls := tbl.Groups(), tbl.Locations()
+	out := make(map[string]float64)
+	for _, cat := range Categories() {
+		var sum float64
+		var n int
+		for _, q := range QueriesOf(cat) {
+			for _, g := range gs {
+				for _, l := range ls {
+					if v, ok := tbl.Get(g, q, l); ok {
+						sum += v
+						n++
+					}
+				}
+			}
+		}
+		out[cat.Name] = sum / float64(n)
+	}
+	return out
+}
+
+func locationRanking(t *testing.T, tbl *core.Table) []topk.Result {
+	t.Helper()
+	gs, qs := tbl.Groups(), tbl.Queries()
+	var res []topk.Result
+	for _, l := range tbl.Locations() {
+		if v, ok := tbl.AggregateLocation(l, gs, qs); ok {
+			res = append(res, topk.Result{Key: string(l), Value: v})
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Value > res[j].Value })
+	return res
+}
+
+func rankOf(results []topk.Result, key string) int {
+	for i, r := range results {
+		if r.Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexOfString(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTable8GroupShape asserts the paper's Table 8 shape: the Asian groups
+// are the most discriminated against — Asian Female first under both
+// measures — females fare worse than males within each ethnicity under
+// EMD, and White Male is the fairest full group. (Known divergence,
+// recorded in EXPERIMENTS.md: under exposure our dense pages rank
+// beneficiary groups — White, White Male — higher than the paper's sparse
+// crawl did, and the paper's BM-above-WF ordering inverts under EMD.)
+func TestTable8GroupShape(t *testing.T) {
+	for _, measure := range []core.MarketplaceMeasure{core.MeasureEMD, core.MeasureExposure} {
+		tbl := crawlTable(t, measure)
+		res := groupRanking(t, tbl)
+		if len(res) != 11 {
+			t.Fatalf("%v: %d groups ranked, want 11", measure, len(res))
+		}
+		names := make([]string, len(res))
+		for i, r := range res {
+			names[i] = nameOf(t, tbl, r.Key)
+			t.Logf("%v %-14s %.3f", measure, names[i], r.Value)
+		}
+		if measure == core.MeasureEMD {
+			if names[0] != "Asian Female" {
+				t.Errorf("EMD: most unfair = %s, want Asian Female", names[0])
+			}
+		} else {
+			// Under exposure the "Asian" aggregate can edge out Asian
+			// Female (it also collects the pages where only Asian Males
+			// appear); the certified shape is that Asian Female is in
+			// the top 2 and an Asian group tops the ranking.
+			if pos := indexOfString(names, "Asian Female"); pos > 1 {
+				t.Errorf("exposure: Asian Female ranked %d, want top 2", pos)
+			}
+			if names[0] != "Asian" && names[0] != "Asian Female" && names[0] != "Asian Male" {
+				t.Errorf("exposure: most unfair = %s, want an Asian group", names[0])
+			}
+		}
+		if pos := indexOfString(names, "Asian Male"); pos > 3 {
+			t.Errorf("%v: Asian Male ranked %d, want top 4", measure, pos)
+		}
+		if pos := indexOfString(names, "Asian"); pos > 3 {
+			t.Errorf("%v: Asian ranked %d, want top 4", measure, pos)
+		}
+		if measure == core.MeasureEMD {
+			if indexOfString(names, "Black Female") > indexOfString(names, "Black Male") {
+				t.Errorf("EMD: Black Female should rank above Black Male")
+			}
+			if indexOfString(names, "White Female") > indexOfString(names, "White Male") {
+				t.Errorf("EMD: White Female should rank above White Male")
+			}
+			if indexOfString(names, "Asian Female") > indexOfString(names, "Asian Male") {
+				t.Errorf("EMD: Asian Female should rank above Asian Male")
+			}
+			// White Male is the fairest of the six full groups.
+			wm := indexOfString(names, "White Male")
+			for _, full := range []string{"Asian Female", "Asian Male", "Black Female", "Black Male", "White Female"} {
+				if indexOfString(names, full) > wm {
+					t.Errorf("EMD: %s ranked below White Male", full)
+				}
+			}
+		}
+	}
+}
+
+// TestTable9CategoryShape asserts Table 9's shape: Handyman and Yard Work
+// are the most unfair categories, Delivery and Furniture Assembly the
+// fairest, under both measures.
+func TestTable9CategoryShape(t *testing.T) {
+	for _, measure := range []core.MarketplaceMeasure{core.MeasureEMD, core.MeasureExposure} {
+		avgs := categoryAverages(crawlTable(t, measure))
+		type kv struct {
+			name string
+			v    float64
+		}
+		var ranked []kv
+		for name, v := range avgs {
+			ranked = append(ranked, kv{name, v})
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+		names := make([]string, len(ranked))
+		for i, r := range ranked {
+			names[i] = r.name
+			t.Logf("%v %-18s %.3f", measure, r.name, r.v)
+		}
+		if top := names[0]; top != "Handyman" && top != "Yard Work" {
+			t.Errorf("%v: most unfair category = %s, want Handyman or Yard Work", measure, top)
+		}
+		if indexOfString(names, "Handyman") > 1 {
+			t.Errorf("%v: Handyman not in top 2", measure)
+		}
+		if pos := indexOfString(names, "Delivery"); pos < 5 {
+			t.Errorf("%v: Delivery ranked %d, want among the 3 fairest", measure, pos)
+		}
+		if pos := indexOfString(names, "Furniture Assembly"); pos < 5 {
+			t.Errorf("%v: Furniture Assembly ranked %d, want among the 3 fairest", measure, pos)
+		}
+	}
+}
+
+// TestTables10And11LocationShape asserts the location shape: Birmingham UK
+// and Oklahoma City among the least fair, Chicago and San Francisco among
+// the fairest. EMD separates the top cities sharply; exposure compresses
+// them, so its bound is looser.
+func TestTables10And11LocationShape(t *testing.T) {
+	for _, measure := range []core.MarketplaceMeasure{core.MeasureEMD, core.MeasureExposure} {
+		res := locationRanking(t, crawlTable(t, measure))
+		keys := make([]string, len(res))
+		for i, r := range res {
+			keys[i] = r.Key
+		}
+		t.Logf("%v unfairest locations: %v", measure, keys[:10])
+		t.Logf("%v fairest locations: %v", measure, keys[len(keys)-10:])
+		topBound, okcBound := 2, 3
+		if measure == core.MeasureExposure {
+			topBound, okcBound = 9, 9
+		}
+		if got := rankOf(res, "Birmingham, UK"); got > topBound {
+			t.Errorf("%v: Birmingham ranked %d, want within top %d least fair", measure, got, topBound+1)
+		}
+		if got := rankOf(res, "Oklahoma City, OK"); got > okcBound {
+			t.Errorf("%v: Oklahoma City ranked %d, want within top %d least fair", measure, got, okcBound+1)
+		}
+		n := len(res)
+		if got := rankOf(res, "Chicago, IL"); got < n-5 {
+			t.Errorf("%v: Chicago ranked %d of %d, want among 5 fairest", measure, got, n)
+		}
+		if got := rankOf(res, "San Francisco, CA"); got < n-5 {
+			t.Errorf("%v: San Francisco ranked %d of %d, want among 5 fairest", measure, got, n)
+		}
+	}
+}
+
+// TestTable12GenderComparison asserts the paper's Table 12: overall,
+// females are treated less fairly than males under exposure, and the
+// comparison reverses (equalizes) exactly at the FemaleFavored cities.
+func TestTable12GenderComparison(t *testing.T) {
+	tbl := crawlTable(t, core.MeasureExposure)
+	cmp, err := compare.NewDefinedOnly(tbl).Groups(
+		core.NewGroup(core.Predicate{Attr: "gender", Value: "Male"}).Key(),
+		core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}).Key(),
+		compare.ByLocation, compare.Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overall: male %.4f female %.4f", cmp.Overall1, cmp.Overall2)
+	if cmp.Overall1 >= cmp.Overall2 {
+		t.Fatalf("overall: males (%.4f) should be treated more fairly than females (%.4f)",
+			cmp.Overall1, cmp.Overall2)
+	}
+	reversed := make(map[string]bool, len(cmp.Reversed))
+	for _, b := range cmp.Reversed {
+		reversed[b.B] = true
+		t.Logf("reversal at %s: male %.4f female %.4f", b.B, b.V1, b.V2)
+	}
+	var wantFF []string
+	for _, c := range Cities() {
+		if c.FemaleFavored {
+			wantFF = append(wantFF, string(c.Name))
+		}
+	}
+	for _, ff := range wantFF {
+		if !reversed[ff] {
+			t.Errorf("FemaleFavored city %s missing from reversal set", ff)
+		}
+	}
+	if len(cmp.Reversed) > len(wantFF)+3 {
+		t.Errorf("reversal set too large: %d locations (FF cities: %d)", len(cmp.Reversed), len(wantFF))
+	}
+}
+
+func ethnicityKeys() []string {
+	return []string{
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "Asian"}).Key(),
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "Black"}).Key(),
+		core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "White"}).Key(),
+	}
+}
+
+// TestTables13And14JobComparison asserts the shape of Tables 13–14: Lawn
+// Mowing is less fair than Event Decorating overall, but for White workers
+// the EMD comparison reverses (Table 13) while under exposure the reversal
+// shows for Black workers (Table 14) — the measure disagreement the paper
+// flags for future investigation.
+func TestTables13And14JobComparison(t *testing.T) {
+	white := core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "White"}).Key()
+	black := core.NewGroup(core.Predicate{Attr: "ethnicity", Value: "Black"}).Key()
+	for _, tc := range []struct {
+		measure  core.MarketplaceMeasure
+		mustFlip string
+	}{
+		{core.MeasureEMD, white},
+		{core.MeasureExposure, black},
+	} {
+		tbl := crawlTable(t, tc.measure)
+		cmp, err := compare.NewDefinedOnly(tbl).Queries(
+			"Lawn Mowing", "Event Decorating", compare.ByGroup,
+			compare.Scope{Groups: ethnicityKeys()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v overall: Lawn Mowing %.3f Event Decorating %.3f", tc.measure, cmp.Overall1, cmp.Overall2)
+		for _, b := range cmp.All {
+			g, _ := tbl.GroupByKey(b.B)
+			t.Logf("%v %-6s LM %.3f ED %.3f reversed=%v", tc.measure, g.Name(), b.V1, b.V2, b.Reversed)
+		}
+		if cmp.Overall1 <= cmp.Overall2 {
+			t.Errorf("%v: Lawn Mowing (%.3f) should be less fair than Event Decorating (%.3f) overall",
+				tc.measure, cmp.Overall1, cmp.Overall2)
+		}
+		found := false
+		for _, b := range cmp.Reversed {
+			if b.B == tc.mustFlip {
+				found = true
+			}
+		}
+		if !found {
+			g, _ := tbl.GroupByKey(tc.mustFlip)
+			t.Errorf("%v: expected reversal for %s", tc.measure, g.Name())
+		}
+	}
+}
+
+// TestTable15LocationComparison asserts Table 15's shape: the San
+// Francisco Bay Area is fairer than Chicago across General Cleaning jobs,
+// except for the three organizing jobs, where the trend inverts.
+func TestTable15LocationComparison(t *testing.T) {
+	tbl := crawlTable(t, core.MeasureEMD)
+	gc, _ := CategoryByName("General Cleaning")
+	cmp, err := compare.NewDefinedOnly(tbl).Locations(
+		"San Francisco Bay Area, CA", "Chicago, IL", compare.ByQuery,
+		compare.Scope{Queries: QueriesOf(gc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overall: SF Bay %.3f Chicago %.3f", cmp.Overall1, cmp.Overall2)
+	if cmp.Overall1 >= cmp.Overall2 {
+		t.Errorf("SF Bay (%.3f) should be fairer than Chicago (%.3f) overall", cmp.Overall1, cmp.Overall2)
+	}
+	reversed := map[string]bool{}
+	for _, b := range cmp.All {
+		if b.Reversed {
+			reversed[b.B] = true
+		}
+		t.Logf("%-20s SF Bay %.3f Chicago %.3f reversed=%v", b.B, b.V1, b.V2, b.Reversed)
+	}
+	for _, job := range []string{"Back To Organized", "Organize & Declutter", "Organize Closet"} {
+		if !reversed[job] {
+			t.Errorf("expected reversal for %q", job)
+		}
+	}
+	for _, job := range []string{"Home Cleaning", "Carpet Cleaning", "Kitchen Cleaning"} {
+		if reversed[job] {
+			t.Errorf("unexpected reversal for %q", job)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package marketplace implements the TaskRabbit-like substrate of the case
+// study (§5.1.1): 56 cities, a job taxonomy of 8 categories fanned into
+// ~96 concrete job queries, a pool of 3,311 taskers with the crawled
+// dataset's demographic mix, and a parameterized biased scoring model that
+// ranks taskers per (job, city) query.
+//
+// The paper crawled this data from the live site; we synthesize it. The
+// bias model's group/job/location intensities are calibrated so that the
+// *shape* of the paper's findings reproduces — who is most discriminated
+// against, which jobs and locations are least fair — while every code path
+// of the fairness framework is exercised exactly as it would be on a real
+// crawl. See DESIGN.md §2 for the substitution rationale.
+package marketplace
+
+import (
+	"fairjob/internal/core"
+)
+
+// City describes one market the platform operates in.
+type City struct {
+	Name    core.Location
+	Country string
+	// Weight is the relative tasker-population size used when
+	// distributing the pool across cities.
+	Weight float64
+	// Bias is the location's discrimination intensity in [0, 1]; it
+	// scales the group penalty applied by the scoring model. The values
+	// are calibrated to the ordering of the paper's Tables 10–11.
+	Bias float64
+	// FemaleFavored marks markets where the gender component of the
+	// bias is inverted (females ranked above comparable males) — the
+	// phenomenon behind the paper's Table 12 reversal locations.
+	FemaleFavored bool
+}
+
+// Cities returns the 56 markets of the simulation. The first 28 are the
+// cities the paper names; the rest fill out TaskRabbit's 56-city coverage.
+func Cities() []City {
+	return []City{
+		// The ten least fair locations of Table 10, in order.
+		{Name: "Birmingham, UK", Country: "UK", Weight: 1.0, Bias: 1.00},
+		{Name: "Oklahoma City, OK", Country: "US", Weight: 1.0, Bias: 0.97},
+		{Name: "Bristol, UK", Country: "UK", Weight: 1.0, Bias: 0.92},
+		{Name: "Manchester, UK", Country: "UK", Weight: 1.0, Bias: 0.88},
+		{Name: "New Haven, CT", Country: "US", Weight: 1.0, Bias: 0.84},
+		{Name: "Milwaukee, WI", Country: "US", Weight: 1.0, Bias: 0.82},
+		{Name: "Memphis, TN", Country: "US", Weight: 1.0, Bias: 0.81},
+		{Name: "Indianapolis, IN", Country: "US", Weight: 1.0, Bias: 0.80},
+		{Name: "Nashville, TN", Country: "US", Weight: 1.0, Bias: 0.78, FemaleFavored: true},
+		{Name: "Detroit, MI", Country: "US", Weight: 1.0, Bias: 0.77},
+		// The ten fairest locations of Table 11, in order.
+		{Name: "Chicago, IL", Country: "US", Weight: 1.0, Bias: 0.22, FemaleFavored: true},
+		{Name: "San Francisco, CA", Country: "US", Weight: 1.0, Bias: 0.08},
+		{Name: "Washington, DC", Country: "US", Weight: 1.0, Bias: 0.12},
+		{Name: "Los Angeles, CA", Country: "US", Weight: 1.0, Bias: 0.17},
+		{Name: "Boston, MA", Country: "US", Weight: 1.0, Bias: 0.16},
+		{Name: "Atlanta, GA", Country: "US", Weight: 1.0, Bias: 0.20},
+		{Name: "Houston, TX", Country: "US", Weight: 1.0, Bias: 0.22},
+		{Name: "Orlando, FL", Country: "US", Weight: 1.0, Bias: 0.24},
+		{Name: "Philadelphia, PA", Country: "US", Weight: 1.0, Bias: 0.26},
+		{Name: "San Diego, CA", Country: "US", Weight: 1.0, Bias: 0.27},
+		// Other cities the paper mentions.
+		{Name: "New York City, NY", Country: "US", Weight: 1.0, Bias: 0.45},
+		{Name: "London, UK", Country: "UK", Weight: 1.0, Bias: 0.62},
+		{Name: "Charlotte, NC", Country: "US", Weight: 1.0, Bias: 0.58, FemaleFavored: true},
+		{Name: "Norfolk, VA", Country: "US", Weight: 1.0, Bias: 0.52, FemaleFavored: true},
+		{Name: "St. Louis, MO", Country: "US", Weight: 1.0, Bias: 0.55, FemaleFavored: true},
+		{Name: "Salt Lake City, UT", Country: "US", Weight: 1.0, Bias: 0.66},
+		{Name: "San Francisco Bay Area, CA", Country: "US", Weight: 1.0, Bias: 0.02, FemaleFavored: true},
+		{Name: "Pittsburgh, PA", Country: "US", Weight: 1.0, Bias: 0.50},
+		// Fill to TaskRabbit's 56-city footprint.
+		{Name: "Seattle, WA", Country: "US", Weight: 1.0, Bias: 0.33},
+		{Name: "Portland, OR", Country: "US", Weight: 1.0, Bias: 0.35},
+		{Name: "Denver, CO", Country: "US", Weight: 1.0, Bias: 0.38},
+		{Name: "Austin, TX", Country: "US", Weight: 1.0, Bias: 0.39},
+		{Name: "Dallas, TX", Country: "US", Weight: 1.0, Bias: 0.47},
+		{Name: "Phoenix, AZ", Country: "US", Weight: 1.0, Bias: 0.53},
+		{Name: "Miami, FL", Country: "US", Weight: 1.0, Bias: 0.44},
+		{Name: "Tampa, FL", Country: "US", Weight: 1.0, Bias: 0.56},
+		{Name: "Minneapolis, MN", Country: "US", Weight: 1.0, Bias: 0.42},
+		{Name: "Kansas City, MO", Country: "US", Weight: 1.0, Bias: 0.60},
+		{Name: "Columbus, OH", Country: "US", Weight: 1.0, Bias: 0.59},
+		{Name: "Cleveland, OH", Country: "US", Weight: 1.0, Bias: 0.63},
+		{Name: "Cincinnati, OH", Country: "US", Weight: 1.0, Bias: 0.61},
+		{Name: "Baltimore, MD", Country: "US", Weight: 1.0, Bias: 0.57},
+		{Name: "Richmond, VA", Country: "US", Weight: 1.0, Bias: 0.64},
+		{Name: "Raleigh, NC", Country: "US", Weight: 1.0, Bias: 0.54},
+		{Name: "Sacramento, CA", Country: "US", Weight: 1.0, Bias: 0.48},
+		{Name: "San Jose, CA", Country: "US", Weight: 1.0, Bias: 0.37},
+		{Name: "Las Vegas, NV", Country: "US", Weight: 1.0, Bias: 0.65},
+		{Name: "Albuquerque, NM", Country: "US", Weight: 1.0, Bias: 0.67},
+		{Name: "Tucson, AZ", Country: "US", Weight: 1.0, Bias: 0.68},
+		{Name: "Omaha, NE", Country: "US", Weight: 1.0, Bias: 0.70},
+		{Name: "Louisville, KY", Country: "US", Weight: 1.0, Bias: 0.69},
+		{Name: "Jacksonville, FL", Country: "US", Weight: 1.0, Bias: 0.71},
+		{Name: "New Orleans, LA", Country: "US", Weight: 1.0, Bias: 0.72},
+		{Name: "Buffalo, NY", Country: "US", Weight: 1.0, Bias: 0.73},
+		{Name: "Rochester, NY", Country: "US", Weight: 1.0, Bias: 0.74},
+		{Name: "Hartford, CT", Country: "US", Weight: 1.0, Bias: 0.75},
+	}
+}
+
+// CityByName returns the city with the given location name.
+func CityByName(name core.Location) (City, bool) {
+	for _, c := range Cities() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return City{}, false
+}

@@ -1,0 +1,270 @@
+package marketplace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// DefaultPoolSize is the total tasker supply across the 56 cities
+// (132 per city). It is deliberately larger than the paper's 3,311
+// *unique taskers appearing in result pages*: with supply above the
+// 50-worker page cap, heavily penalized workers fall off the page
+// entirely, and that truncation is the mechanism behind several of the
+// paper's aggregate phenomena (pages missing one gender, discriminated
+// groups absent from the pages their beneficiaries are measured on).
+// See DESIGN.md §2.
+const DefaultPoolSize = 56 * 132
+
+// DefaultPageSize is the result-page cap; TaskRabbit returned at most 50
+// taskers per query (§5.1.1).
+const DefaultPageSize = 50
+
+// PaperQueryCount is the number of (job, location) queries the paper
+// crawled; the simulator's offer matrix is trimmed to exactly this size.
+const PaperQueryCount = 5361
+
+// Config parameterizes the marketplace simulation.
+type Config struct {
+	// Seed drives all generation; equal seeds give identical markets.
+	Seed uint64
+	// NumTaskers defaults to DefaultPoolSize.
+	NumTaskers int
+	// PageSize defaults to DefaultPageSize.
+	PageSize int
+	// Bias defaults to DefaultBiasModel().
+	Bias *BiasModel
+	// Shares defaults to DefaultShares().
+	Shares *PopulationShares
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTaskers == 0 {
+		c.NumTaskers = DefaultPoolSize
+	}
+	if c.PageSize == 0 {
+		c.PageSize = DefaultPageSize
+	}
+	if c.Bias == nil {
+		c.Bias = DefaultBiasModel()
+	}
+	if c.Shares == nil {
+		s := DefaultShares()
+		c.Shares = &s
+	}
+	return c
+}
+
+// Offer is one crawlable (job, city) query.
+type Offer struct {
+	Job  core.Query
+	City core.Location
+}
+
+// Marketplace is the simulated TaskRabbit instance: a tasker pool plus a
+// biased scoring function used to rank taskers per (job, city) query.
+type Marketplace struct {
+	cfg     Config
+	Taskers []*Tasker
+	byCity  map[core.Location][]*Tasker
+	byID    map[string]*Tasker
+	offers  []Offer
+}
+
+// New builds a marketplace. Generation is fully deterministic in
+// cfg.Seed.
+func New(cfg Config) *Marketplace {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	m := &Marketplace{
+		cfg:    cfg,
+		byCity: make(map[core.Location][]*Tasker),
+		byID:   make(map[string]*Tasker),
+	}
+	m.Taskers = generatePool(rng, cfg.NumTaskers, *cfg.Shares)
+	for _, t := range m.Taskers {
+		m.byCity[t.City] = append(m.byCity[t.City], t)
+		m.byID[t.ID] = t
+	}
+	m.assignRatings(rng)
+	m.offers = buildOffers()
+	return m
+}
+
+// assignRatings derives consumer ratings from quality with a
+// bias-contaminated component: the consumer-rating feedback loop the
+// paper's introduction describes as a bias amplifier.
+func (m *Marketplace) assignRatings(rng *stats.RNG) {
+	for _, t := range m.Taskers {
+		city, _ := CityByName(t.City)
+		penalty := m.cfg.Bias.ExpectedPenalty(t.Gender, t.Ethnicity, city)
+		// No per-tasker noise here: like the other generated attributes,
+		// ratings are deterministic given quality and city so that
+		// cross-city unfairness differences reflect bias intensity, not
+		// rating luck (see stratifyQuality).
+		raw := 3.2 + 1.8*t.Quality -
+			m.cfg.Bias.RatingBias*penalty*city.Bias
+		t.Rating = stats.Clamp(raw, 1, 5)
+	}
+}
+
+// buildOffers enumerates all (job, city) pairs and trims the set to
+// exactly PaperQueryCount by dropping the pairs with the smallest content
+// hashes — a deterministic stand-in for the handful of jobs TaskRabbit
+// did not offer in every city.
+func buildOffers() []Offer {
+	var all []Offer
+	for _, city := range Cities() {
+		for _, job := range AllJobs() {
+			all = append(all, Offer{Job: job, City: city.Name})
+		}
+	}
+	if len(all) <= PaperQueryCount {
+		return all
+	}
+	sort.Slice(all, func(i, j int) bool {
+		hi := offerHash(all[i])
+		hj := offerHash(all[j])
+		if hi != hj {
+			return hi < hj
+		}
+		if all[i].City != all[j].City {
+			return all[i].City < all[j].City
+		}
+		return all[i].Job < all[j].Job
+	})
+	trimmed := all[len(all)-PaperQueryCount:]
+	sort.Slice(trimmed, func(i, j int) bool {
+		if trimmed[i].City != trimmed[j].City {
+			return trimmed[i].City < trimmed[j].City
+		}
+		return trimmed[i].Job < trimmed[j].Job
+	})
+	return trimmed
+}
+
+func offerHash(o Offer) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(o.Job))
+	h.Write([]byte{0})
+	h.Write([]byte(o.City))
+	return h.Sum64()
+}
+
+// Offers returns the crawlable (job, city) queries — exactly
+// PaperQueryCount of them.
+func (m *Marketplace) Offers() []Offer {
+	return append([]Offer(nil), m.offers...)
+}
+
+// TaskerByID resolves a tasker.
+func (m *Marketplace) TaskerByID(id string) (*Tasker, bool) {
+	t, ok := m.byID[id]
+	return t, ok
+}
+
+// Score returns the platform's ranking score f_q^l(w) for a tasker on a
+// given (job, city) query: a quality/rating/track-record composite minus
+// the discrimination penalty, plus per-query noise. Deterministic in
+// (seed, tasker, job, city).
+func (m *Marketplace) Score(t *Tasker, job core.Query, cityName core.Location) float64 {
+	city, ok := CityByName(cityName)
+	if !ok {
+		panic(fmt.Sprintf("marketplace: unknown city %q", cityName))
+	}
+	cat, ok := CategoryOf(job)
+	if !ok {
+		panic(fmt.Sprintf("marketplace: unknown job %q", job))
+	}
+	base := 0.55*t.Quality +
+		0.25*(t.Rating-1)/4 +
+		0.20*math.Min(float64(t.Completed)/400, 1)
+	penalty := m.cfg.Bias.Strength *
+		m.cfg.Bias.HitOnJob(t.BiasU, t.Gender, t.Ethnicity, string(job), city) *
+		cat.Bias * cityScale(city.Bias) *
+		m.cfg.Bias.JobCityBoost(string(job), cityName)
+	noise := m.queryNoise(t.ID, job, cityName)
+	return stats.Clamp(base-penalty+noise, 0, 1)
+}
+
+// queryNoise is small deterministic per-(tasker, job, city) noise so that
+// rankings differ across jobs within a category.
+func (m *Marketplace) queryNoise(id string, job core.Query, city core.Location) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s", m.cfg.Seed, id, job, city)
+	r := stats.NewRNG(h.Sum64())
+	return r.Normal(0, 0.015)
+}
+
+// RunQuery executes one (job, city) query: all taskers of the city serving
+// the job's category, ranked by descending score, capped at the page
+// size. Worker attributes carry ground-truth demographics; use
+// labeling.Relabel to substitute observed (AMT-style) labels.
+func (m *Marketplace) RunQuery(job core.Query, cityName core.Location) *core.MarketplaceRanking {
+	cat, ok := CategoryOf(job)
+	if !ok {
+		panic(fmt.Sprintf("marketplace: unknown job %q", job))
+	}
+	type scored struct {
+		t *Tasker
+		s float64
+	}
+	city, _ := CityByName(cityName)
+	jobIdx := cat.JobIndex(job)
+	var candidates []scored
+	for _, t := range m.byCity[cityName] {
+		if t.ServesCategory(cat.Name) && servesJob(t, cat, jobIdx, city) {
+			candidates = append(candidates, scored{t, m.Score(t, job, cityName)})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].s != candidates[j].s {
+			return candidates[i].s > candidates[j].s
+		}
+		return candidates[i].t.ID < candidates[j].t.ID
+	})
+	if len(candidates) > m.cfg.PageSize {
+		candidates = candidates[:m.cfg.PageSize]
+	}
+	r := &core.MarketplaceRanking{Query: job, Location: cityName}
+	for i, c := range candidates {
+		r.Workers = append(r.Workers, core.RankedWorker{
+			ID:    c.t.ID,
+			Attrs: c.t.Attrs(),
+			Rank:  i + 1,
+			Score: c.s,
+		})
+	}
+	return r
+}
+
+// servesJob decides whether a tasker serving a category offers one
+// specific job of it. Males offer every job of their categories. In the
+// male-skewed categories, women skip a fixed third of the jobs, so those
+// job pages have no women at all. That page-level absence is what makes
+// the defined-only gender aggregates asymmetric (the paper's Table 12:
+// males average in many zero-unfairness pages women never appear on,
+// ending up "treated less unfairly" overall). In FemaleFavored cities
+// women work every job, pages always include both genders, and the
+// per-page gender unfairness values — which are provably equal whenever
+// both genders appear — equalize the aggregate: the reversal the paper
+// reports for exactly those locations.
+func servesJob(t *Tasker, cat Category, jobIdx int, city City) bool {
+	if t.Gender == Male || !maleSkewedCategories[cat.Name] || city.FemaleFavored {
+		return true
+	}
+	return jobIdx%3 != 0
+}
+
+// CrawlAll runs every offered query — the paper's 5,361-query crawl.
+func (m *Marketplace) CrawlAll() []*core.MarketplaceRanking {
+	out := make([]*core.MarketplaceRanking, 0, len(m.offers))
+	for _, o := range m.offers {
+		out = append(out, m.RunQuery(o.Job, o.City))
+	}
+	return out
+}

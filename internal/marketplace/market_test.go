@@ -1,0 +1,384 @@
+package marketplace
+
+import (
+	"math"
+	"testing"
+
+	"fairjob/internal/core"
+)
+
+func TestCitiesCount(t *testing.T) {
+	cities := Cities()
+	if len(cities) != 56 {
+		t.Fatalf("cities = %d, want 56 (the paper's TaskRabbit footprint)", len(cities))
+	}
+	seen := map[core.Location]bool{}
+	for _, c := range cities {
+		if seen[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Bias < 0 || c.Bias > 1 {
+			t.Errorf("city %q bias %v out of [0,1]", c.Name, c.Bias)
+		}
+	}
+}
+
+func TestCityByName(t *testing.T) {
+	c, ok := CityByName("Birmingham, UK")
+	if !ok || c.Country != "UK" {
+		t.Fatalf("CityByName = %+v, %v", c, ok)
+	}
+	if _, ok := CityByName("Gotham"); ok {
+		t.Fatal("unknown city resolved")
+	}
+}
+
+func TestTaxonomy(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 8 {
+		t.Fatalf("categories = %d, want 8 (Table 9)", len(cats))
+	}
+	jobs := AllJobs()
+	if len(jobs) != 96 {
+		t.Fatalf("jobs = %d, want 96 (8 categories × 12 jobs)", len(jobs))
+	}
+	seen := map[core.Query]bool{}
+	for _, j := range jobs {
+		if seen[j] {
+			t.Errorf("duplicate job %q", j)
+		}
+		seen[j] = true
+	}
+	cat, ok := CategoryOf("Lawn Mowing")
+	if !ok || cat.Name != "Yard Work" {
+		t.Fatalf("CategoryOf(Lawn Mowing) = %v, %v", cat.Name, ok)
+	}
+	if _, ok := CategoryOf("Rocket Surgery"); ok {
+		t.Fatal("unknown job categorized")
+	}
+	if _, ok := CategoryByName("Delivery"); !ok {
+		t.Fatal("CategoryByName failed")
+	}
+	if idx := cat.JobIndex("Lawn Mowing"); idx != 1 {
+		t.Fatalf("JobIndex = %d", idx)
+	}
+	if idx := cat.JobIndex("Handyman"); idx != -1 {
+		t.Fatalf("JobIndex of foreign job = %d", idx)
+	}
+	if got := len(QueriesOf(cat)); got != 12 {
+		t.Fatalf("QueriesOf = %d", got)
+	}
+}
+
+func TestOffersMatchPaperQueryCount(t *testing.T) {
+	m := New(Config{Seed: 1})
+	offers := m.Offers()
+	if len(offers) != PaperQueryCount {
+		t.Fatalf("offers = %d, want %d", len(offers), PaperQueryCount)
+	}
+	seen := map[Offer]bool{}
+	for _, o := range offers {
+		if seen[o] {
+			t.Errorf("duplicate offer %+v", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestPoolSizeAndQuotas(t *testing.T) {
+	m := New(Config{Seed: 1})
+	if len(m.Taskers) != DefaultPoolSize {
+		t.Fatalf("pool = %d, want %d", len(m.Taskers), DefaultPoolSize)
+	}
+	// Demographic shares match Figures 7–8 (~72% male, ~66% white).
+	var males, white, asian int
+	for _, tk := range m.Taskers {
+		if tk.Gender == Male {
+			males++
+		}
+		switch tk.Ethnicity {
+		case White:
+			white++
+		case Asian:
+			asian++
+		}
+	}
+	n := float64(len(m.Taskers))
+	if share := float64(males) / n; math.Abs(share-0.72) > 0.02 {
+		t.Errorf("male share = %v, want ≈0.72", share)
+	}
+	if share := float64(white) / n; math.Abs(share-0.66) > 0.02 {
+		t.Errorf("white share = %v, want ≈0.66", share)
+	}
+	if share := float64(asian) / n; math.Abs(share-0.14) > 0.02 {
+		t.Errorf("asian share = %v, want ≈0.14", share)
+	}
+}
+
+func TestEveryCityCoversEveryFullGroup(t *testing.T) {
+	m := New(Config{Seed: 1})
+	counts := map[core.Location]map[string]int{}
+	for _, tk := range m.Taskers {
+		if counts[tk.City] == nil {
+			counts[tk.City] = map[string]int{}
+		}
+		counts[tk.City][tk.Gender+"/"+tk.Ethnicity]++
+	}
+	for _, c := range Cities() {
+		for _, g := range Genders() {
+			for _, e := range Ethnicities() {
+				if counts[c.Name][g+"/"+e] == 0 {
+					t.Errorf("city %s has no %s/%s taskers", c.Name, g, e)
+				}
+			}
+		}
+	}
+}
+
+func TestMarketplaceDeterminism(t *testing.T) {
+	a := New(Config{Seed: 42})
+	b := New(Config{Seed: 42})
+	ra := a.RunQuery("Home Cleaning", "San Francisco, CA")
+	rb := b.RunQuery("Home Cleaning", "San Francisco, CA")
+	if len(ra.Workers) != len(rb.Workers) {
+		t.Fatalf("page sizes differ: %d vs %d", len(ra.Workers), len(rb.Workers))
+	}
+	for i := range ra.Workers {
+		if ra.Workers[i].ID != rb.Workers[i].ID || ra.Workers[i].Score != rb.Workers[i].Score {
+			t.Fatalf("rank %d differs: %+v vs %+v", i+1, ra.Workers[i], rb.Workers[i])
+		}
+	}
+	// Different seeds produce different rankings.
+	c := New(Config{Seed: 43})
+	rc := c.RunQuery("Home Cleaning", "San Francisco, CA")
+	same := true
+	for i := range ra.Workers {
+		if i >= len(rc.Workers) || ra.Workers[i].ID != rc.Workers[i].ID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical ranking")
+	}
+}
+
+func TestRunQueryPageProperties(t *testing.T) {
+	m := New(Config{Seed: 5})
+	for _, o := range m.Offers()[:200] {
+		r := m.RunQuery(o.Job, o.City)
+		if len(r.Workers) == 0 {
+			t.Fatalf("empty page for %+v", o)
+		}
+		if len(r.Workers) > DefaultPageSize {
+			t.Fatalf("page exceeds cap: %d", len(r.Workers))
+		}
+		prev := math.Inf(1)
+		for i, w := range r.Workers {
+			if w.Rank != i+1 {
+				t.Fatalf("rank %d at position %d", w.Rank, i)
+			}
+			if w.Score > prev {
+				t.Fatalf("scores not descending at rank %d", w.Rank)
+			}
+			prev = w.Score
+			if w.Score < 0 || w.Score > 1 {
+				t.Fatalf("score %v out of [0,1]", w.Score)
+			}
+		}
+	}
+}
+
+func TestFairModelControl(t *testing.T) {
+	// With the null bias model, group unfairness must sit near the
+	// sampling-noise floor and far below the biased model's top values.
+	fair := New(Config{Seed: 7, Bias: FairModel()})
+	biased := New(Config{Seed: 7})
+	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureEMD}
+	af := core.NewGroup(core.Predicate{Attr: "gender", Value: "Female"}, core.Predicate{Attr: "ethnicity", Value: "Asian"})
+
+	avg := func(m *Marketplace) float64 {
+		var sum float64
+		var n int
+		for _, o := range m.Offers()[:300] {
+			if v, ok := ev.Unfairness(m.RunQuery(o.Job, o.City), af); ok {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	fairAvg, biasedAvg := avg(fair), avg(biased)
+	if fairAvg >= biasedAvg {
+		t.Fatalf("fair model (%v) not fairer than biased model (%v)", fairAvg, biasedAvg)
+	}
+	if biasedAvg < fairAvg*1.3 {
+		t.Fatalf("bias signal too weak: fair %v vs biased %v", fairAvg, biasedAvg)
+	}
+}
+
+func TestBiasModelHitMixture(t *testing.T) {
+	m := DefaultBiasModel()
+	city, _ := CityByName("Birmingham, UK")
+	af := m.Groups[GroupKey(Female, Asian)]
+	// u below DeepProb takes the deep depth.
+	if got := m.Hit(af.DeepProb/2, Female, Asian, city); got != af.DeepDepth {
+		t.Fatalf("deep hit = %v, want %v", got, af.DeepDepth)
+	}
+	// u in the shallow band takes the shallow depth.
+	if got := m.Hit(af.DeepProb+af.ShallowProb/2, Female, Asian, city); got != af.ShallowDepth {
+		t.Fatalf("shallow hit = %v, want %v", got, af.ShallowDepth)
+	}
+	// u above both bands is untouched.
+	if got := m.Hit(0.999, Female, Asian, city); got != 0 {
+		t.Fatalf("clean hit = %v, want 0", got)
+	}
+}
+
+func TestFemaleFavoredCityRelievesWomen(t *testing.T) {
+	m := DefaultBiasModel()
+	ff, _ := CityByName("Chicago, IL")
+	if !ff.FemaleFavored {
+		t.Fatal("Chicago should be FemaleFavored")
+	}
+	normal, _ := CityByName("Detroit, MI")
+	// In an FF city a woman's expected penalty is below a comparable
+	// man's, and below her own penalty in a normal city.
+	wFF := m.ExpectedPenalty(Female, Asian, ff)
+	mFF := m.ExpectedPenalty(Male, Asian, ff)
+	wNormal := m.ExpectedPenalty(Female, Asian, normal)
+	if wFF >= mFF {
+		t.Fatalf("FF city: female penalty %v !< male %v", wFF, mFF)
+	}
+	if wFF >= wNormal {
+		t.Fatalf("FF city female penalty %v !< normal-city %v", wFF, wNormal)
+	}
+}
+
+func TestBiasModelPanicsOnUnknownGroup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultBiasModel().Hit(0.5, "Robot", Asian, Cities()[0])
+}
+
+func TestServesJobRule(t *testing.T) {
+	handyman, _ := CategoryByName("Handyman")
+	delivery, _ := CategoryByName("Delivery")
+	ff, _ := CityByName("Chicago, IL")
+	normal, _ := CityByName("Detroit, MI")
+	man := &Tasker{Gender: Male}
+	woman := &Tasker{Gender: Female, CatMemberIdx: map[string]int{}}
+
+	// Men serve every job everywhere.
+	for j := 0; j < 12; j++ {
+		if !servesJob(man, handyman, j, normal) {
+			t.Fatalf("man excluded from handyman job %d", j)
+		}
+	}
+	// Women skip every third job of male-skewed categories in normal
+	// cities but serve everything in FF cities and in other categories.
+	for j := 0; j < 12; j++ {
+		want := j%3 != 0
+		if got := servesJob(woman, handyman, j, normal); got != want {
+			t.Fatalf("woman handyman job %d = %v, want %v", j, got, want)
+		}
+		if !servesJob(woman, handyman, j, ff) {
+			t.Fatalf("woman excluded from FF handyman job %d", j)
+		}
+		if !servesJob(woman, delivery, j, normal) {
+			t.Fatalf("woman excluded from delivery job %d", j)
+		}
+	}
+}
+
+func TestFemaleAbsentPagesExistOutsideFFCities(t *testing.T) {
+	m := New(Config{Seed: 7})
+	absentByCity := map[core.Location]int{}
+	for _, o := range m.Offers() {
+		r := m.RunQuery(o.Job, o.City)
+		females := 0
+		for _, w := range r.Workers {
+			if w.Attrs["gender"] == Female {
+				females++
+			}
+		}
+		if females == 0 {
+			absentByCity[o.City]++
+		}
+	}
+	if len(absentByCity) == 0 {
+		t.Fatal("no female-absent pages anywhere; Table 12 mechanism broken")
+	}
+	for _, c := range Cities() {
+		if c.FemaleFavored && absentByCity[c.Name] > 0 {
+			t.Errorf("FF city %s has %d female-absent pages", c.Name, absentByCity[c.Name])
+		}
+		if !c.FemaleFavored && absentByCity[c.Name] == 0 {
+			t.Errorf("normal city %s has no female-absent pages", c.Name)
+		}
+	}
+}
+
+func TestScorePanicsOnUnknownInputs(t *testing.T) {
+	m := New(Config{Seed: 1})
+	tk := m.Taskers[0]
+	for name, f := range map[string]func(){
+		"unknown city": func() { m.Score(tk, "Handyman", "Gotham") },
+		"unknown job":  func() { m.Score(tk, "Rocket Surgery", tk.City) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTaskerAccessors(t *testing.T) {
+	m := New(Config{Seed: 1})
+	tk := m.Taskers[0]
+	if got, ok := m.TaskerByID(tk.ID); !ok || got != tk {
+		t.Fatal("TaskerByID failed")
+	}
+	if _, ok := m.TaskerByID("nope"); ok {
+		t.Fatal("unknown tasker resolved")
+	}
+	attrs := tk.Attrs()
+	if attrs["gender"] != tk.Gender || attrs["ethnicity"] != tk.Ethnicity {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+	if len(tk.Categories) != taskerCategories {
+		t.Fatalf("categories = %d", len(tk.Categories))
+	}
+	if !tk.ServesCategory(tk.Categories[0]) || tk.ServesCategory("Nonsense") {
+		t.Fatal("ServesCategory misbehaves")
+	}
+	if tk.Rating < 1 || tk.Rating > 5 {
+		t.Fatalf("rating = %v", tk.Rating)
+	}
+	if tk.Quality < 0 || tk.Quality > 1 {
+		t.Fatalf("quality = %v", tk.Quality)
+	}
+}
+
+func TestCrawlAllCoversOffers(t *testing.T) {
+	m := New(Config{Seed: 3})
+	crawl := m.CrawlAll()
+	if len(crawl) != PaperQueryCount {
+		t.Fatalf("crawl = %d rankings, want %d", len(crawl), PaperQueryCount)
+	}
+}
+
+func TestGroupBiasExpected(t *testing.T) {
+	gb := GroupBias{DeepProb: 0.5, DeepDepth: 0.4, ShallowProb: 0.2, ShallowDepth: 0.1}
+	if got := gb.Expected(); math.Abs(got-0.22) > 1e-12 {
+		t.Fatalf("Expected = %v, want 0.22", got)
+	}
+}

@@ -1,0 +1,340 @@
+package marketplace
+
+import (
+	"fmt"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// Tasker is one worker on the marketplace. Gender and Ethnicity are the
+// ground-truth demographics of the simulated person; the labeling package
+// derives the (possibly noisy) observed labels the F-Box actually sees,
+// mirroring the paper's AMT photo-labeling step.
+type Tasker struct {
+	ID        string
+	City      core.Location
+	Gender    string
+	Ethnicity string
+	// Quality is the tasker's intrinsic job quality in [0, 1] —
+	// unobservable in reality, used by the scoring model and by
+	// validation tests that check measured unfairness against known
+	// ground truth.
+	Quality float64
+	// Rating is the consumer rating in [1, 5]. It is partially
+	// contaminated by group bias (BiasModel.RatingBias), modelling the
+	// consumer-sourced feedback loop of Hannak et al. and Rosenblat et
+	// al. that the paper's introduction cites.
+	Rating float64
+	// Completed is the number of completed tasks.
+	Completed int
+	// HourlyRate in USD.
+	HourlyRate float64
+	// Elite marks the platform's quality badge.
+	Elite bool
+	// Categories are the job-category names the tasker serves.
+	Categories []string
+	// PhotoID identifies the profile picture shown to AMT labelers.
+	PhotoID string
+	// CatMemberIdx is the tasker's deterministic index among the members
+	// of their (city, full group) serving each category, assigned by
+	// stratifyCategories and used by the per-job serving rule.
+	CatMemberIdx map[string]int
+	// BiasU is the tasker's persistent uniform draw deciding which
+	// branch of their group's penalty mixture they fall into (see
+	// BiasModel.Hit). Persisting it keeps a tasker's treatment
+	// consistent across queries while letting FemaleFavored cities
+	// re-evaluate the mixture under the flipped gender.
+	BiasU float64
+}
+
+// ServesCategory reports whether the tasker offers jobs in the named
+// category.
+func (t *Tasker) ServesCategory(name string) bool {
+	for _, c := range t.Categories {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs returns the tasker's ground-truth protected attributes as a core
+// assignment.
+func (t *Tasker) Attrs() core.Assignment {
+	return core.Assignment{"gender": t.Gender, "ethnicity": t.Ethnicity}
+}
+
+// PopulationShares is the demographic mix of the generated pool, matching
+// the crawled dataset's Figures 7–8 (≈72% male, ≈66% white).
+type PopulationShares struct {
+	MaleShare      float64
+	EthnicityShare map[string]float64
+}
+
+// DefaultShares returns the paper's crawl demographics.
+func DefaultShares() PopulationShares {
+	return PopulationShares{
+		MaleShare:      0.72,
+		EthnicityShare: map[string]float64{White: 0.66, Black: 0.20, Asian: 0.14},
+	}
+}
+
+// categoryAffinity returns the relative propensity of a gender for a
+// category, encoding the occupational segregation visible in the crawled
+// data (men over-represented in moving/handyman work, women in cleaning
+// and event staffing). These asymmetries are what create result pages
+// missing one gender entirely, which in turn drive the defined-only
+// aggregate differences of Table 12.
+func categoryAffinity(gender, category string) float64 {
+	// Explicit serving-share tables per gender (each sums to 3.0, the
+	// number of categories every tasker serves). The skew encodes the
+	// occupational segregation of the crawled data (men in handyman and
+	// yard work, women in cleaning and event staffing); the two tables
+	// are balanced so every category draws a near-equal total candidate
+	// pool, keeping page-cap truncation uniform across categories —
+	// otherwise large categories would have their displaced workers
+	// censored off-page and measure spuriously fair.
+	male := map[string]float64{
+		"Handyman": 0.42, "Yard Work": 0.415, "Moving": 0.405,
+		"Delivery": 0.385, "Run Errands": 0.38, "Furniture Assembly": 0.375,
+		"Event Staffing": 0.325, "General Cleaning": 0.32,
+	}
+	female := map[string]float64{
+		"General Cleaning": 0.46, "Event Staffing": 0.44,
+		"Furniture Assembly": 0.40, "Run Errands": 0.38,
+		"Delivery": 0.37, "Moving": 0.34, "Yard Work": 0.31,
+		"Handyman": 0.30,
+	}
+	if gender == Male {
+		return male[category]
+	}
+	return female[category]
+}
+
+// generatePool creates n taskers distributed over the cities by weight,
+// deterministic in rng. Within each city the demographic composition is
+// an exact quota realization of the population shares (largest-remainder
+// over the six full groups) rather than an i.i.d. draw: the paper compares
+// cities against each other, and per-city sampling luck in minority counts
+// would otherwise swamp the location-bias signal the comparison is after.
+func generatePool(rng *stats.RNG, n int, shares PopulationShares) []*Tasker {
+	cities := Cities()
+	weights := make([]float64, len(cities))
+	var totalW float64
+	for i, c := range cities {
+		weights[i] = c.Weight
+		totalW += c.Weight
+	}
+	counts := apportion(n, weights, totalW)
+
+	catNames := make([]string, 0, 8)
+	for _, c := range Categories() {
+		catNames = append(catNames, c.Name)
+	}
+
+	var pool []*Tasker
+	id := 0
+	for ci, city := range cities {
+		cityTaskers := make([]*Tasker, 0, counts[ci])
+		for _, q := range groupQuotas(counts[ci], shares) {
+			for k := 0; k < q.count; k++ {
+				cityTaskers = append(cityTaskers, newTasker(rng, id, city, q.gender, q.eth, catNames))
+				id++
+			}
+		}
+		stratifyBiasU(cityTaskers)
+		stratifyCategories(cityTaskers, catNames)
+		stratifyQuality(cityTaskers)
+		pool = append(pool, cityTaskers...)
+	}
+	return pool
+}
+
+// apportion distributes n across weights with the largest-remainder
+// method, deterministically.
+func apportion(n int, weights []float64, totalW float64) []int {
+	counts := make([]int, len(weights))
+	assigned := 0
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	for i := range weights {
+		exact := float64(n) * weights[i] / totalW
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	for assigned < n {
+		best := -1
+		for j, r := range rems {
+			if r.i < 0 {
+				continue
+			}
+			if best < 0 || r.frac > rems[best].frac {
+				best = j
+			}
+		}
+		counts[rems[best].i]++
+		rems[best].i = -1
+		assigned++
+	}
+	return counts
+}
+
+type groupQuota struct {
+	gender, eth string
+	count       int
+}
+
+// groupQuotas converts population shares into exact per-group counts for a
+// city of the given size.
+func groupQuotas(cityN int, shares PopulationShares) []groupQuota {
+	var quotas []groupQuota
+	var weights []float64
+	for _, gender := range Genders() {
+		gShare := shares.MaleShare
+		if gender == Female {
+			gShare = 1 - shares.MaleShare
+		}
+		for _, eth := range Ethnicities() {
+			quotas = append(quotas, groupQuota{gender: gender, eth: eth})
+			weights = append(weights, gShare*shares.EthnicityShare[eth])
+		}
+	}
+	counts := apportion(cityN, weights, stats.Sum(weights))
+	for i := range quotas {
+		quotas[i].count = counts[i]
+	}
+	return quotas
+}
+
+// stratifyBiasU replaces the i.i.d. uniform mixture draws with stratified
+// ones: within each (city, full group) the draws are evenly spaced over
+// [0, 1]. The group's penalty mixture is then realized near-exactly in
+// every city instead of by small-sample luck, which keeps a city's
+// measured unfairness driven by its bias intensity rather than by which
+// handful of minority taskers it happened to get. Members are sorted by
+// ID first so the assignment is deterministic.
+func stratifyBiasU(cityTaskers []*Tasker) {
+	byGroup := make(map[string][]*Tasker)
+	for _, t := range cityTaskers {
+		key := t.Gender + "/" + t.Ethnicity
+		byGroup[key] = append(byGroup[key], t)
+	}
+	for _, members := range byGroup {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		n := float64(len(members))
+		for i, t := range members {
+			t.BiasU = (float64(i) + 0.5) / n
+		}
+	}
+}
+
+// stratifyQuality deterministically re-draws quality and completed-task
+// counts within each (city, full group) as exact quantile realizations of
+// their distributions (with decorrelated orderings), for the same reason
+// as stratifyBiasU: with identical group compositions everywhere, a
+// city's measured unfairness reflects its bias intensity, not which
+// taskers it happened to draw.
+func stratifyQuality(cityTaskers []*Tasker) {
+	byGroup := make(map[string][]*Tasker)
+	for _, t := range cityTaskers {
+		key := t.Gender + "/" + t.Ethnicity
+		byGroup[key] = append(byGroup[key], t)
+	}
+	for _, members := range byGroup {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		n := len(members)
+		for i, t := range members {
+			z := stats.InvNorm((float64(i) + 0.5) / float64(n))
+			t.Quality = stats.Clamp(0.62+0.07*z, 0.05, 0.98)
+			// A coprime stride decorrelates completed-task counts from
+			// quality while keeping the marginal distribution exact.
+			j := (i*5 + 2) % n
+			zc := stats.InvNorm((float64(j) + 0.5) / float64(n))
+			t.Completed = int(stats.Clamp(120+90*zc, 0, 600))
+		}
+	}
+}
+
+// taskerCategories is the number of job categories every tasker serves.
+const taskerCategories = 3
+
+// stratifyCategories deterministically reassigns the categories served
+// within each (city, full group): members take turns picking the category
+// with the lowest assigned-count-to-affinity ratio. Every city then
+// realizes the same gender-affinity pattern, so cross-city differences in
+// measured unfairness reflect the cities' bias intensities rather than
+// category-serving luck — the same rationale as stratifyBiasU.
+func stratifyCategories(cityTaskers []*Tasker, catNames []string) {
+	byGroup := make(map[string][]*Tasker)
+	for _, t := range cityTaskers {
+		key := t.Gender + "/" + t.Ethnicity
+		byGroup[key] = append(byGroup[key], t)
+	}
+	for _, members := range byGroup {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		assigned := make(map[string]float64, len(catNames))
+		serveIdx := make(map[string]int, len(catNames))
+		for _, t := range members {
+			t.Categories = t.Categories[:0]
+			t.CatMemberIdx = make(map[string]int, taskerCategories)
+			taken := make(map[string]bool, taskerCategories)
+			for k := 0; k < taskerCategories; k++ {
+				bestCat := ""
+				bestRatio := 0.0
+				for _, c := range catNames {
+					if taken[c] {
+						continue
+					}
+					w := categoryAffinity(t.Gender, c)
+					ratio := (assigned[c] + 1) / w
+					if bestCat == "" || ratio < bestRatio {
+						bestCat, bestRatio = c, ratio
+					}
+				}
+				taken[bestCat] = true
+				t.Categories = append(t.Categories, bestCat)
+				t.CatMemberIdx[bestCat] = serveIdx[bestCat]
+				serveIdx[bestCat]++
+				assigned[bestCat]++
+			}
+		}
+	}
+}
+
+func newTasker(rng *stats.RNG, id int, city City, gender, eth string, catNames []string) *Tasker {
+	t := &Tasker{
+		ID:        fmt.Sprintf("tr-%05d", id),
+		City:      city.Name,
+		Gender:    gender,
+		Ethnicity: eth,
+		Quality:   stats.Clamp(rng.Normal(0.62, 0.07), 0.05, 0.98),
+		PhotoID:   fmt.Sprintf("photo-%05d", id),
+		BiasU:     rng.Float64(),
+	}
+	// Tenure drives completed tasks; a Zipf-ish long tail of veterans.
+	t.Completed = int(stats.Clamp(rng.Normal(120, 90), 0, 600))
+	t.HourlyRate = stats.Clamp(rng.Normal(38, 12), 12, 120)
+	t.Elite = t.Quality > 0.75 && rng.Bernoulli(0.5)
+
+	// Serve 2–4 categories, chosen by gender affinity without repeats.
+	nCats := 2 + rng.Intn(3)
+	weights := make([]float64, len(catNames))
+	for i, c := range catNames {
+		weights[i] = categoryAffinity(gender, c)
+	}
+	for len(t.Categories) < nCats {
+		i := rng.Pick(weights)
+		if weights[i] == 0 {
+			continue
+		}
+		t.Categories = append(t.Categories, catNames[i])
+		weights[i] = 0
+	}
+	return t
+}

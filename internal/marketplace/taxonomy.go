@@ -1,0 +1,131 @@
+package marketplace
+
+import "fairjob/internal/core"
+
+// Category is one of the eight job categories the paper's Table 9 ranks.
+// Each category fans out into concrete job queries — the paper's 5,361
+// queries are (job, location) combinations, while its Table 9 aggregates
+// unfairness per category.
+type Category struct {
+	Name string
+	// Bias is the category's discrimination intensity in [0, 1],
+	// calibrated to the EMD ordering of Table 9 (Handyman most unfair,
+	// Delivery/Furniture Assembly fairest).
+	Bias float64
+	Jobs []string
+}
+
+// Categories returns the eight job categories with their concrete jobs.
+func Categories() []Category {
+	return []Category{
+		{Name: "Handyman", Bias: 1.00, Jobs: []string{
+			"Handyman", "Hang Pictures", "Mount TV", "Fix Leaky Faucet",
+			"Install Shelves", "Door Repair", "Light Fixture Installation",
+			"Window Repair", "Drywall Patching", "Fence Repair",
+			"Deck Repair", "Caulking",
+		}},
+		{Name: "Yard Work", Bias: 0.92, Jobs: []string{
+			"Yard Work", "Lawn Mowing", "Garage Cleaning", "Patio Painting",
+			"Leaf Raking", "Weed Removal", "Hedge Trimming",
+			"Garden Planting", "Gutter Cleaning", "Snow Removal",
+			"Mulching", "Pressure Washing",
+		}},
+		{Name: "Event Staffing", Bias: 0.78, Jobs: []string{
+			"Event Staffing", "Event Decorating", "Bartending Help",
+			"Party Setup", "Party Cleanup", "Coat Check", "Ticket Scanning",
+			"Catering Help", "Wait Staff", "Photo Booth Attendant",
+			"Greeter", "Usher",
+		}},
+		{Name: "General Cleaning", Bias: 0.70, Jobs: []string{
+			"General Cleaning", "Home Cleaning", "Office Cleaning",
+			"Private Cleaning", "Deep Cleaning", "Move Out Cleaning",
+			"Back To Organized", "Organize & Declutter", "Organize Closet",
+			"Window Cleaning", "Carpet Cleaning", "Kitchen Cleaning",
+		}},
+		{Name: "Moving", Bias: 0.55, Jobs: []string{
+			"Moving Job", "Help Moving", "Packing Services",
+			"Unpacking Services", "Loading Help", "Heavy Lifting",
+			"Furniture Moving", "Storage Unit Help", "Truck Loading",
+			"Apartment Move", "Office Move", "Piano Moving",
+		}},
+		{Name: "Furniture Assembly", Bias: 0.42, Jobs: []string{
+			"Furniture Assembly", "IKEA Assembly", "Desk Assembly",
+			"Bookshelf Assembly", "Bed Frame Assembly", "Wardrobe Assembly",
+			"Crib Assembly", "Table Assembly", "Chair Assembly",
+			"Dresser Assembly", "Outdoor Furniture Assembly",
+			"Office Furniture Assembly",
+		}},
+		{Name: "Run Errands", Bias: 0.50, Jobs: []string{
+			"Run Errand", "Errand Service", "Wait In Line",
+			"Post Office Run", "Dry Cleaning Pickup", "Bank Errand",
+			"Gift Shopping", "Pet Supply Run", "Car Wash Run",
+			"Prescription Run", "Library Return", "Senior Errands",
+		}},
+		{Name: "Delivery", Bias: 0.38, Jobs: []string{
+			"Delivery", "Courier Service", "Grocery Delivery",
+			"Food Delivery", "Package Pickup", "Furniture Delivery",
+			"Appliance Delivery", "Document Delivery", "Flower Delivery",
+			"Pharmacy Pickup", "Laundry Pickup", "Return Items",
+		}},
+	}
+}
+
+// CategoryOf returns the category a concrete job query belongs to.
+func CategoryOf(job core.Query) (Category, bool) {
+	for _, cat := range Categories() {
+		for _, j := range cat.Jobs {
+			if core.Query(j) == job {
+				return cat, true
+			}
+		}
+	}
+	return Category{}, false
+}
+
+// CategoryByName returns the category with the given name.
+func CategoryByName(name string) (Category, bool) {
+	for _, cat := range Categories() {
+		if cat.Name == name {
+			return cat, true
+		}
+	}
+	return Category{}, false
+}
+
+// AllJobs returns every concrete job query across all categories.
+func AllJobs() []core.Query {
+	var out []core.Query
+	for _, cat := range Categories() {
+		for _, j := range cat.Jobs {
+			out = append(out, core.Query(j))
+		}
+	}
+	return out
+}
+
+// QueriesOf returns the concrete job queries of a category as core.Query
+// values, for scoping quantification and comparison runs to a category.
+func QueriesOf(cat Category) []core.Query {
+	out := make([]core.Query, len(cat.Jobs))
+	for i, j := range cat.Jobs {
+		out[i] = core.Query(j)
+	}
+	return out
+}
+
+// JobIndex returns the position of a job within its category's job list,
+// or -1 when the job is not in the category.
+func (c Category) JobIndex(job core.Query) int {
+	for i, j := range c.Jobs {
+		if core.Query(j) == job {
+			return i
+		}
+	}
+	return -1
+}
+
+// maleSkewedCategories are the categories in which female participation is
+// thin at the individual-job level (see servesJob in market.go).
+var maleSkewedCategories = map[string]bool{
+	"Handyman": true, "Yard Work": true, "Moving": true,
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/stats"
+)
+
+func histFrom(vals []float64, bins int) *stats.Histogram {
+	h := stats.NewHistogram(0, 1, bins)
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h
+}
+
+func TestEMDIdenticalHistograms(t *testing.T) {
+	h := histFrom([]float64{0.1, 0.5, 0.9}, 10)
+	if got := EMDHistograms(h, h); got != 0 {
+		t.Fatalf("EMD(h,h) = %v", got)
+	}
+}
+
+func TestEMDExtremes(t *testing.T) {
+	lo := histFrom([]float64{0.0, 0.0}, 10)
+	hi := histFrom([]float64{1.0, 1.0}, 10)
+	if got := EMDHistograms(lo, hi); !approx(got, 1, 1e-12) {
+		t.Fatalf("EMD extremes = %v, want 1", got)
+	}
+}
+
+func TestEMDAdjacentBins(t *testing.T) {
+	a := stats.NewHistogram(0, 1, 10)
+	b := stats.NewHistogram(0, 1, 10)
+	a.AddWeighted(0.05, 1) // bin 0
+	b.AddWeighted(0.15, 1) // bin 1
+	// Moving all mass one bin over: CDF differs in exactly one position.
+	if got := EMDHistograms(a, b); !approx(got, 1.0/9, 1e-12) {
+		t.Fatalf("EMD adjacent = %v, want 1/9", got)
+	}
+}
+
+func TestEMDScaleInvariance(t *testing.T) {
+	// EMD normalizes mass, so doubling all counts changes nothing.
+	a := histFrom([]float64{0.1, 0.2, 0.9}, 8)
+	b := histFrom([]float64{0.1, 0.1, 0.2, 0.2, 0.9, 0.9}, 8)
+	if got := EMDHistograms(a, b); !approx(got, 0, 1e-12) {
+		t.Fatalf("EMD scaled = %v, want 0", got)
+	}
+}
+
+func TestEMDGeometryMismatchPanics(t *testing.T) {
+	a := stats.NewHistogram(0, 1, 5)
+	b := stats.NewHistogram(0, 1, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EMDHistograms(a, b)
+}
+
+func TestEMDSingleBinIsZero(t *testing.T) {
+	a := stats.NewHistogram(0, 1, 1)
+	b := stats.NewHistogram(0, 1, 1)
+	a.Add(0.3)
+	b.Add(0.8)
+	if got := EMDHistograms(a, b); got != 0 {
+		t.Fatalf("single-bin EMD = %v", got)
+	}
+}
+
+func TestEMDSamplesIdentical(t *testing.T) {
+	xs := []float64{0.1, 0.4, 0.8}
+	if got := EMDSamples(xs, xs, 0, 1); got != 0 {
+		t.Fatalf("EMDSamples identical = %v", got)
+	}
+}
+
+func TestEMDSamplesPointMasses(t *testing.T) {
+	// Point mass at 0.2 vs point mass at 0.7: W1 = 0.5, range 1.
+	if got := EMDSamples([]float64{0.2}, []float64{0.7}, 0, 1); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("EMD point masses = %v, want 0.5", got)
+	}
+}
+
+func TestEMDSamplesDifferentSizes(t *testing.T) {
+	xs := []float64{0.0, 1.0}           // mean CDF jumps at 0 and 1
+	ys := []float64{0.5, 0.5, 0.5, 0.5} // point mass at 0.5
+	// W1 between {0,1} uniform two-point and delta(0.5) = 0.5.
+	if got := EMDSamples(xs, ys, 0, 1); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("EMD different sizes = %v, want 0.5", got)
+	}
+}
+
+func TestEMDSamplesClamping(t *testing.T) {
+	// Values outside [lo,hi] are clamped before comparison.
+	if got := EMDSamples([]float64{-5}, []float64{0}, 0, 1); got != 0 {
+		t.Fatalf("clamped EMD = %v, want 0", got)
+	}
+}
+
+func TestEMDSamplesPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty xs":  func() { EMDSamples(nil, []float64{1}, 0, 1) },
+		"empty ys":  func() { EMDSamples([]float64{1}, nil, 0, 1) },
+		"bad range": func() { EMDSamples([]float64{1}, []float64{1}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: EMD on histograms is a metric-like distance — symmetric,
+// non-negative, zero on identical inputs, triangle inequality.
+func TestEMDHistogramProperties(t *testing.T) {
+	mk := func(seed uint64) *stats.Histogram {
+		r := stats.NewRNG(seed)
+		h := stats.NewHistogram(0, 1, 12)
+		n := r.Intn(30) + 1
+		for i := 0; i < n; i++ {
+			h.Add(r.Float64())
+		}
+		return h
+	}
+	f := func(s1, s2, s3 uint64) bool {
+		a, b, c := mk(s1), mk(s2), mk(s3)
+		dab := EMDHistograms(a, b)
+		dba := EMDHistograms(b, a)
+		dac := EMDHistograms(a, c)
+		dcb := EMDHistograms(c, b)
+		if math.Abs(dab-dba) > 1e-12 || dab < 0 || dab > 1 {
+			return false
+		}
+		if EMDHistograms(a, a) != 0 {
+			return false
+		}
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EMDSamples agrees with EMDHistograms in the limit of fine bins
+// (up to binning error of one bin width).
+func TestEMDSamplesVsHistograms(t *testing.T) {
+	r := stats.NewRNG(2024)
+	for trial := 0; trial < 50; trial++ {
+		nx, ny := r.Intn(40)+2, r.Intn(40)+2
+		xs := make([]float64, nx)
+		ys := make([]float64, ny)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		for i := range ys {
+			ys[i] = r.Float64()
+		}
+		exact := EMDSamples(xs, ys, 0, 1)
+		const bins = 400
+		binned := EMDHistograms(histFrom(xs, bins), histFrom(ys, bins))
+		// Histogram EMD is normalized by bins-1 while sample EMD by the
+		// range; they agree up to ~one bin width of quantization error.
+		if math.Abs(exact-binned) > 3.0/bins+0.02 {
+			t.Fatalf("trial %d: exact %v vs binned %v", trial, exact, binned)
+		}
+	}
+}

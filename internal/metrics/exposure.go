@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExposureAtRank returns the position-bias exposure of the worker at the
+// given 1-based rank, 1/ln(1+rank), following §3.3.2 of the paper (and the
+// logarithmic discount of Singh & Joachims, "Fairness of Exposure in
+// Rankings"). The paper's Figure 5 worked example (0.94 for workers at
+// ranks 7 and 8) pins the logarithm base to e:
+//
+//	1/ln(8) + 1/ln(9) ≈ 0.481 + 0.455 ≈ 0.94.
+//
+// ExposureAtRank panics on rank < 1: rank 0 is a caller bug, not a value
+// with meaningful exposure.
+func ExposureAtRank(rank int) float64 {
+	if rank < 1 {
+		panic(fmt.Sprintf("metrics: exposure of invalid rank %d", rank))
+	}
+	return 1 / math.Log(1+float64(rank))
+}
+
+// RelevanceFromRank converts an observed 1-based rank into the proxy
+// relevance score rel(w) = 1 − rank/N from §3.3.1, used when the
+// platform's true scoring function is unobservable (the TaskRabbit case):
+// the top-ranked worker gets (N−1)/N and the last gets 0. It panics when
+// rank is outside [1, n].
+func RelevanceFromRank(rank, n int) float64 {
+	if n < 1 || rank < 1 || rank > n {
+		panic(fmt.Sprintf("metrics: invalid rank %d of %d", rank, n))
+	}
+	return 1 - float64(rank)/float64(n)
+}
+
+// ExposureDeviation returns |expShare − relShare|, the L1 deviation of a
+// group's share of exposure from its share of relevance (§3.3.2). Both
+// shares are expected to lie in [0, 1]; the result then also lies in
+// [0, 1].
+func ExposureDeviation(expShare, relShare float64) float64 {
+	return math.Abs(expShare - relShare)
+}
+
+// Share returns part/total, defined as 0 when total is 0 (an empty
+// comparison population has no exposure or relevance to apportion).
+func Share(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return part / total
+}

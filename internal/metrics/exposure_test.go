@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// The paper's Figure 5 pins down the exposure formula numerically:
+// Black Females hold ranks 7 and 8 of 10, giving total exposure
+// 1/ln(8) + 1/ln(9) ≈ 0.94 and total relevance (1-7/10)+(1-8/10) = 0.5.
+func TestExposureMatchesPaperFigure5(t *testing.T) {
+	got := ExposureAtRank(7) + ExposureAtRank(8)
+	if !approx(got, 0.94, 0.005) {
+		t.Fatalf("exposure(7)+exposure(8) = %v, want ≈0.94", got)
+	}
+	rel := RelevanceFromRank(7, 10) + RelevanceFromRank(8, 10)
+	if !approx(rel, 0.5, 1e-12) {
+		t.Fatalf("relevance sum = %v, want 0.5", rel)
+	}
+	// Comparable-group workers in Table 2/3: ranks 1, 2, 3, 5, 10.
+	var compExp, compRel float64
+	for _, rank := range []int{1, 2, 3, 5, 10} {
+		compExp += ExposureAtRank(rank)
+		compRel += RelevanceFromRank(rank, 10)
+	}
+	if !approx(compExp, 4.05, 0.02) {
+		t.Fatalf("comparable exposure = %v, want ≈4.0", compExp)
+	}
+	if !approx(compRel, 2.9, 1e-12) {
+		t.Fatalf("comparable relevance = %v, want 2.9", compRel)
+	}
+	expShare := Share(got, got+compExp)
+	relShare := Share(rel, rel+compRel)
+	if !approx(expShare, 0.19, 0.005) {
+		t.Fatalf("exposure share = %v, want ≈0.19", expShare)
+	}
+	if !approx(relShare, 0.15, 0.005) {
+		t.Fatalf("relevance share = %v, want ≈0.15", relShare)
+	}
+	if d := ExposureDeviation(expShare, relShare); !approx(d, 0.04, 0.01) {
+		t.Fatalf("deviation = %v, want ≈0.04", d)
+	}
+}
+
+func TestExposureDecreasesWithRank(t *testing.T) {
+	prev := ExposureAtRank(1)
+	for rank := 2; rank <= 100; rank++ {
+		cur := ExposureAtRank(rank)
+		if cur >= prev {
+			t.Fatalf("exposure not strictly decreasing at rank %d: %v >= %v", rank, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestExposurePanicsOnBadRank(t *testing.T) {
+	for _, rank := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rank %d: expected panic", rank)
+				}
+			}()
+			ExposureAtRank(rank)
+		}()
+	}
+}
+
+func TestRelevanceFromRank(t *testing.T) {
+	if got := RelevanceFromRank(1, 10); !approx(got, 0.9, 1e-12) {
+		t.Fatalf("rel(1,10) = %v", got)
+	}
+	if got := RelevanceFromRank(10, 10); got != 0 {
+		t.Fatalf("rel(10,10) = %v", got)
+	}
+}
+
+func TestRelevancePanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 10}, {11, 10}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rel(%d,%d): expected panic", c[0], c[1])
+				}
+			}()
+			RelevanceFromRank(c[0], c[1])
+		}()
+	}
+}
+
+func TestExposureDeviationSymmetric(t *testing.T) {
+	if ExposureDeviation(0.2, 0.5) != ExposureDeviation(0.5, 0.2) {
+		t.Fatal("deviation not symmetric")
+	}
+	if ExposureDeviation(0.3, 0.3) != 0 {
+		t.Fatal("deviation of equal shares not zero")
+	}
+}
+
+func TestShare(t *testing.T) {
+	if got := Share(1, 4); got != 0.25 {
+		t.Fatalf("Share = %v", got)
+	}
+	if got := Share(1, 0); got != 0 {
+		t.Fatalf("Share with zero total = %v, want 0", got)
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+// JaccardIndex returns |A ∩ B| / |A ∪ B| for the item sets of the two
+// lists, in [0, 1]. Two empty lists are considered identical (index 1),
+// which keeps the measure total and makes JaccardDistance of two empty
+// result pages 0 rather than undefined.
+func JaccardIndex(a, b []string) float64 {
+	setA := toSet(a)
+	setB := toSet(b)
+	if len(setA) == 0 && len(setB) == 0 {
+		return 1
+	}
+	inter := 0
+	for item := range setA {
+		if _, ok := setB[item]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns 1 − JaccardIndex(a, b): 0 for identical item
+// sets, 1 for disjoint ones.
+func JaccardDistance(a, b []string) float64 {
+	return 1 - JaccardIndex(a, b)
+}
+
+func toSet(list []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(list))
+	for _, item := range list {
+		set[item] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/stats"
+)
+
+func TestJaccardIdentical(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	if got := JaccardIndex(a, a); got != 1 {
+		t.Fatalf("index = %v", got)
+	}
+	if got := JaccardDistance(a, a); got != 0 {
+		t.Fatalf("distance = %v", got)
+	}
+}
+
+func TestJaccardDisjoint(t *testing.T) {
+	if got := JaccardIndex([]string{"a"}, []string{"b"}); got != 0 {
+		t.Fatalf("index = %v", got)
+	}
+}
+
+func TestJaccardPartial(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"b", "c", "d"}
+	if got := JaccardIndex(a, b); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("index = %v, want 0.5", got)
+	}
+}
+
+func TestJaccardOrderInsensitive(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"c", "a", "b"}
+	if got := JaccardDistance(a, b); got != 0 {
+		t.Fatalf("distance = %v, want 0 (same sets)", got)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	if got := JaccardIndex(nil, nil); got != 1 {
+		t.Fatalf("empty index = %v, want 1", got)
+	}
+	if got := JaccardIndex(nil, []string{"a"}); got != 0 {
+		t.Fatalf("empty-vs-nonempty index = %v, want 0", got)
+	}
+}
+
+func TestJaccardDuplicatesCollapse(t *testing.T) {
+	a := []string{"a", "a", "b"}
+	b := []string{"a", "b", "b"}
+	if got := JaccardIndex(a, b); got != 1 {
+		t.Fatalf("index = %v, want 1 (duplicate-insensitive)", got)
+	}
+}
+
+// Properties: symmetry, bounds, triangle inequality for Jaccard distance.
+func TestJaccardProperties(t *testing.T) {
+	mk := func(seed uint64, n int) []string {
+		r := stats.NewRNG(seed)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("e%d", r.Intn(12))
+		}
+		return out
+	}
+	f := func(s1, s2, s3 uint64, n1, n2, n3 uint8) bool {
+		a := mk(s1, int(n1%10)+1)
+		b := mk(s2, int(n2%10)+1)
+		c := mk(s3, int(n3%10)+1)
+		dab := JaccardDistance(a, b)
+		dba := JaccardDistance(b, a)
+		dac := JaccardDistance(a, c)
+		dcb := JaccardDistance(c, b)
+		if dab != dba || dab < 0 || dab > 1 {
+			return false
+		}
+		// Jaccard distance is a metric: triangle inequality must hold.
+		return dab <= dac+dcb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

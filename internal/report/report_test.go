@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Table 8", "Group", "EMD")
+	t.AddRow("Asian Female", 0.876)
+	t.AddRow("White Male", 0.421)
+	t.AddRow("n", 42)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 8", "Group", "Asian Female", "0.876", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: the EMD column starts at the same offset in every row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	idx := strings.Index(lines[2], "EMD")
+	_ = idx
+	col := strings.Index(lines[4], "0.876")
+	if col < 0 {
+		t.Fatalf("value row missing: %q", lines[4])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Table 8") || !strings.Contains(out, "| Group | EMD |") {
+		t.Fatalf("markdown output:\n%s", out)
+	}
+	if !strings.Contains(out, "| Asian Female | 0.876 |") {
+		t.Fatalf("markdown row missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || lines[0] != "Group,EMD" || lines[1] != "Asian Female,0.876" {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&buf, "toml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}
+
+func TestRaggedRowsRenderSafely(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("only-one")
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package search
+
+import (
+	"sort"
+	"testing"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+)
+
+// googleCache holds the unfairness tables of one full study sweep per
+// measure. These tests certify the calibration targets of DESIGN.md §6 on
+// the Google side: §5.2.2's quantification findings and the comparison
+// Tables 16–21.
+var googleCache = map[core.SearchMeasure]*core.Table{}
+
+func googleTable(t *testing.T, measure core.SearchMeasure) *core.Table {
+	t.Helper()
+	if tbl, ok := googleCache[measure]; ok {
+		return tbl
+	}
+	e := New(Config{Seed: 11})
+	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: measure}
+	tbl := ev.EvaluateAll(e.CrawlAll(), nil)
+	googleCache[measure] = tbl
+	return tbl
+}
+
+func fullGroupRanking(t *testing.T, tbl *core.Table) []string {
+	t.Helper()
+	type kv struct {
+		name string
+		v    float64
+	}
+	var ranked []kv
+	for _, g := range core.DefaultSchema().FullGroups() {
+		v, ok := tbl.AggregateGroup(g, tbl.Queries(), tbl.Locations())
+		if !ok {
+			t.Fatalf("no value for %s", g.Name())
+		}
+		ranked = append(ranked, kv{g.Name(), v})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+	names := make([]string, len(ranked))
+	for i, r := range ranked {
+		names[i] = r.name
+		t.Logf("%-14s %.3f", r.name, r.v)
+	}
+	return names
+}
+
+// TestGoogleQuantGroups asserts §5.2.2: the most discriminated-against
+// group is White Females and the least is Black Males, under both
+// measures.
+func TestGoogleQuantGroups(t *testing.T) {
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		names := fullGroupRanking(t, googleTable(t, measure))
+		if names[0] != "White Female" {
+			t.Errorf("%v: most unfair = %s, want White Female", measure, names[0])
+		}
+		if names[len(names)-1] != "Black Male" {
+			t.Errorf("%v: least unfair = %s, want Black Male", measure, names[len(names)-1])
+		}
+	}
+}
+
+// TestGoogleQuantLocations asserts §5.2.2: Washington DC is the fairest
+// location and London UK the unfairest, under both measures.
+func TestGoogleQuantLocations(t *testing.T) {
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		tbl := googleTable(t, measure)
+		gs, qs := tbl.Groups(), tbl.Queries()
+		type kv struct {
+			loc core.Location
+			v   float64
+		}
+		var ranked []kv
+		for _, l := range tbl.Locations() {
+			if v, ok := tbl.AggregateLocation(l, gs, qs); ok {
+				ranked = append(ranked, kv{l, v})
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].v > ranked[j].v })
+		for _, r := range ranked {
+			t.Logf("%v %-20s %.3f", measure, r.loc, r.v)
+		}
+		if ranked[0].loc != "London, UK" {
+			t.Errorf("%v: unfairest location = %s, want London", measure, ranked[0].loc)
+		}
+		if ranked[len(ranked)-1].loc != "Washington, DC" {
+			t.Errorf("%v: fairest location = %s, want Washington DC", measure, ranked[len(ranked)-1].loc)
+		}
+	}
+}
+
+// baseAverages aggregates term-level unfairness to the six job-query
+// bases, defined-only.
+func baseAverages(tbl *core.Table) map[string]float64 {
+	gs, ls := tbl.Groups(), tbl.Locations()
+	out := make(map[string]float64)
+	for _, base := range Bases() {
+		var sum float64
+		var n int
+		for _, q := range TermsOfBase(base) {
+			for _, g := range gs {
+				for _, l := range ls {
+					if v, ok := tbl.Get(g, q, l); ok {
+						sum += v
+						n++
+					}
+				}
+			}
+		}
+		out[base] = sum / float64(n)
+	}
+	return out
+}
+
+// TestGoogleQuantQueries asserts §5.2.2: yard work jobs are the most
+// unfair and furniture assembly jobs the fairest, under both measures.
+func TestGoogleQuantQueries(t *testing.T) {
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		avgs := baseAverages(googleTable(t, measure))
+		best, worst := "", ""
+		for base, v := range avgs {
+			t.Logf("%v %-20s %.3f", measure, base, v)
+			if worst == "" || v > avgs[worst] {
+				worst = base
+			}
+			if best == "" || v < avgs[best] {
+				best = base
+			}
+		}
+		if worst != "yard work" {
+			t.Errorf("%v: most unfair base = %s, want yard work", measure, worst)
+		}
+		if best != "furniture assembly" {
+			t.Errorf("%v: fairest base = %s, want furniture assembly", measure, best)
+		}
+	}
+}
+
+// genderValue is the hierarchical gender aggregate used by the
+// gender-comparison experiments: the average unfairness of the gender's
+// three full groups. (The literal Equation-1 value of the "Male" group is
+// provably identical to the "Female" one whenever both genders
+// participate, so the paper's asymmetric Table 16/17 numbers must be
+// group-mediated; see EXPERIMENTS.md.)
+func genderValue(t *testing.T, tbl *core.Table, gender string, ls []core.Location) (float64, bool) {
+	t.Helper()
+	var sum float64
+	var n int
+	for _, g := range core.DefaultSchema().FullGroups() {
+		if v, ok := g.Label.ValueOf("gender"); !ok || v != gender {
+			continue
+		}
+		if v, ok := tbl.AggregateGroup(g, tbl.Queries(), ls); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// TestTables16And17GenderByLocation asserts the certified shape behind
+// Tables 16 and 17: overall, females are treated less fairly than males;
+// males are treated less fairly at the Table 16 cities {Birmingham,
+// Bristol, Detroit, NYC} under both measures (which is why Table 16 lists
+// them as reversals and Table 17 does not); and females are treated less
+// fairly at the six Table 17 cities. (Known divergence, recorded in
+// EXPERIMENTS.md: the paper's Jaccard overall direction flips by a hair —
+// 0.395 vs 0.393 — which our reproduction does not chase; only the robust
+// per-location geography is certified.)
+func TestTables16And17GenderByLocation(t *testing.T) {
+	maleWorse := map[core.Location]bool{
+		"Birmingham, UK": true, "Bristol, UK": true, "Detroit, MI": true, "New York City, NY": true,
+	}
+	femaleWorse := map[core.Location]bool{
+		"Boston, MA": true, "Charlotte, NC": true, "London, UK": true,
+		"Los Angeles, CA": true, "Manchester, UK": true, "Pittsburgh, PA": true,
+	}
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		tbl := googleTable(t, measure)
+		om, _ := genderValue(t, tbl, "Male", tbl.Locations())
+		of, _ := genderValue(t, tbl, "Female", tbl.Locations())
+		t.Logf("%v overall: male %.3f female %.3f", measure, om, of)
+		if om >= of {
+			t.Errorf("%v: females should be treated less fairly overall (%.3f vs %.3f)", measure, om, of)
+		}
+		for _, l := range tbl.Locations() {
+			lm, okM := genderValue(t, tbl, "Male", []core.Location{l})
+			lf, okF := genderValue(t, tbl, "Female", []core.Location{l})
+			if !okM || !okF {
+				continue
+			}
+			t.Logf("%v %-20s male %.3f female %.3f", measure, l, lm, lf)
+			if maleWorse[l] && lm < lf {
+				t.Errorf("%v: males should be treated less fairly at %s (%.3f vs %.3f)", measure, l, lm, lf)
+			}
+			if femaleWorse[l] && lf < lm {
+				t.Errorf("%v: females should be treated less fairly at %s (%.3f vs %.3f)", measure, l, lf, lm)
+			}
+		}
+	}
+}
+
+// ethnicityValue aggregates one ethnicity-only group over a query set.
+func ethnicityValue(t *testing.T, tbl *core.Table, eth string, qs []core.Query) (float64, bool) {
+	t.Helper()
+	g := core.NewGroup(core.Predicate{Attr: "ethnicity", Value: eth})
+	return tbl.AggregateGroup(g, qs, tbl.Locations())
+}
+
+// TestTables18And19QueryComparison asserts the shape of Tables 18–19:
+// running errands is (slightly) less fair than general cleaning overall,
+// but the order flips for Black users under both measures and for Asian
+// users under Kendall Tau only.
+func TestTables18And19QueryComparison(t *testing.T) {
+	re := TermsOfBase("run errand")
+	gc := TermsOfBase("general cleaning")
+	for _, c := range []struct {
+		measure       core.SearchMeasure
+		asianReverses bool
+	}{
+		{core.MeasureKendallTau, true},
+		{core.MeasureJaccard, false},
+	} {
+		tbl := googleTable(t, c.measure)
+		allRE, _ := tbl.AggregateQuery(re[0], tbl.Groups(), tbl.Locations())
+		_ = allRE
+		avgOver := func(qs []core.Query, eth string) float64 {
+			if eth == "" {
+				var sum float64
+				var n int
+				for _, e := range []string{"Asian", "Black", "White"} {
+					if v, ok := ethnicityValue(t, tbl, e, qs); ok {
+						sum += v
+						n++
+					}
+				}
+				return sum / float64(n)
+			}
+			v, _ := ethnicityValue(t, tbl, eth, qs)
+			return v
+		}
+		oRE, oGC := avgOver(re, ""), avgOver(gc, "")
+		t.Logf("%v overall: run errand %.3f general cleaning %.3f", c.measure, oRE, oGC)
+		if oRE <= oGC {
+			t.Errorf("%v: run errand (%.3f) should be less fair than general cleaning (%.3f) overall",
+				c.measure, oRE, oGC)
+		}
+		for _, eth := range []string{"Asian", "Black", "White"} {
+			vRE, vGC := avgOver(re, eth), avgOver(gc, eth)
+			flipped := vGC >= vRE
+			t.Logf("%v %s: RE %.3f GC %.3f flipped=%v", c.measure, eth, vRE, vGC, flipped)
+			wantFlip := eth == "Black" || (eth == "Asian" && c.asianReverses)
+			if wantFlip && !flipped {
+				t.Errorf("%v: expected reversal for %s", c.measure, eth)
+			}
+			if !wantFlip && flipped {
+				t.Errorf("%v: unexpected reversal for %s", c.measure, eth)
+			}
+		}
+	}
+}
+
+// TestTables20And21LocationComparison asserts the shape of Tables 20–21:
+// Boston is fairer than Bristol for general cleaning overall, but the
+// order flips for the office-cleaning and private-cleaning formulations,
+// under both measures.
+func TestTables20And21LocationComparison(t *testing.T) {
+	gcTerms := TermsOfBase("general cleaning")
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		tbl := googleTable(t, measure)
+		cmp, err := compare.NewDefinedOnly(tbl).Locations(
+			"Boston, MA", "Bristol, UK", compare.ByQuery, compare.Scope{Queries: gcTerms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v overall: Boston %.3f Bristol %.3f", measure, cmp.Overall1, cmp.Overall2)
+		if cmp.Overall1 >= cmp.Overall2 {
+			t.Errorf("%v: Boston (%.3f) should be fairer than Bristol (%.3f) overall",
+				measure, cmp.Overall1, cmp.Overall2)
+		}
+		reversed := map[string]bool{}
+		for _, b := range cmp.Reversed {
+			reversed[b.B] = true
+			t.Logf("%v reversal: %s Boston %.3f Bristol %.3f", measure, b.B, b.V1, b.V2)
+		}
+		for _, want := range []string{"office cleaning jobs", "private cleaning jobs"} {
+			if !reversed[want] {
+				t.Errorf("%v: expected reversal for %q", measure, want)
+			}
+		}
+		for _, notWant := range []string{"general cleaning jobs", "house cleaning jobs", "deep cleaning jobs"} {
+			if reversed[notWant] {
+				t.Errorf("%v: unexpected reversal for %q", measure, notWant)
+			}
+		}
+	}
+}

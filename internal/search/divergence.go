@@ -1,0 +1,162 @@
+package search
+
+import (
+	"fairjob/internal/core"
+)
+
+// DivergenceModel parameterizes how strongly Google personalization makes
+// a user's results diverge from the unpersonalized baseline. Divergence
+// has two channels with different measurement signatures:
+//
+//   - reordering — the same postings in a different order, which moves
+//     Kendall Tau but not Jaccard;
+//   - substitution — personalized postings replacing baseline ones, which
+//     moves both, Jaccard especially.
+//
+// The calibrated factors encode the paper's §5.2.2/§5.3.2 findings: White
+// Females see the most divergent results and Black Males the least;
+// London is the least fair location and Washington DC the fairest; yard
+// work is the most and furniture assembly the least unfair query; males'
+// substitution divergence spikes at the Table 16 reversal locations while
+// females' reordering divergence spikes at the Table 17 ones; Black (and
+// to a lesser degree Asian) users diverge extra on general-cleaning terms
+// (Tables 18–19); and office/private cleaning formulations diverge extra
+// in Boston (Tables 20–21).
+type DivergenceModel struct {
+	// Group maps "Gender/Ethnicity" to the base divergence of users in
+	// that full group.
+	Group map[string]float64
+	// Location scales divergence per study location.
+	Location map[core.Location]float64
+	// Base scales divergence per job-query base.
+	Base map[string]float64
+	// MaleBoostLocations is Table 16's reversal set: there, male users'
+	// divergence is boosted on both channels — substitution hardest, so
+	// the male-female gap is widest under Jaccard. Substitution boosts
+	// are per-location (Bristol's is milder so it stays below London in
+	// the Jaccard location ranking).
+	MaleReorderBoost       float64
+	MaleSubstitutionBoosts map[core.Location]float64
+	MaleBoostLocations     map[core.Location]bool
+	// FemaleBoostLocations is Table 17's reversal set: there, female
+	// users' reordering divergence is boosted, widening the gap under
+	// Kendall Tau while leaving Jaccard to the groups' base factors.
+	FemaleReorderBoost   float64
+	FemaleBoostLocations map[core.Location]bool
+	// EthnicityCleaningReorderBoost and EthnicityCleaningSubBoost
+	// multiply the respective channels on general-cleaning terms per
+	// ethnicity. Black users get both (Tables 18 and 19 both reverse for
+	// Black); Asian users only reorder (only the Kendall-side Table 18
+	// reverses for Asian).
+	EthnicityCleaningReorderBoost map[string]float64
+	EthnicityCleaningSubBoost     map[string]float64
+	// BostonCleaningReorderBoost and BostonCleaningSubBoost multiply the
+	// respective channels for terms containing the listed words when
+	// searched from Boston (Tables 20–21).
+	BostonCleaningReorderBoost float64
+	BostonCleaningSubBoost     float64
+	BostonCleaningWords        []string
+}
+
+// DefaultDivergenceModel returns the calibrated model used by the
+// experiment harness.
+func DefaultDivergenceModel() *DivergenceModel {
+	return &DivergenceModel{
+		Group: map[string]float64{
+			"Female/White": 1.00,
+			"Female/Asian": 0.80,
+			"Male/White":   0.66,
+			"Male/Asian":   0.58,
+			"Female/Black": 0.56,
+			"Male/Black":   0.20,
+		},
+		Location: map[core.Location]float64{
+			"London, UK":        1.80,
+			"Birmingham, UK":    0.44,
+			"Bristol, UK":       0.58,
+			"Manchester, UK":    0.55,
+			"Detroit, MI":       0.44,
+			"New York City, NY": 0.44,
+			"Pittsburgh, PA":    0.45,
+			"Charlotte, NC":     0.42,
+			"Boston, MA":        0.30,
+			"Los Angeles, CA":   0.42,
+			"Washington, DC":    0.05,
+		},
+		Base: map[string]float64{
+			"yard work":          1.30,
+			"moving job":         0.80,
+			"run errand":         1.22,
+			"event staffing":     0.65,
+			"general cleaning":   0.40,
+			"furniture assembly": 0.30,
+		},
+		MaleReorderBoost: 1.8,
+		MaleSubstitutionBoosts: map[core.Location]float64{
+			"Birmingham, UK": 2.0, "Bristol, UK": 2.2,
+			"Detroit, MI": 2.0, "New York City, NY": 2.0,
+		},
+		MaleBoostLocations: map[core.Location]bool{
+			"Birmingham, UK": true, "Bristol, UK": true,
+			"Detroit, MI": true, "New York City, NY": true,
+		},
+		FemaleReorderBoost: 1.9,
+		FemaleBoostLocations: map[core.Location]bool{
+			"Boston, MA": true, "Charlotte, NC": true, "London, UK": true,
+			"Los Angeles, CA": true, "Manchester, UK": true, "Pittsburgh, PA": true,
+		},
+		EthnicityCleaningReorderBoost: map[string]float64{
+			"Black": 2.50,
+			"Asian": 2.15,
+		},
+		EthnicityCleaningSubBoost: map[string]float64{
+			"Black": 2.10,
+		},
+		BostonCleaningReorderBoost: 2.6,
+		BostonCleaningSubBoost:     3.2,
+		BostonCleaningWords:        []string{"office cleaning", "private cleaning"},
+	}
+}
+
+// FairDivergenceModel returns a null model with no personalization: every
+// user sees the baseline list, so measured unfairness is exactly 0. Used
+// as the control in validation tests.
+func FairDivergenceModel() *DivergenceModel {
+	m := DefaultDivergenceModel()
+	for k := range m.Group {
+		m.Group[k] = 0
+	}
+	return m
+}
+
+// Channels returns the (reorder, substitution) divergence magnitudes for
+// a user of the given demographics searching term (generated from base)
+// at loc.
+func (m *DivergenceModel) Channels(gender, ethnicity, base string, term core.Query, loc core.Location) (reorder, substitution float64) {
+	d := m.Group[gender+"/"+ethnicity] * m.Location[loc] * m.Base[base]
+	reorder, substitution = d, d
+	if gender == "Male" && m.MaleBoostLocations[loc] {
+		reorder *= m.MaleReorderBoost
+		substitution *= m.MaleSubstitutionBoosts[loc]
+	}
+	if gender == "Female" && m.FemaleBoostLocations[loc] {
+		reorder *= m.FemaleReorderBoost
+	}
+	if base == "general cleaning" {
+		if b, ok := m.EthnicityCleaningReorderBoost[ethnicity]; ok {
+			reorder *= b
+		}
+		if b, ok := m.EthnicityCleaningSubBoost[ethnicity]; ok {
+			substitution *= b
+		}
+	}
+	if loc == "Boston, MA" {
+		for _, w := range m.BostonCleaningWords {
+			if termContains(term, w) {
+				reorder *= m.BostonCleaningReorderBoost
+				substitution *= m.BostonCleaningSubBoost
+			}
+		}
+	}
+	return reorder, substitution
+}

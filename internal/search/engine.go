@@ -1,0 +1,303 @@
+package search
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// ResultsPerPage is the number of job postings on a result page.
+const ResultsPerPage = 30
+
+// DefaultParticipants is the number of Prolific participants recruited per
+// (study, group); the paper averaged 3.
+const DefaultParticipants = 3
+
+// DefaultRepeats is how many times the Chrome extension executes each
+// search term to control for A/B-testing noise ("every search term is
+// executed at least twice", §5.1.2).
+const DefaultRepeats = 2
+
+// User is one study participant.
+type User struct {
+	ID    string
+	Attrs core.Assignment
+}
+
+// Config parameterizes the simulated Google study.
+type Config struct {
+	// Seed makes the whole study deterministic.
+	Seed uint64
+	// Participants per (study, group); defaults to DefaultParticipants.
+	Participants int
+	// Repeats per (user, term); defaults to DefaultRepeats.
+	Repeats int
+	// Divergence defaults to DefaultDivergenceModel().
+	Divergence *DivergenceModel
+	// ABNoise is the magnitude of per-repeat A/B-test perturbation the
+	// repeat protocol has to cancel out. Negative disables it entirely
+	// (0 selects the default).
+	ABNoise float64
+	// CarryOver is the magnitude of carry-over contamination: each
+	// search is perturbed by residue of the user's previous query,
+	// decaying exponentially with the spacing between searches.
+	// Negative disables it (0 selects the default).
+	CarryOver float64
+	// SpacingMinutes is the wall-clock gap the extension leaves between
+	// consecutive searches; the paper's extension "runs the five search
+	// terms every 12 minutes to minimize noise due to the carry-over
+	// effect" (§5.1.2). 0 selects the default of 12; negative means
+	// back-to-back searches (no decay).
+	SpacingMinutes float64
+}
+
+// carryOverTau is the decay time-constant (minutes) of the carry-over
+// effect: after the default 12-minute spacing the residue is
+// exp(-12/3) ≈ 1.8% of its initial magnitude.
+const carryOverTau = 3.0
+
+func (c Config) withDefaults() Config {
+	if c.Participants == 0 {
+		c.Participants = DefaultParticipants
+	}
+	if c.Repeats == 0 {
+		c.Repeats = DefaultRepeats
+	}
+	if c.Divergence == nil {
+		c.Divergence = DefaultDivergenceModel()
+	}
+	if c.ABNoise == 0 {
+		c.ABNoise = 0.35
+	}
+	if c.ABNoise < 0 {
+		c.ABNoise = 0
+	}
+	if c.CarryOver == 0 {
+		c.CarryOver = 1.5
+	}
+	if c.CarryOver < 0 {
+		c.CarryOver = 0
+	}
+	if c.SpacingMinutes == 0 {
+		c.SpacingMinutes = 12
+	}
+	if c.SpacingMinutes < 0 {
+		c.SpacingMinutes = 0
+	}
+	return c
+}
+
+// Engine is the simulated personalized search engine plus the data-
+// collection protocol around it (Figure 9's pipeline up to the F-Box).
+type Engine struct {
+	cfg Config
+}
+
+// New builds an Engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+func (e *Engine) rng(parts ...interface{}) *stats.RNG {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", e.cfg.Seed)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%v", p)
+	}
+	return stats.NewRNG(h.Sum64())
+}
+
+// BaseRanking returns the unpersonalized result list for a term at a
+// location: ResultsPerPage posting IDs in the engine's organic order.
+func (e *Engine) BaseRanking(term core.Query, loc core.Location) []string {
+	out := make([]string, ResultsPerPage)
+	for i := range out {
+		out[i] = fmt.Sprintf("post-%x-%02d", contentHash(term, loc), i)
+	}
+	return out
+}
+
+func contentHash(term core.Query, loc core.Location) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(term))
+	h.Write([]byte{0})
+	h.Write([]byte(loc))
+	return h.Sum32()
+}
+
+// Participants returns the study's users: Participants per full
+// demographic group, deterministic per study.
+func (e *Engine) Participants(study Study) []User {
+	var out []User
+	for _, gender := range []string{"Male", "Female"} {
+		for _, eth := range []string{"Asian", "Black", "White"} {
+			for k := 0; k < e.cfg.Participants; k++ {
+				out = append(out, User{
+					ID:    fmt.Sprintf("u-%s-%s-%s-%s-%d", study.Base, study.Location, gender, eth, k),
+					Attrs: core.Assignment{"gender": gender, "ethnicity": eth},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// carryOverResidue is the effective carry-over magnitude after the
+// configured spacing.
+func (e *Engine) carryOverResidue() float64 {
+	return e.cfg.CarryOver * math.Exp(-e.cfg.SpacingMinutes/carryOverTau)
+}
+
+// run executes one search by one user: the base ranking perturbed by the
+// user's personalization (reorder + substitution channels), per-repeat
+// A/B noise, and carry-over residue from the user's previous search
+// (prevTerm; empty for the session's first search).
+func (e *Engine) run(user User, study Study, term core.Query, prevTerm core.Query, repeat int) []string {
+	base := e.BaseRanking(term, study.Location)
+	n := len(base)
+	reorder, substitution := e.cfg.Divergence.Channels(
+		user.Attrs["gender"], user.Attrs["ethnicity"], study.Base, term, study.Location)
+
+	// Personalization is a property of the user profile, so its
+	// randomness is keyed on (user, term) — stable across repeats. A/B
+	// noise is keyed on the repeat as well.
+	profile := e.rng("profile", user.ID, term)
+	ab := e.rng("ab", user.ID, term, repeat)
+	carry := e.rng("carry", user.ID, term, prevTerm, repeat)
+	residue := 0.0
+	if prevTerm != "" {
+		residue = e.carryOverResidue()
+	}
+
+	type scored struct {
+		id string
+		s  float64
+	}
+	items := make([]scored, n)
+	for i, id := range base {
+		items[i] = scored{
+			id: id,
+			s: float64(-i) +
+				reorder*float64(n)*0.35*profile.NormFloat64() +
+				e.cfg.ABNoise*ab.NormFloat64() +
+				residue*carry.NormFloat64(),
+		}
+	}
+
+	// Substitution: personalized postings replace the tail of the page.
+	// The number of substitutions grows with the substitution channel.
+	subs := int(substitution * 0.30 * float64(n))
+	if subs > n/2 {
+		subs = n / 2
+	}
+	for k := 0; k < subs; k++ {
+		items[n-1-k] = scored{
+			id: fmt.Sprintf("personal-%s-%02d", shortID(user.ID, term), k),
+			s:  items[n-1-k].s,
+		}
+	}
+
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].s != items[j].s {
+			return items[i].s > items[j].s
+		}
+		return items[i].id < items[j].id
+	})
+	out := make([]string, n)
+	for i, it := range items {
+		out[i] = it.id
+	}
+	return out
+}
+
+func shortID(userID string, term core.Query) string {
+	h := fnv.New32a()
+	h.Write([]byte(userID))
+	h.Write([]byte{0})
+	h.Write([]byte(term))
+	return fmt.Sprintf("%x", h.Sum32())
+}
+
+// CollectUser runs the full extension protocol for one (user, term): the
+// term is executed Repeats times and the runs are merged by Borda rank
+// averaging, canceling A/B-test noise while keeping the stable
+// personalization signal — the role of the repeated-execution protocol in
+// §5.1.2.
+func (e *Engine) CollectUser(user User, study Study, term core.Query) []string {
+	return e.collectUserAfter(user, study, term, "")
+}
+
+// collectUserAfter is CollectUser with an explicit preceding query for the
+// carry-over model; RunStudy threads the study's term order through it.
+func (e *Engine) collectUserAfter(user User, study Study, term, prevTerm core.Query) []string {
+	positions := make(map[string]float64)
+	counts := make(map[string]int)
+	for r := 0; r < e.cfg.Repeats; r++ {
+		list := e.run(user, study, term, prevTerm, r)
+		for i, id := range list {
+			positions[id] += float64(i)
+			counts[id]++
+		}
+	}
+	type avg struct {
+		id  string
+		pos float64
+	}
+	merged := make([]avg, 0, len(positions))
+	for id, total := range positions {
+		// Items absent from some repeats are penalized toward the tail.
+		miss := e.cfg.Repeats - counts[id]
+		merged = append(merged, avg{id, (total + float64(miss*ResultsPerPage)) / float64(e.cfg.Repeats)})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].pos != merged[j].pos {
+			return merged[i].pos < merged[j].pos
+		}
+		return merged[i].id < merged[j].id
+	})
+	if len(merged) > ResultsPerPage {
+		merged = merged[:ResultsPerPage]
+	}
+	out := make([]string, len(merged))
+	for i, m := range merged {
+		out[i] = m.id
+	}
+	return out
+}
+
+// RunStudy collects the personalized results of every participant for
+// every term of the study: one SearchResults per term.
+func (e *Engine) RunStudy(study Study) []*core.SearchResults {
+	users := e.Participants(study)
+	out := make([]*core.SearchResults, 0, len(study.Terms))
+	for ti, term := range study.Terms {
+		var prev core.Query
+		if ti > 0 {
+			prev = study.Terms[ti-1]
+		}
+		sr := &core.SearchResults{Query: term, Location: study.Location}
+		for _, u := range users {
+			sr.Users = append(sr.Users, core.UserResults{
+				ID:    u.ID,
+				Attrs: u.Attrs.Clone(),
+				List:  e.collectUserAfter(u, study, term, prev),
+			})
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// CrawlAll runs every study of the design — the full Google data
+// collection of Figure 9.
+func (e *Engine) CrawlAll() []*core.SearchResults {
+	var out []*core.SearchResults
+	for _, s := range Studies() {
+		out = append(out, e.RunStudy(s)...)
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"fairjob/internal/core"
+	"fairjob/internal/metrics"
+)
+
+func TestStudyDesign(t *testing.T) {
+	studies := Studies()
+	// Table 7 + furniture assembly: 4+3+1+1+1+1 = 11 studies.
+	if len(studies) != 11 {
+		t.Fatalf("studies = %d, want 11", len(studies))
+	}
+	perBase := map[string]int{}
+	for _, s := range studies {
+		perBase[s.Base]++
+		if len(s.Terms) != 5 {
+			t.Errorf("study %s/%s has %d terms, want 5", s.Base, s.Location, len(s.Terms))
+		}
+	}
+	want := map[string]int{
+		"yard work": 4, "general cleaning": 3, "event staffing": 1,
+		"moving job": 1, "run errand": 1, "furniture assembly": 1,
+	}
+	for base, n := range want {
+		if perBase[base] != n {
+			t.Errorf("base %q has %d locations, want %d (Table 7)", base, perBase[base], n)
+		}
+	}
+	if len(StudyLocations()) != 11 {
+		t.Fatalf("locations = %d, want 11", len(StudyLocations()))
+	}
+}
+
+func TestEquivalentTermsAndLookups(t *testing.T) {
+	terms := EquivalentTerms("general cleaning")
+	if len(terms) != 5 {
+		t.Fatalf("terms = %d", len(terms))
+	}
+	if base, ok := BaseOfTerm("office cleaning jobs"); !ok || base != "general cleaning" {
+		t.Fatalf("BaseOfTerm = %q, %v", base, ok)
+	}
+	if _, ok := BaseOfTerm("quantum plumbing"); ok {
+		t.Fatal("unknown term resolved")
+	}
+	if got := len(TermsOfBase("yard work")); got != 5 {
+		t.Fatalf("TermsOfBase = %d", got)
+	}
+	// Unknown bases still fan out via the generic fallback.
+	if got := len(EquivalentTerms("alpaca grooming")); got != 5 {
+		t.Fatalf("fallback terms = %d", got)
+	}
+	full := FullTerm("yard work jobs", "Detroit, MI")
+	if !strings.Contains(full, "near Detroit, MI") {
+		t.Fatalf("FullTerm = %q", full)
+	}
+}
+
+func TestBaseRankingDeterministicAndDistinct(t *testing.T) {
+	e := New(Config{Seed: 1})
+	a := e.BaseRanking("yard work jobs", "Detroit, MI")
+	b := e.BaseRanking("yard work jobs", "Detroit, MI")
+	if len(a) != ResultsPerPage {
+		t.Fatalf("page size = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("base ranking not deterministic")
+		}
+	}
+	c := e.BaseRanking("yard work jobs", "Birmingham, UK")
+	if a[0] == c[0] {
+		t.Fatal("different locations share postings")
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	e := New(Config{Seed: 1})
+	study := Studies()[0]
+	users := e.Participants(study)
+	if len(users) != 18 { // 6 groups × 3 participants
+		t.Fatalf("participants = %d, want 18", len(users))
+	}
+	counts := map[string]int{}
+	for _, u := range users {
+		counts[u.Attrs["gender"]+"/"+u.Attrs["ethnicity"]]++
+	}
+	for g, n := range counts {
+		if n != 3 {
+			t.Errorf("group %s has %d participants", g, n)
+		}
+	}
+}
+
+func TestFairEngineProducesIdenticalLists(t *testing.T) {
+	// Null personalization and no A/B noise: everyone sees the baseline.
+	e := New(Config{Seed: 2, Divergence: FairDivergenceModel(), ABNoise: -1})
+	study := Studies()[0]
+	results := e.RunStudy(study)
+	for _, sr := range results {
+		for i := 1; i < len(sr.Users); i++ {
+			if metrics.JaccardDistance(sr.Users[0].List, sr.Users[i].List) != 0 ||
+				metrics.KendallTauDistance(sr.Users[0].List, sr.Users[i].List) != 0 {
+				t.Fatalf("fair engine produced divergent lists for %s", sr.Users[i].ID)
+			}
+		}
+	}
+}
+
+func TestPersonalizationIsStableAcrossRepeats(t *testing.T) {
+	// The repeat protocol must cancel A/B noise: collecting the same
+	// (user, term) twice gives the same merged list.
+	e := New(Config{Seed: 3})
+	study := Studies()[1]
+	u := e.Participants(study)[0]
+	a := e.CollectUser(u, study, study.Terms[0])
+	b := e.CollectUser(u, study, study.Terms[0])
+	if metrics.KendallTauDistance(a, b) != 0 {
+		t.Fatal("merged lists differ between collections")
+	}
+}
+
+func TestRepeatsReduceABNoise(t *testing.T) {
+	// With more repeats, two users of the same group (same divergence,
+	// independent noise) should converge toward their personalization
+	// signal: their distance with 6 repeats must not exceed the
+	// single-run distance on average.
+	study := Studies()[0]
+	avgDist := func(repeats int) float64 {
+		e := New(Config{Seed: 9, Repeats: repeats, ABNoise: 1.5})
+		users := e.Participants(study)
+		var sum float64
+		var n int
+		for _, term := range study.Terms {
+			a := e.CollectUser(users[0], study, term)
+			b := e.CollectUser(users[1], study, term)
+			sum += metrics.KendallTauDistance(a, b)
+			n++
+		}
+		return sum / float64(n)
+	}
+	if noisy, clean := avgDist(1), avgDist(6); clean > noisy+0.02 {
+		t.Fatalf("more repeats increased noise: 1 repeat %v vs 6 repeats %v", noisy, clean)
+	}
+}
+
+func TestPersonalizedListsDivergeWithModel(t *testing.T) {
+	e := New(Config{Seed: 4})
+	study := Studies()[0] // yard work at NYC: high divergence
+	sr := e.RunStudy(study)[0]
+	base := e.BaseRanking(sr.Query, sr.Location)
+	diverged := 0
+	for _, u := range sr.Users {
+		if metrics.KendallTauDistance(base, u.List) > 0 {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("no user diverged from the base ranking")
+	}
+}
+
+func TestSubstitutionInsertsPersonalResults(t *testing.T) {
+	e := New(Config{Seed: 5})
+	// White Female in London (high divergence): personalized postings
+	// must appear.
+	var study Study
+	for _, s := range Studies() {
+		if s.Location == "London, UK" {
+			study = s
+			break
+		}
+	}
+	users := e.Participants(study)
+	var wf User
+	for _, u := range users {
+		if u.Attrs["gender"] == "Female" && u.Attrs["ethnicity"] == "White" {
+			wf = u
+			break
+		}
+	}
+	list := e.CollectUser(wf, study, study.Terms[0])
+	personal := 0
+	for _, id := range list {
+		if strings.HasPrefix(id, "personal-") {
+			personal++
+		}
+	}
+	if personal == 0 {
+		t.Fatal("no personalized postings for a high-divergence user")
+	}
+}
+
+func TestCrawlAllShape(t *testing.T) {
+	e := New(Config{Seed: 6})
+	all := e.CrawlAll()
+	if len(all) != 55 { // 11 studies × 5 terms
+		t.Fatalf("crawl = %d result sets, want 55", len(all))
+	}
+	for _, sr := range all {
+		if len(sr.Users) != 18 {
+			t.Fatalf("result set %s/%s has %d users", sr.Query, sr.Location, len(sr.Users))
+		}
+		for _, u := range sr.Users {
+			if len(u.List) == 0 || len(u.List) > ResultsPerPage {
+				t.Fatalf("user %s list size %d", u.ID, len(u.List))
+			}
+		}
+	}
+}
+
+func TestChannelsInteractions(t *testing.T) {
+	m := DefaultDivergenceModel()
+	// Male boost at a Table 16 location.
+	rN, sN := m.Channels("Male", "White", "yard work", "yard work jobs", "Manchester, UK")
+	rB, sB := m.Channels("Male", "White", "yard work", "yard work jobs", "Birmingham, UK")
+	// Compare like for like by normalizing the location factor away.
+	if rB/m.Location["Birmingham, UK"] <= rN/m.Location["Manchester, UK"] {
+		t.Fatal("male reorder boost missing at Birmingham")
+	}
+	if sB/m.Location["Birmingham, UK"] <= sN/m.Location["Manchester, UK"] {
+		t.Fatal("male substitution boost missing at Birmingham")
+	}
+	// Female reorder boost at a Table 17 location.
+	rF, sF := m.Channels("Female", "White", "general cleaning", "house cleaning jobs", "London, UK")
+	if rF <= sF {
+		t.Fatal("female reorder boost missing in London")
+	}
+	// Black cleaning boost.
+	rBl, _ := m.Channels("Male", "Black", "general cleaning", "house cleaning jobs", "Bristol, UK")
+	rWh, _ := m.Channels("Male", "White", "general cleaning", "house cleaning jobs", "Bristol, UK")
+	if rBl/m.Group["Male/Black"] <= rWh/m.Group["Male/White"] {
+		t.Fatal("Black cleaning boost missing")
+	}
+	// Boston office-cleaning boost.
+	rOff, _ := m.Channels("Male", "White", "general cleaning", "office cleaning jobs", "Boston, MA")
+	rGen, _ := m.Channels("Male", "White", "general cleaning", "general cleaning jobs", "Boston, MA")
+	if rOff <= rGen {
+		t.Fatal("Boston office-cleaning boost missing")
+	}
+}
+
+// TestCarryOverControlledBySpacing verifies the §5.1.2 protocol rationale:
+// back-to-back searches suffer carry-over contamination that inflates
+// measured unfairness, while the extension's 12-minute spacing decays the
+// residue to near nothing.
+func TestCarryOverControlledBySpacing(t *testing.T) {
+	study := Studies()[0]
+	avgUnfairness := func(spacing float64) float64 {
+		e := New(Config{Seed: 21, SpacingMinutes: spacing, CarryOver: 3})
+		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureKendallTau}
+		var sum float64
+		var n int
+		for _, sr := range e.RunStudy(study) {
+			for _, g := range core.DefaultSchema().FullGroups() {
+				if d, ok := ev.Unfairness(sr, g); ok {
+					sum += d
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	spaced := avgUnfairness(12)
+	backToBack := avgUnfairness(-1) // negative = no gap at all
+	if backToBack <= spaced {
+		t.Fatalf("carry-over had no effect: spaced %.3f vs back-to-back %.3f", spaced, backToBack)
+	}
+	// With the default spacing the residue is ~2%, so the spaced run
+	// should sit very close to a run with carry-over disabled.
+	clean := func() float64 {
+		e := New(Config{Seed: 21, CarryOver: -1})
+		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureKendallTau}
+		var sum float64
+		var n int
+		for _, sr := range e.RunStudy(study) {
+			for _, g := range core.DefaultSchema().FullGroups() {
+				if d, ok := ev.Unfairness(sr, g); ok {
+					sum += d
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}()
+	if diff := spaced - clean; diff < -0.02 || diff > 0.02 {
+		t.Fatalf("spaced run (%.3f) not close to clean run (%.3f)", spaced, clean)
+	}
+}
+
+// The first term of a session has no predecessor and therefore no
+// carry-over, even back-to-back.
+func TestCarryOverFirstTermClean(t *testing.T) {
+	study := Studies()[0]
+	dirty := New(Config{Seed: 23, SpacingMinutes: -1, CarryOver: 3})
+	clean := New(Config{Seed: 23, CarryOver: -1})
+	u := dirty.Participants(study)[0]
+	a := dirty.CollectUser(u, study, study.Terms[0])
+	b := clean.CollectUser(u, study, study.Terms[0])
+	if metrics.KendallTauDistance(a, b) != 0 {
+		t.Fatal("first search contaminated despite having no predecessor")
+	}
+}

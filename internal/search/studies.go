@@ -1,0 +1,157 @@
+// Package search implements the Google-job-search substrate of the case
+// study (§5.1.2): the study design (job queries at locations, five
+// equivalent search terms each, participants from six demographic groups),
+// a personalized search engine whose result divergence is group-, query-
+// and location-dependent, and the Chrome-extension protocol that repeats
+// every term to control for carry-over and A/B-testing noise.
+//
+// The paper collected this data through 60 Prolific Academic user studies;
+// we synthesize it. The personalization model's divergence factors are
+// calibrated so the shape of §5.2.2 and Tables 16–21 reproduces. See
+// DESIGN.md §2 for the substitution rationale.
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"fairjob/internal/core"
+)
+
+// Study is one (job query, location) user study: five equivalent Google
+// search terms executed by participants of all six demographic groups.
+type Study struct {
+	Base     string
+	Location core.Location
+	Terms    []core.Query
+}
+
+// Bases returns the job-query bases of the study design. The first five
+// are the categories of the paper's Table 7; furniture assembly is added
+// so the §5.2.2 query-quantification finding ("Furniture Assembly jobs
+// are deemed the most fair") has a subject, as recorded in EXPERIMENTS.md.
+func Bases() []string {
+	return []string{
+		"yard work", "general cleaning", "event staffing",
+		"moving job", "run errand", "furniture assembly",
+	}
+}
+
+// StudyLocations returns the locations of the study design: the ten
+// Prolific-determined locations of §5.1.2 plus Washington, DC (referenced
+// by the §5.2.2 location finding).
+func StudyLocations() []core.Location {
+	return []core.Location{
+		"London, UK", "New York City, NY", "Los Angeles, CA", "Boston, MA",
+		"Bristol, UK", "Charlotte, NC", "Pittsburgh, PA", "Birmingham, UK",
+		"Manchester, UK", "Detroit, MI", "Washington, DC",
+	}
+}
+
+// locationsPerBase reproduces Table 7's distribution (yard work at 4
+// locations, general cleaning at 3, the rest at 1 each), extended with
+// furniture assembly at Washington, DC.
+func locationsPerBase() map[string][]core.Location {
+	return map[string][]core.Location{
+		"yard work":          {"New York City, NY", "Detroit, MI", "Birmingham, UK", "Manchester, UK"},
+		"general cleaning":   {"Boston, MA", "Bristol, UK", "London, UK"},
+		"event staffing":     {"Charlotte, NC"},
+		"moving job":         {"Pittsburgh, PA"},
+		"run errand":         {"Los Angeles, CA"},
+		"furniture assembly": {"Washington, DC"},
+	}
+}
+
+// EquivalentTerms is the Keyword-Planner stand-in: it fans a base query
+// into five equivalent Google search formulations, in the style of the
+// paper's Table 6. The formulation is kept location-independent — the
+// location travels separately in the (query, location) pair, and FullTerm
+// renders the "… near <location>" string the Chrome extension would type —
+// so the same formulation is comparable across locations, which the
+// location-comparison problem (Tables 20–21) requires.
+func EquivalentTerms(base string) []core.Query {
+	terms, ok := map[string][]string{
+		"run errand": {
+			"run errand jobs", "errand service jobs", "errand runner jobs",
+			"errands and odd jobs", "jobs running errands for seniors",
+		},
+		"yard work": {
+			"yard work jobs", "yard worker", "lawn work needed",
+			"yard help needed", "yard work help wanted",
+		},
+		"general cleaning": {
+			"general cleaning jobs", "house cleaning jobs",
+			"office cleaning jobs", "private cleaning jobs",
+			"deep cleaning jobs",
+		},
+		"event staffing": {
+			"event staffing jobs", "event staff wanted", "banquet staff jobs",
+			"event crew jobs", "event help wanted",
+		},
+		"moving job": {
+			"moving job", "moving helper jobs", "furniture moving jobs",
+			"packing jobs", "moving crew jobs",
+		},
+		"furniture assembly": {
+			"furniture assembly jobs", "ikea assembly jobs",
+			"furniture assembler wanted", "flat pack assembly jobs",
+			"furniture installation jobs",
+		},
+	}[base]
+	if !ok {
+		// Generic Keyword-Planner fallback for bases outside the study.
+		terms = []string{
+			base + " jobs", base + " work", base + " help wanted",
+			base + " gigs", base + " positions",
+		}
+	}
+	out := make([]core.Query, len(terms))
+	for i, t := range terms {
+		out[i] = core.Query(t)
+	}
+	return out
+}
+
+// FullTerm renders the exact string the Chrome extension executes for a
+// formulation at a location, matching Table 6's "… near <location>" form.
+func FullTerm(term core.Query, loc core.Location) string {
+	return fmt.Sprintf("%s near %s", term, loc)
+}
+
+// Studies enumerates the full study design: one Study per (base, location)
+// pair of Table 7, with its five equivalent terms.
+func Studies() []Study {
+	perBase := locationsPerBase()
+	var out []Study
+	for _, base := range Bases() {
+		for _, loc := range perBase[base] {
+			out = append(out, Study{Base: base, Location: loc, Terms: EquivalentTerms(base)})
+		}
+	}
+	return out
+}
+
+// BaseOfTerm recovers the base query a search term was generated from,
+// and whether it belongs to the study design.
+func BaseOfTerm(term core.Query) (string, bool) {
+	for _, s := range Studies() {
+		for _, t := range s.Terms {
+			if t == term {
+				return s.Base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// TermsOfBase returns the search terms generated for a base; since
+// formulations are location-independent this is just EquivalentTerms.
+func TermsOfBase(base string) []core.Query {
+	return EquivalentTerms(base)
+}
+
+// termContains reports whether the term's text mentions the given word —
+// used by the divergence model's term-level interactions.
+func termContains(term core.Query, word string) bool {
+	return strings.Contains(string(term), word)
+}

@@ -1,0 +1,164 @@
+// Package significance adds the statistical layer the paper's related-work
+// section calls for ("further statistical and manual investigations are
+// necessary"): paired permutation tests and bootstrap confidence intervals
+// on top of the unfairness table, answering whether a measured difference
+// between two groups, queries or locations is distinguishable from
+// sampling noise.
+//
+// All tests are paired on the table's cells: comparing groups g1 and g2
+// pairs their values on every (query, location) cell where both are
+// defined, so platform-wide variation cancels and only the between-subject
+// difference is tested.
+package significance
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// DefaultResamples is the number of permutations/bootstrap resamples used
+// when the caller passes 0.
+const DefaultResamples = 999
+
+// Result reports one paired comparison.
+type Result struct {
+	// N is the number of paired cells.
+	N int
+	// Mean1 and Mean2 are the mean unfairness of each side over the
+	// paired cells.
+	Mean1, Mean2 float64
+	// MeanDiff = Mean1 − Mean2.
+	MeanDiff float64
+	// PValue is the two-sided sign-flip permutation p-value for
+	// MeanDiff = 0 (add-one corrected, never exactly 0).
+	PValue float64
+	// CILo and CIHi bound MeanDiff with a 95% percentile bootstrap CI.
+	CILo, CIHi float64
+}
+
+// Significant reports whether the difference is significant at the given
+// level (e.g. 0.05).
+func (r *Result) Significant(alpha float64) bool { return r.PValue < alpha }
+
+func (r *Result) String() string {
+	return fmt.Sprintf("n=%d mean1=%.4f mean2=%.4f diff=%.4f p=%.4f CI=[%.4f, %.4f]",
+		r.N, r.Mean1, r.Mean2, r.MeanDiff, r.PValue, r.CILo, r.CIHi)
+}
+
+func test(rng *stats.RNG, v1, v2 []float64, b int) *Result {
+	if b <= 0 {
+		b = DefaultResamples
+	}
+	ds := make([]float64, len(v1))
+	for i := range v1 {
+		ds[i] = v1[i] - v2[i]
+	}
+	lo, hi := stats.Bootstrap(rng, ds, b, 0.05, stats.Mean)
+	return &Result{
+		N:        len(ds),
+		Mean1:    stats.Mean(v1),
+		Mean2:    stats.Mean(v2),
+		MeanDiff: stats.Mean(ds),
+		PValue:   stats.PairedPermutationTest(rng, ds, b),
+		CILo:     lo,
+		CIHi:     hi,
+	}
+}
+
+// Groups tests whether two groups' unfairness differs over the (query,
+// location) cells where both are defined. Group arguments are canonical
+// keys. b resamples (0 = DefaultResamples).
+func Groups(rng *stats.RNG, tbl *core.Table, g1, g2 string, b int) (*Result, error) {
+	var v1, v2 []float64
+	for _, q := range tbl.Queries() {
+		for _, l := range tbl.Locations() {
+			a, okA := tbl.GetKey(g1, q, l)
+			c, okC := tbl.GetKey(g2, q, l)
+			if okA && okC {
+				v1 = append(v1, a)
+				v2 = append(v2, c)
+			}
+		}
+	}
+	if len(v1) == 0 {
+		return nil, fmt.Errorf("significance: groups %q and %q share no defined cells", g1, g2)
+	}
+	return test(rng, v1, v2, b), nil
+}
+
+// Queries tests whether two queries' unfairness differs over the (group,
+// location) cells where both are defined.
+func Queries(rng *stats.RNG, tbl *core.Table, q1, q2 core.Query, b int) (*Result, error) {
+	var v1, v2 []float64
+	for _, g := range tbl.Groups() {
+		for _, l := range tbl.Locations() {
+			a, okA := tbl.Get(g, q1, l)
+			c, okC := tbl.Get(g, q2, l)
+			if okA && okC {
+				v1 = append(v1, a)
+				v2 = append(v2, c)
+			}
+		}
+	}
+	if len(v1) == 0 {
+		return nil, fmt.Errorf("significance: queries %q and %q share no defined cells", q1, q2)
+	}
+	return test(rng, v1, v2, b), nil
+}
+
+// Locations tests whether two locations' unfairness differs over the
+// (group, query) cells where both are defined.
+func Locations(rng *stats.RNG, tbl *core.Table, l1, l2 core.Location, b int) (*Result, error) {
+	var v1, v2 []float64
+	for _, g := range tbl.Groups() {
+		for _, q := range tbl.Queries() {
+			a, okA := tbl.Get(g, q, l1)
+			c, okC := tbl.Get(g, q, l2)
+			if okA && okC {
+				v1 = append(v1, a)
+				v2 = append(v2, c)
+			}
+		}
+	}
+	if len(v1) == 0 {
+		return nil, fmt.Errorf("significance: locations %q and %q share no defined cells", l1, l2)
+	}
+	return test(rng, v1, v2, b), nil
+}
+
+// QuerySets tests two query families (e.g. two marketplace categories)
+// against each other: each family's values are averaged per (group,
+// location) cell first, then the cell averages are paired.
+func QuerySets(rng *stats.RNG, tbl *core.Table, qs1, qs2 []core.Query, b int) (*Result, error) {
+	cellAvg := func(g core.Group, l core.Location, qs []core.Query) (float64, bool) {
+		var sum float64
+		var n int
+		for _, q := range qs {
+			if v, ok := tbl.Get(g, q, l); ok {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), true
+	}
+	var v1, v2 []float64
+	for _, g := range tbl.Groups() {
+		for _, l := range tbl.Locations() {
+			a, okA := cellAvg(g, l, qs1)
+			c, okC := cellAvg(g, l, qs2)
+			if okA && okC {
+				v1 = append(v1, a)
+				v2 = append(v2, c)
+			}
+		}
+	}
+	if len(v1) == 0 {
+		return nil, fmt.Errorf("significance: query sets share no defined cells")
+	}
+	return test(rng, v1, v2, b), nil
+}

@@ -1,0 +1,148 @@
+package significance
+
+import (
+	"testing"
+
+	"fairjob/internal/core"
+	"fairjob/internal/stats"
+)
+
+// syntheticTable builds a table where group A is consistently ~delta less
+// fair than group B across 80 cells, with per-cell noise.
+func syntheticTable(seed uint64, delta float64) (*core.Table, string, string) {
+	rng := stats.NewRNG(seed)
+	a := core.NewGroup(core.Predicate{Attr: "g", Value: "a"})
+	b := core.NewGroup(core.Predicate{Attr: "g", Value: "b"})
+	t := core.NewTable()
+	for qi := 0; qi < 8; qi++ {
+		for li := 0; li < 10; li++ {
+			q := core.Query(rune('a'+qi)%26 + 'A')
+			_ = q
+			query := core.Query(string(rune('q')) + string(rune('0'+qi)))
+			loc := core.Location(string(rune('l')) + string(rune('0'+li)))
+			base := 0.3 + 0.1*rng.NormFloat64()
+			t.Set(a, query, loc, stats.Clamp(base+delta, 0, 1))
+			t.Set(b, query, loc, stats.Clamp(base, 0, 1))
+		}
+	}
+	return t, a.Key(), b.Key()
+}
+
+func TestGroupsDetectsRealDifference(t *testing.T) {
+	tbl, a, b := syntheticTable(1, 0.15)
+	res, err := Groups(stats.NewRNG(2), tbl, a, b, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 80 {
+		t.Fatalf("paired cells = %d", res.N)
+	}
+	if !res.Significant(0.05) {
+		t.Fatalf("0.15 shift not significant: %s", res)
+	}
+	if res.MeanDiff < 0.1 || res.MeanDiff > 0.2 {
+		t.Fatalf("mean diff = %v", res.MeanDiff)
+	}
+	if res.CILo > res.MeanDiff || res.CIHi < res.MeanDiff {
+		t.Fatalf("CI [%v, %v] excludes the point estimate %v", res.CILo, res.CIHi, res.MeanDiff)
+	}
+	if res.CILo <= 0 {
+		t.Fatalf("CI lower bound %v should exclude 0 for a real shift", res.CILo)
+	}
+}
+
+func TestGroupsNullNotSignificant(t *testing.T) {
+	tbl, a, b := syntheticTable(3, 0)
+	res, err := Groups(stats.NewRNG(4), tbl, a, b, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("null difference flagged significant: %s", res)
+	}
+}
+
+func TestGroupsNoCommonCells(t *testing.T) {
+	a := core.NewGroup(core.Predicate{Attr: "g", Value: "a"})
+	b := core.NewGroup(core.Predicate{Attr: "g", Value: "b"})
+	tbl := core.NewTable()
+	tbl.Set(a, "q1", "l1", 0.5)
+	tbl.Set(b, "q2", "l2", 0.5)
+	if _, err := Groups(stats.NewRNG(1), tbl, a.Key(), b.Key(), 99); err == nil {
+		t.Fatal("expected error for disjoint cells")
+	}
+}
+
+func TestQueriesAndLocations(t *testing.T) {
+	g := core.NewGroup(core.Predicate{Attr: "g", Value: "x"})
+	rng := stats.NewRNG(5)
+	tbl := core.NewTable()
+	for li := 0; li < 30; li++ {
+		loc := core.Location(rune('A' + li%26))
+		loc = core.Location(string(loc) + string(rune('0'+li/26)))
+		base := 0.4 + 0.05*rng.NormFloat64()
+		tbl.Set(g, "unfairQ", loc, stats.Clamp(base+0.2, 0, 1))
+		tbl.Set(g, "fairQ", loc, stats.Clamp(base, 0, 1))
+	}
+	res, err := Queries(stats.NewRNG(6), tbl, "unfairQ", "fairQ", 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) || res.MeanDiff < 0.1 {
+		t.Fatalf("query difference missed: %s", res)
+	}
+
+	// Locations: build per-location contrast.
+	tbl2 := core.NewTable()
+	for qi := 0; qi < 30; qi++ {
+		q := core.Query(string(rune('q')) + string(rune('A'+qi%26)) + string(rune('0'+qi/26)))
+		base := 0.4 + 0.05*rng.NormFloat64()
+		tbl2.Set(g, q, "badCity", stats.Clamp(base+0.2, 0, 1))
+		tbl2.Set(g, q, "goodCity", stats.Clamp(base, 0, 1))
+	}
+	res2, err := Locations(stats.NewRNG(7), tbl2, "badCity", "goodCity", 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Significant(0.05) {
+		t.Fatalf("location difference missed: %s", res2)
+	}
+	if _, err := Locations(stats.NewRNG(8), tbl2, "badCity", "atlantis", 99); err == nil {
+		t.Fatal("unknown location should error")
+	}
+}
+
+func TestQuerySets(t *testing.T) {
+	g := core.NewGroup(core.Predicate{Attr: "g", Value: "x"})
+	rng := stats.NewRNG(9)
+	tbl := core.NewTable()
+	for li := 0; li < 25; li++ {
+		loc := core.Location(string(rune('l')) + string(rune('A'+li)))
+		base := 0.4 + 0.05*rng.NormFloat64()
+		tbl.Set(g, "a1", loc, stats.Clamp(base+0.15, 0, 1))
+		tbl.Set(g, "a2", loc, stats.Clamp(base+0.17, 0, 1))
+		tbl.Set(g, "b1", loc, stats.Clamp(base, 0, 1))
+	}
+	res, err := QuerySets(stats.NewRNG(10), tbl,
+		[]core.Query{"a1", "a2"}, []core.Query{"b1"}, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Fatalf("query-set difference missed: %s", res)
+	}
+	if _, err := QuerySets(stats.NewRNG(11), tbl, []core.Query{"zz"}, []core.Query{"b1"}, 99); err == nil {
+		t.Fatal("empty overlap should error")
+	}
+}
+
+func TestDefaultResamplesAndString(t *testing.T) {
+	tbl, a, b := syntheticTable(12, 0.1)
+	res, err := Groups(stats.NewRNG(13), tbl, a, b, 0) // 0 -> default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

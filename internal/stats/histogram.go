@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width-bin histogram over the closed interval
+// [Lo, Hi]. It is the representation the EMD unfairness measure (paper
+// §3.3.1) operates on: worker relevance scores are binned per group and the
+// Earth Mover's Distance is computed between the normalized histograms.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// NewHistogram returns an empty histogram with bins equal-width bins over
+// [lo, hi]. It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v,%v]", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, bins)}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// BinOf returns the bin index that x falls into. Values outside [Lo, Hi]
+// are clamped to the first/last bin, matching how score distributions with
+// occasional out-of-range noise are treated by the evaluator.
+func (h *Histogram) BinOf(x float64) int {
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return len(h.Counts) - 1
+	}
+	// The 1e-9 nudge makes values that are mathematically on a bin
+	// boundary but land epsilon below it due to floating-point round-off
+	// (e.g. 0.3*10 = 2.999…96) bin consistently with their exact value.
+	i := int(float64(len(h.Counts))*(x-h.Lo)/(h.Hi-h.Lo) + 1e-9)
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.BinOf(x)]++
+}
+
+// AddWeighted records an observation of x with weight w.
+func (h *Histogram) AddWeighted(x, w float64) {
+	h.Counts[h.BinOf(x)] += w
+}
+
+// Total returns the sum of all bin counts.
+func (h *Histogram) Total() float64 { return Sum(h.Counts) }
+
+// Normalized returns a copy of h whose counts sum to 1. An empty histogram
+// (total 0) normalizes to the uniform distribution, which keeps EMD defined
+// for empty groups without special-casing callers.
+func (h *Histogram) Normalized() *Histogram {
+	out := &Histogram{Lo: h.Lo, Hi: h.Hi, Counts: append([]float64(nil), h.Counts...)}
+	if !Normalize(out.Counts) {
+		for i := range out.Counts {
+			out.Counts[i] = 1 / float64(len(out.Counts))
+		}
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution over bins of the normalized
+// histogram.
+func (h *Histogram) CDF() []float64 {
+	n := h.Normalized()
+	cdf := make([]float64, len(n.Counts))
+	var run float64
+	for i, c := range n.Counts {
+		run += c
+		cdf[i] = run
+	}
+	return cdf
+}
+
+// Mean returns the mean of the distribution using bin midpoints.
+func (h *Histogram) Mean() float64 {
+	total := h.Total()
+	if total == 0 {
+		return (h.Lo + h.Hi) / 2
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	var s float64
+	for i, c := range h.Counts {
+		mid := h.Lo + width*(float64(i)+0.5)
+		s += mid * c
+	}
+	return s / total
+}
+
+// Equal reports whether two histograms have identical geometry and counts
+// up to the given tolerance.
+func (h *Histogram) Equal(other *Histogram, tol float64) bool {
+	if other == nil || len(h.Counts) != len(other.Counts) ||
+		math.Abs(h.Lo-other.Lo) > tol || math.Abs(h.Hi-other.Hi) > tol {
+		return false
+	}
+	for i := range h.Counts {
+		if math.Abs(h.Counts[i]-other.Counts[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinOf(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.5, 0}, {0, 0}, {0.05, 0}, {0.1, 1}, {0.55, 5}, {0.999, 9}, {1, 9}, {2, 9},
+	}
+	for _, c := range cases {
+		if got := h.BinOf(c.x); got != c.want {
+			t.Errorf("BinOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramAddTotal(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, x := range []float64{0.1, 0.3, 0.6, 0.9, 0.95} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	if h.Counts[3] != 2 {
+		t.Fatalf("last bin = %v, want 2", h.Counts[3])
+	}
+}
+
+func TestHistogramAddWeighted(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.AddWeighted(0.25, 3)
+	h.AddWeighted(0.75, 1)
+	if h.Counts[0] != 3 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(0.9)
+	n := h.Normalized()
+	if !approx(n.Counts[0], 2.0/3, 1e-12) || !approx(n.Counts[1], 1.0/3, 1e-12) {
+		t.Fatalf("normalized = %v", n.Counts)
+	}
+	// Original untouched.
+	if h.Counts[0] != 2 {
+		t.Fatal("Normalized mutated receiver")
+	}
+}
+
+func TestHistogramNormalizedEmptyIsUniform(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	n := h.Normalized()
+	for _, c := range n.Counts {
+		if !approx(c, 0.25, 1e-12) {
+			t.Fatalf("empty normalization = %v", n.Counts)
+		}
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0.1)
+	h.Add(0.6)
+	h.Add(0.6)
+	h.Add(0.9)
+	cdf := h.CDF()
+	want := []float64{0.25, 0.25, 0.75, 1}
+	for i := range want {
+		if !approx(cdf[i], want[i], 1e-12) {
+			t.Fatalf("CDF = %v, want %v", cdf, want)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.05) // bin 0, midpoint 0.05
+	h.Add(0.95) // bin 9, midpoint 0.95
+	if got := h.Mean(); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+	empty := NewHistogram(0, 2, 5)
+	if got := empty.Mean(); !approx(got, 1, 1e-12) {
+		t.Fatalf("empty Mean = %v, want range midpoint", got)
+	}
+}
+
+func TestHistogramEqual(t *testing.T) {
+	a := NewHistogram(0, 1, 3)
+	b := NewHistogram(0, 1, 3)
+	a.Add(0.5)
+	if a.Equal(b, 1e-9) {
+		t.Fatal("unequal histograms reported equal")
+	}
+	b.Add(0.5)
+	if !a.Equal(b, 1e-9) {
+		t.Fatal("equal histograms reported unequal")
+	}
+	if a.Equal(nil, 1e-9) {
+		t.Fatal("Equal(nil) should be false")
+	}
+	c := NewHistogram(0, 2, 3)
+	c.Add(0.5)
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different ranges reported equal")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 1.
+func TestHistogramCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(0, 1, 8)
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				h.Add(math.Abs(math.Mod(x, 1)))
+			}
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, c := range cdf {
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return approx(cdf[len(cdf)-1], 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksNoTies(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{7, 7, 7})
+	for _, r := range got {
+		if r != 2 {
+			t.Fatalf("Ranks all-tied = %v, want all 2", got)
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !approx(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v", got)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("Pearson constant = %v", got)
+	}
+}
+
+func TestPearsonLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 5, 10, 100}
+	ys := []float64{1, 2, 3, 4} // monotone in xs, non-linear
+	if got := Spearman(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("Spearman = %v", got)
+	}
+}
+
+// Property: Pearson is bounded in [-1, 1] and symmetric.
+func TestPearsonProperties(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(p[0], 1e6))
+			ys = append(ys, math.Mod(p[1], 1e6))
+		}
+		r := Pearson(xs, ys)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		return math.Abs(r-Pearson(ys, xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bootstrap computes a percentile bootstrap confidence interval for a
+// statistic of xs: B resamples with replacement, each fed to statistic,
+// and the (alpha/2, 1−alpha/2) percentiles of the resulting distribution.
+// It panics on an empty sample, B <= 0, or alpha outside (0, 1).
+//
+// The paper's §2 notes that "further statistical ... investigations are
+// necessary" on top of the point estimates its tables report; Bootstrap
+// and PermutationTest are the substrate for that (see the significance
+// package).
+func Bootstrap(rng *RNG, xs []float64, b int, alpha float64, statistic func([]float64) float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: Bootstrap of empty sample")
+	}
+	if b <= 0 {
+		panic("stats: Bootstrap needs B > 0")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: invalid alpha %v", alpha))
+	}
+	resample := make([]float64, len(xs))
+	vals := make([]float64, b)
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		vals[i] = statistic(resample)
+	}
+	sort.Float64s(vals)
+	return Quantile(vals, alpha/2), Quantile(vals, 1-alpha/2)
+}
+
+// BootstrapMeanCI is Bootstrap specialized to the mean.
+func BootstrapMeanCI(rng *RNG, xs []float64, b int, alpha float64) (lo, hi float64) {
+	return Bootstrap(rng, xs, b, alpha, Mean)
+}
+
+// PermutationTest returns the two-sided p-value for the null hypothesis
+// that xs and ys are drawn from the same distribution, using the
+// difference of means as the test statistic and B random permutations of
+// the pooled sample. The p-value uses the add-one correction
+// (count+1)/(B+1), so it is never exactly zero. It panics when either
+// sample is empty or B <= 0.
+func PermutationTest(rng *RNG, xs, ys []float64, b int) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic("stats: PermutationTest needs non-empty samples")
+	}
+	if b <= 0 {
+		panic("stats: PermutationTest needs B > 0")
+	}
+	observed := Mean(xs) - Mean(ys)
+	if observed < 0 {
+		observed = -observed
+	}
+	pooled := make([]float64, 0, len(xs)+len(ys))
+	pooled = append(pooled, xs...)
+	pooled = append(pooled, ys...)
+	nx := len(xs)
+	extreme := 0
+	for i := 0; i < b; i++ {
+		rng.Shuffle(len(pooled), func(a, c int) { pooled[a], pooled[c] = pooled[c], pooled[a] })
+		d := Mean(pooled[:nx]) - Mean(pooled[nx:])
+		if d < 0 {
+			d = -d
+		}
+		if d >= observed-1e-15 {
+			extreme++
+		}
+	}
+	return float64(extreme+1) / float64(b+1)
+}
+
+// PairedPermutationTest returns the two-sided p-value for the null
+// hypothesis that paired differences ds have zero mean, using B random
+// sign flips. Use it for comparing two groups' unfairness over the same
+// (query, location) cells, where values are paired by cell. It panics on
+// an empty sample or B <= 0.
+func PairedPermutationTest(rng *RNG, ds []float64, b int) float64 {
+	if len(ds) == 0 {
+		panic("stats: PairedPermutationTest of empty sample")
+	}
+	if b <= 0 {
+		panic("stats: PairedPermutationTest needs B > 0")
+	}
+	observed := Mean(ds)
+	if observed < 0 {
+		observed = -observed
+	}
+	flipped := make([]float64, len(ds))
+	extreme := 0
+	for i := 0; i < b; i++ {
+		for j, d := range ds {
+			if rng.Bernoulli(0.5) {
+				flipped[j] = -d
+			} else {
+				flipped[j] = d
+			}
+		}
+		m := Mean(flipped)
+		if m < 0 {
+			m = -m
+		}
+		if m >= observed-1e-15 {
+			extreme++
+		}
+	}
+	return float64(extreme+1) / float64(b+1)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	rng := NewRNG(42)
+	// Sample from N(5, 1): the 95% CI of the mean should contain 5 and
+	// be reasonably tight for n=200.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Normal(5, 1)
+	}
+	lo, hi := BootstrapMeanCI(rng, xs, 2000, 0.05)
+	if lo > 5 || hi < 5 {
+		t.Fatalf("CI [%v, %v] misses the true mean 5", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v, %v] too wide for n=200", lo, hi)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCustomStatistic(t *testing.T) {
+	rng := NewRNG(7)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	lo, hi := Bootstrap(rng, xs, 500, 0.1, Median)
+	if lo < 1 || hi > 9 || lo > hi {
+		t.Fatalf("median CI [%v, %v] out of range", lo, hi)
+	}
+}
+
+func TestBootstrapPanics(t *testing.T) {
+	rng := NewRNG(1)
+	for name, f := range map[string]func(){
+		"empty":     func() { Bootstrap(rng, nil, 10, 0.05, Mean) },
+		"zero B":    func() { Bootstrap(rng, []float64{1}, 0, 0.05, Mean) },
+		"bad alpha": func() { Bootstrap(rng, []float64{1}, 10, 1.5, Mean) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPermutationTestDetectsDifference(t *testing.T) {
+	rng := NewRNG(11)
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.Normal(0, 1)
+		ys[i] = rng.Normal(1.2, 1) // clearly shifted
+	}
+	if p := PermutationTest(rng, xs, ys, 999); p > 0.01 {
+		t.Fatalf("p = %v for a 1.2σ shift with n=60", p)
+	}
+}
+
+func TestPermutationTestNullIsUniformish(t *testing.T) {
+	rng := NewRNG(13)
+	// Same distribution: p-value should usually be large.
+	small := 0
+	for trial := 0; trial < 20; trial++ {
+		xs := make([]float64, 30)
+		ys := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.Normal(0, 1)
+			ys[i] = rng.Normal(0, 1)
+		}
+		if p := PermutationTest(rng, xs, ys, 499); p < 0.05 {
+			small++
+		}
+	}
+	// Expect about 1 of 20 to be < 0.05 under the null; allow up to 4.
+	if small > 4 {
+		t.Fatalf("%d/20 null p-values below 0.05", small)
+	}
+}
+
+func TestPermutationTestNeverZero(t *testing.T) {
+	rng := NewRNG(17)
+	xs := []float64{0, 0, 0}
+	ys := []float64{100, 100, 100}
+	p := PermutationTest(rng, xs, ys, 99)
+	if p <= 0 {
+		t.Fatalf("p = %v, want > 0 (add-one correction)", p)
+	}
+	if p > 0.2 {
+		t.Fatalf("p = %v for a massive difference", p)
+	}
+}
+
+func TestPairedPermutationTest(t *testing.T) {
+	rng := NewRNG(23)
+	// Paired differences with a consistent positive shift.
+	ds := make([]float64, 50)
+	for i := range ds {
+		ds[i] = rng.Normal(0.5, 0.3)
+	}
+	if p := PairedPermutationTest(rng, ds, 999); p > 0.01 {
+		t.Fatalf("p = %v for consistent positive pairs", p)
+	}
+	// Centered differences: usually not significant.
+	for i := range ds {
+		ds[i] = rng.Normal(0, 1)
+	}
+	if p := PairedPermutationTest(rng, ds, 999); p < 0.001 {
+		t.Fatalf("p = %v suspiciously small under the null", p)
+	}
+}
+
+func TestResamplePanicsOnBadInput(t *testing.T) {
+	rng := NewRNG(1)
+	for name, f := range map[string]func(){
+		"perm empty x":  func() { PermutationTest(rng, nil, []float64{1}, 9) },
+		"perm zero B":   func() { PermutationTest(rng, []float64{1}, []float64{1}, 0) },
+		"paired empty":  func() { PairedPermutationTest(rng, nil, 9) },
+		"paired zero B": func() { PairedPermutationTest(rng, []float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

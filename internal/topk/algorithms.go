@@ -1,0 +1,236 @@
+package topk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction selects between the most-unfair (descending) and least-unfair
+// (ascending) variants of Problem 1.
+type Direction int
+
+const (
+	// MostUnfair returns the k members with the highest aggregated
+	// unfairness.
+	MostUnfair Direction = iota
+	// LeastUnfair returns the k members with the lowest aggregated
+	// unfairness.
+	LeastUnfair
+)
+
+func (d Direction) String() string {
+	switch d {
+	case MostUnfair:
+		return "most-unfair"
+	case LeastUnfair:
+		return "least-unfair"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Algorithm selects the top-k strategy. TA is the paper's Algorithm 1;
+// FA and Naive are the baselines used in the ablation benchmarks.
+type Algorithm int
+
+const (
+	// TA is Fagin's Threshold Algorithm: round-robin sorted access with
+	// random-access completion and a threshold stopping rule.
+	TA Algorithm = iota
+	// FA is Fagin's original algorithm: sorted access until k members
+	// have been seen on every list, then random-access completion.
+	FA
+	// Naive scans every member of every list.
+	Naive
+	// NRA is Fagin's No-Random-Access algorithm: sorted access only,
+	// with lower/upper score bounds per member.
+	NRA
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case TA:
+		return "TA"
+	case FA:
+		return "FA"
+	case Naive:
+		return "naive"
+	case NRA:
+		return "NRA"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Stats reports the access costs of a top-k run, the quantity the
+// Fagin-vs-baseline ablation measures.
+type Stats struct {
+	SortedAccesses int
+	RandomAccesses int
+	Rounds         int
+}
+
+// TopK solves fairness quantification over src: the k members with the
+// most/least average value across lists. It returns results in order
+// (most-unfair first for MostUnfair, least-unfair first for LeastUnfair).
+// k larger than the membership returns all members ranked.
+func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("topk: k must be positive, got %d", k)
+	}
+	run := func(s ListSource) ([]Result, Stats) {
+		switch algo {
+		case TA:
+			return thresholdAlgorithm(s, k)
+		case FA:
+			return faginFA(s, k)
+		case Naive:
+			return naiveScan(s, k)
+		case NRA:
+			return nra(s, k)
+		default:
+			panic(fmt.Sprintf("topk: unknown algorithm %d", int(algo)))
+		}
+	}
+	if dir == LeastUnfair {
+		results, stats := run(reversedLists{src})
+		for i := range results {
+			results[i].Value = -results[i].Value
+		}
+		return results, stats, nil
+	}
+	results, stats := run(src)
+	return results, stats, nil
+}
+
+// thresholdAlgorithm is the paper's Algorithm 1. Each round advances a
+// shared cursor across every list (sorted access); each newly discovered
+// member is completed with random accesses to all other lists; the round
+// threshold τ is the average of the frontier values, a valid upper bound
+// on any unseen member's aggregate because lists are sorted descending and
+// membership is identical. The run stops when the heap holds k members
+// with min value ≥ τ, or when the lists are exhausted.
+func thresholdAlgorithm(src ListSource, k int) ([]Result, Stats) {
+	var (
+		stats     Stats
+		heap      minHeap
+		seen      = make(map[string]bool)
+		n         = src.NumLists()
+		listLen   = src.ListLen()
+		denom     = float64(n)
+		exhausted bool
+	)
+	for pos := 0; !exhausted; pos++ {
+		if pos >= listLen {
+			break
+		}
+		stats.Rounds++
+		var frontierSum float64
+		for i := 0; i < n; i++ {
+			e, ok := src.At(i, pos)
+			stats.SortedAccesses++
+			if !ok {
+				exhausted = true
+				break
+			}
+			frontierSum += e.Value
+			if seen[e.Key] {
+				continue
+			}
+			seen[e.Key] = true
+			total := e.Value
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				v, _ := src.Find(j, e.Key)
+				stats.RandomAccesses++
+				total += v
+			}
+			heap.Offer(Result{Key: e.Key, Value: total / denom}, k)
+		}
+		if exhausted {
+			break
+		}
+		tau := frontierSum / denom
+		if heap.Len() >= k && heap.MinValue() >= tau {
+			break
+		}
+	}
+	return heap.Drain(), stats
+}
+
+// faginFA is Fagin's original algorithm: sorted access in parallel until at
+// least k members have been encountered on every list, then random-access
+// completion of every member seen.
+func faginFA(src ListSource, k int) ([]Result, Stats) {
+	var (
+		stats   Stats
+		n       = src.NumLists()
+		listLen = src.ListLen()
+		count   = make(map[string]int)
+		full    int
+	)
+	pos := 0
+	for ; pos < listLen && full < k; pos++ {
+		stats.Rounds++
+		for i := 0; i < n; i++ {
+			e, ok := src.At(i, pos)
+			stats.SortedAccesses++
+			if !ok {
+				continue
+			}
+			count[e.Key]++
+			if count[e.Key] == n {
+				full++
+			}
+		}
+	}
+	var heap minHeap
+	for key := range count {
+		var total float64
+		for i := 0; i < n; i++ {
+			v, _ := src.Find(i, key)
+			stats.RandomAccesses++
+			total += v
+		}
+		heap.Offer(Result{Key: key, Value: total / float64(n)}, k)
+	}
+	return heap.Drain(), stats
+}
+
+// naiveScan reads every posting of every list.
+func naiveScan(src ListSource, k int) ([]Result, Stats) {
+	var stats Stats
+	n := src.NumLists()
+	listLen := src.ListLen()
+	totals := make(map[string]float64, listLen)
+	for i := 0; i < n; i++ {
+		for pos := 0; pos < listLen; pos++ {
+			e, ok := src.At(i, pos)
+			stats.SortedAccesses++
+			if !ok {
+				break
+			}
+			totals[e.Key] += e.Value
+		}
+	}
+	stats.Rounds = listLen
+	var heap minHeap
+	for key, total := range totals {
+		heap.Offer(Result{Key: key, Value: total / float64(n)}, k)
+	}
+	return heap.Drain(), stats
+}
+
+// sortResults orders results descending by value with deterministic key
+// tie-break; exported algorithms return already-ordered output, this is a
+// helper for tests and aggregation call sites.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Value != rs[j].Value {
+			return rs[i].Value > rs[j].Value
+		}
+		return rs[i].Key < rs[j].Key
+	})
+}

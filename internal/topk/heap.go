@@ -1,0 +1,120 @@
+package topk
+
+// Result is one answer of a fairness-quantification problem: a dimension
+// member (group key, query or location) and its aggregated unfairness.
+type Result struct {
+	Key   string
+	Value float64
+}
+
+// minHeap is a size-bounded min-heap of Results keyed on Value, with ties
+// broken by Key (larger keys treated as smaller) so heap behaviour is
+// deterministic. It keeps the k largest values seen: the root is the
+// smallest retained value, i.e. the paper's topk.minValue().
+type minHeap struct {
+	items []Result
+}
+
+func (h *minHeap) Len() int { return len(h.items) }
+
+// less orders a strictly below b: by value, then by reversed key order so
+// that among equal values the lexicographically larger key is evicted
+// first, matching the deterministic tie-break of the index ordering.
+func (h *minHeap) less(a, b Result) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Key > b.Key
+}
+
+// MinValue returns the smallest retained value; it panics on an empty
+// heap (the paper's Algorithm 1 guards with topk.size() < k first).
+func (h *minHeap) MinValue() float64 {
+	if len(h.items) == 0 {
+		panic("topk: MinValue on empty heap")
+	}
+	return h.items[0].Value
+}
+
+// Min returns the root result.
+func (h *minHeap) Min() Result {
+	if len(h.items) == 0 {
+		panic("topk: Min on empty heap")
+	}
+	return h.items[0]
+}
+
+// Insert pushes r onto the heap.
+func (h *minHeap) Insert(r Result) {
+	h.items = append(h.items, r)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the root.
+func (h *minHeap) Pop() Result {
+	if len(h.items) == 0 {
+		panic("topk: Pop on empty heap")
+	}
+	root := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return root
+}
+
+// Offer inserts r into a heap bounded at capacity k: when full, r replaces
+// the root only if it beats it. It reports whether r was retained.
+func (h *minHeap) Offer(r Result, k int) bool {
+	if len(h.items) < k {
+		h.Insert(r)
+		return true
+	}
+	if h.less(h.items[0], r) {
+		h.Pop()
+		h.Insert(r)
+		return true
+	}
+	return false
+}
+
+// Drain removes everything, returning results in descending value order.
+func (h *minHeap) Drain() []Result {
+	out := make([]Result, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = h.Pop()
+	}
+	return out
+}
+
+func (h *minHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,127 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fairjob/internal/stats"
+)
+
+func TestHeapInsertPopOrder(t *testing.T) {
+	var h minHeap
+	for _, v := range []float64{0.5, 0.1, 0.9, 0.3} {
+		h.Insert(Result{Key: "k", Value: v})
+	}
+	want := []float64{0.1, 0.3, 0.5, 0.9}
+	for _, w := range want {
+		if got := h.Pop().Value; got != w {
+			t.Fatalf("Pop = %v, want %v", got, w)
+		}
+	}
+}
+
+func TestHeapMinValue(t *testing.T) {
+	var h minHeap
+	h.Insert(Result{Key: "a", Value: 0.7})
+	h.Insert(Result{Key: "b", Value: 0.2})
+	if h.MinValue() != 0.2 {
+		t.Fatalf("MinValue = %v", h.MinValue())
+	}
+	if h.Min().Key != "b" {
+		t.Fatalf("Min = %v", h.Min())
+	}
+}
+
+func TestHeapPanicsWhenEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MinValue": func() { (&minHeap{}).MinValue() },
+		"Min":      func() { (&minHeap{}).Min() },
+		"Pop":      func() { (&minHeap{}).Pop() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeapOfferBounded(t *testing.T) {
+	var h minHeap
+	const k = 3
+	for i, v := range []float64{0.1, 0.2, 0.3, 0.05, 0.9} {
+		h.Offer(Result{Key: string(rune('a' + i)), Value: v}, k)
+	}
+	if h.Len() != k {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	got := h.Drain()
+	want := []float64{0.9, 0.3, 0.2}
+	for i := range want {
+		if got[i].Value != want[i] {
+			t.Fatalf("Drain = %v", got)
+		}
+	}
+}
+
+func TestHeapOfferRejectsSmaller(t *testing.T) {
+	var h minHeap
+	h.Offer(Result{Key: "a", Value: 0.5}, 1)
+	if h.Offer(Result{Key: "b", Value: 0.4}, 1) {
+		t.Fatal("smaller value should be rejected when full")
+	}
+	if h.Offer(Result{Key: "c", Value: 0.6}, 1) != true {
+		t.Fatal("larger value should displace root")
+	}
+	if h.Min().Key != "c" {
+		t.Fatalf("root = %v", h.Min())
+	}
+}
+
+func TestHeapDeterministicTieBreak(t *testing.T) {
+	// Equal values: lexicographically smaller keys win retention.
+	var h minHeap
+	h.Offer(Result{Key: "b", Value: 0.5}, 1)
+	if !h.Offer(Result{Key: "a", Value: 0.5}, 1) {
+		t.Fatal("key 'a' should displace key 'b' at equal value")
+	}
+	if h.Min().Key != "a" {
+		t.Fatalf("root = %v", h.Min())
+	}
+	// And the reverse insertion order gives the same final state.
+	var h2 minHeap
+	h2.Offer(Result{Key: "a", Value: 0.5}, 1)
+	if h2.Offer(Result{Key: "b", Value: 0.5}, 1) {
+		t.Fatal("key 'b' should not displace key 'a'")
+	}
+}
+
+func TestHeapDrainSortedProperty(t *testing.T) {
+	rng := stats.NewRNG(9)
+	f := func(seed uint64, sz uint8) bool {
+		r := stats.NewRNG(seed)
+		n := int(sz%64) + 1
+		var h minHeap
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+			h.Insert(Result{Key: "k", Value: vals[i]})
+		}
+		got := h.Drain()
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		for i := range vals {
+			if got[i].Value != vals[i] {
+				return false
+			}
+		}
+		_ = rng
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

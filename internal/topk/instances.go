@@ -1,0 +1,58 @@
+package topk
+
+import (
+	"fairjob/internal/core"
+	"fairjob/internal/index"
+)
+
+// GroupFairness solves the group-fairness instance of Problem 1 with the
+// Threshold Algorithm: the k groups for which the site is most/least
+// unfair over the (qs × ls) scope. Nil qs/ls use the index's full scope.
+// Result keys are group keys resolvable via idx.Group.
+func GroupFairness(idx *index.GroupIndex, qs []core.Query, ls []core.Location, k int, dir Direction) ([]Result, error) {
+	src, err := NewGroupLists(idx, qs, ls)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := TopK(src, k, dir, TA)
+	return results, err
+}
+
+// QueryFairness solves the query-fairness instance: the k most/least
+// unfair queries over the (groups × locations) scope.
+func QueryFairness(idx *index.QueryIndex, groupKeys []string, ls []core.Location, k int, dir Direction) ([]Result, error) {
+	src, err := NewQueryLists(idx, groupKeys, ls)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := TopK(src, k, dir, TA)
+	return results, err
+}
+
+// LocationFairness solves the location-fairness instance: the k most/least
+// unfair locations over the (groups × queries) scope.
+func LocationFairness(idx *index.LocationIndex, groupKeys []string, qs []core.Query, k int, dir Direction) ([]Result, error) {
+	src, err := NewLocationLists(idx, groupKeys, qs)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := TopK(src, k, dir, TA)
+	return results, err
+}
+
+// GroupFairnessAmong solves the restricted group-fairness question of
+// §4.1's example ("Out of Black Males, Asian Males, Asian Females, and
+// White Females, what are the 2 groups for which the site is the most
+// unfair?"): the k most/least unfair groups among the given candidates.
+func GroupFairnessAmong(idx *index.GroupIndex, candidates []string, qs []core.Query, ls []core.Location, k int, dir Direction) ([]Result, error) {
+	src, err := NewGroupLists(idx, qs, ls)
+	if err != nil {
+		return nil, err
+	}
+	restricted, err := NewFilteredLists(src, candidates)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := TopK(restricted, k, dir, TA)
+	return results, err
+}

@@ -1,0 +1,236 @@
+// Package topk solves the paper's Problem 1 (Fairness Quantification):
+// return the k members of one dimension — groups, queries or locations —
+// for which a site is most or least unfair, averaged over the two other
+// dimensions.
+//
+// The package implements the paper's adaptation of Fagin's Threshold
+// Algorithm (Algorithm 1) plus three baselines used by the ablation
+// benchmarks: Fagin's original FA, Fagin's No-Random-Access algorithm
+// (NRA), and a naive full scan. Restricted variants (NewFilteredLists,
+// GroupFairnessAmong) answer the paper's "out of these groups…" form of
+// the question.
+package topk
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+	"fairjob/internal/index"
+)
+
+// ListSource is the access interface Fagin-style algorithms need: a family
+// of posting lists with identical membership (the index completion
+// invariant), each sorted by descending value, supporting sorted access
+// (At) and random access (Find).
+type ListSource interface {
+	// NumLists returns the number of posting lists (|Q|·|L| for
+	// group-fairness).
+	NumLists() int
+	// ListLen returns the length of every list (identical by the
+	// completion invariant).
+	ListLen() int
+	// At performs sorted access on list i at position pos.
+	At(i, pos int) (index.Entry, bool)
+	// Find performs random access for key on list i.
+	Find(i int, key string) (float64, bool)
+}
+
+// groupLists exposes the I(q,l) family over a (Q, L) scope as a
+// ListSource whose members are group keys.
+type groupLists struct {
+	lists []*index.Inverted
+}
+
+// NewGroupLists builds the group-fairness ListSource over the given scope.
+// Nil qs or ls default to the index's full dimensions. It returns an error
+// when a requested pair is not indexed.
+func NewGroupLists(gi *index.GroupIndex, qs []core.Query, ls []core.Location) (ListSource, error) {
+	if qs == nil {
+		qs = gi.Queries
+	}
+	if ls == nil {
+		ls = gi.Locations
+	}
+	src := &groupLists{}
+	for _, q := range qs {
+		for _, l := range ls {
+			iv := gi.Get(q, l)
+			if iv == nil {
+				return nil, fmt.Errorf("topk: pair (%s, %s) not indexed", q, l)
+			}
+			src.lists = append(src.lists, iv)
+		}
+	}
+	if len(src.lists) == 0 {
+		return nil, fmt.Errorf("topk: empty scope")
+	}
+	return src, nil
+}
+
+func (s *groupLists) NumLists() int { return len(s.lists) }
+func (s *groupLists) ListLen() int  { return s.lists[0].Len() }
+func (s *groupLists) At(i, pos int) (index.Entry, bool) {
+	return s.lists[i].At(pos)
+}
+func (s *groupLists) Find(i int, key string) (float64, bool) {
+	return s.lists[i].Find(key)
+}
+
+// queryLists exposes the I(g,l) family over a (G, L) scope; members are
+// queries.
+type queryLists struct {
+	lists []*index.Inverted
+}
+
+// NewQueryLists builds the query-fairness ListSource. groupKeys and ls nil
+// default to the full dimensions.
+func NewQueryLists(qi *index.QueryIndex, groupKeys []string, ls []core.Location) (ListSource, error) {
+	if groupKeys == nil {
+		groupKeys = qi.GroupKeys
+	}
+	if ls == nil {
+		ls = qi.Locations
+	}
+	src := &queryLists{}
+	for _, g := range groupKeys {
+		for _, l := range ls {
+			iv := qi.Get(g, l)
+			if iv == nil {
+				return nil, fmt.Errorf("topk: pair (%s, %s) not indexed", g, l)
+			}
+			src.lists = append(src.lists, iv)
+		}
+	}
+	if len(src.lists) == 0 {
+		return nil, fmt.Errorf("topk: empty scope")
+	}
+	return src, nil
+}
+
+func (s *queryLists) NumLists() int { return len(s.lists) }
+func (s *queryLists) ListLen() int  { return s.lists[0].Len() }
+func (s *queryLists) At(i, pos int) (index.Entry, bool) {
+	return s.lists[i].At(pos)
+}
+func (s *queryLists) Find(i int, key string) (float64, bool) {
+	return s.lists[i].Find(key)
+}
+
+// locationLists exposes the I(g,q) family over a (G, Q) scope; members are
+// locations.
+type locationLists struct {
+	lists []*index.Inverted
+}
+
+// NewLocationLists builds the location-fairness ListSource.
+func NewLocationLists(li *index.LocationIndex, groupKeys []string, qs []core.Query) (ListSource, error) {
+	if groupKeys == nil {
+		groupKeys = li.GroupKeys
+	}
+	if qs == nil {
+		qs = li.Queries
+	}
+	src := &locationLists{}
+	for _, g := range groupKeys {
+		for _, q := range qs {
+			iv := li.Get(g, q)
+			if iv == nil {
+				return nil, fmt.Errorf("topk: pair (%s, %s) not indexed", g, q)
+			}
+			src.lists = append(src.lists, iv)
+		}
+	}
+	if len(src.lists) == 0 {
+		return nil, fmt.Errorf("topk: empty scope")
+	}
+	return src, nil
+}
+
+func (s *locationLists) NumLists() int { return len(s.lists) }
+func (s *locationLists) ListLen() int  { return s.lists[0].Len() }
+func (s *locationLists) At(i, pos int) (index.Entry, bool) {
+	return s.lists[i].At(pos)
+}
+func (s *locationLists) Find(i int, key string) (float64, bool) {
+	return s.lists[i].Find(key)
+}
+
+// reversedLists adapts a ListSource so that ascending order on the
+// original becomes descending order on the adapter, by reading lists back
+// to front with negated values. Running the most-unfair algorithm on the
+// adapter yields the least-unfair answer on the original.
+type reversedLists struct {
+	src ListSource
+}
+
+func (r reversedLists) NumLists() int { return r.src.NumLists() }
+func (r reversedLists) ListLen() int  { return r.src.ListLen() }
+func (r reversedLists) At(i, pos int) (index.Entry, bool) {
+	e, ok := r.src.At(i, r.src.ListLen()-1-pos)
+	if !ok {
+		return index.Entry{}, false
+	}
+	return index.Entry{Key: e.Key, Value: -e.Value}, true
+}
+func (r reversedLists) Find(i int, key string) (float64, bool) {
+	v, ok := r.src.Find(i, key)
+	return -v, ok
+}
+
+// filteredLists restricts a ListSource's membership to a subset of keys,
+// preserving each list's order. It supports the paper's restricted
+// quantification questions ("Out of Black Males, Asian Males, Asian
+// Females, and White Females, what are the 2 groups for which the site is
+// most unfair?"): top-k must be computed among the subset, not filtered
+// out of an unrestricted answer.
+type filteredLists struct {
+	src     ListSource
+	keep    map[string]bool
+	listLen int
+	// positions[i] holds, for list i, the source positions of the kept
+	// entries in order.
+	positions [][]int
+}
+
+// NewFilteredLists wraps src keeping only the given member keys. It
+// returns an error when no key is kept.
+func NewFilteredLists(src ListSource, keys []string) (ListSource, error) {
+	keep := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		keep[k] = true
+	}
+	f := &filteredLists{src: src, keep: keep}
+	n := src.NumLists()
+	f.positions = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for pos := 0; pos < src.ListLen(); pos++ {
+			e, ok := src.At(i, pos)
+			if !ok {
+				break
+			}
+			if keep[e.Key] {
+				f.positions[i] = append(f.positions[i], pos)
+			}
+		}
+	}
+	if len(f.positions) == 0 || len(f.positions[0]) == 0 {
+		return nil, fmt.Errorf("topk: restriction keeps no members")
+	}
+	f.listLen = len(f.positions[0])
+	return f, nil
+}
+
+func (f *filteredLists) NumLists() int { return f.src.NumLists() }
+func (f *filteredLists) ListLen() int  { return f.listLen }
+func (f *filteredLists) At(i, pos int) (index.Entry, bool) {
+	if pos < 0 || pos >= len(f.positions[i]) {
+		return index.Entry{}, false
+	}
+	return f.src.At(i, f.positions[i][pos])
+}
+func (f *filteredLists) Find(i int, key string) (float64, bool) {
+	if !f.keep[key] {
+		return 0, false
+	}
+	return f.src.Find(i, key)
+}

@@ -1,0 +1,88 @@
+package topk
+
+// nra is Fagin's No-Random-Access algorithm, the third member of the
+// Fagin family the paper's §4.2 alludes to ("we propose adaptations of
+// Fagin's algorithms"). It never calls Find: each round performs one
+// sorted access per list and maintains, for every member seen so far, a
+// lower bound (seen values; unseen lists contribute 0, the completion
+// floor) and an upper bound (unseen lists contribute their current
+// frontier value). It stops when the k best lower bounds are exact — the
+// member has been seen on every list — and no other member's upper bound
+// can beat the k-th exact score.
+//
+// NRA is the right choice when random access is expensive or impossible
+// (e.g. streaming posting lists); the BenchmarkAblationTopK benchmark
+// compares its cost profile against TA, FA and the naive scan.
+func nra(src ListSource, k int) ([]Result, Stats) {
+	var stats Stats
+	n := src.NumLists()
+	listLen := src.ListLen()
+
+	type cand struct {
+		sum  float64 // sum of values on lists where the member was seen
+		seen int     // number of lists the member was seen on
+	}
+	cands := make(map[string]*cand)
+	frontier := make([]float64, n)
+
+	denom := float64(n)
+	for pos := 0; pos < listLen; pos++ {
+		stats.Rounds++
+		for i := 0; i < n; i++ {
+			e, ok := src.At(i, pos)
+			stats.SortedAccesses++
+			if !ok {
+				continue
+			}
+			frontier[i] = e.Value
+			c := cands[e.Key]
+			if c == nil {
+				c = &cand{}
+				cands[e.Key] = c
+			}
+			c.sum += e.Value
+			c.seen++
+		}
+
+		// A member unseen on a list ranks at or below that list's
+		// cursor, so its value there is bounded by the list's frontier;
+		// maxFrontier bounds it on any list. Correctness needs an upper
+		// bound, not the tightest one.
+		maxFrontier := 0.0
+		for _, f := range frontier {
+			if f > maxFrontier {
+				maxFrontier = f
+			}
+		}
+
+		// Collect exact candidates (seen everywhere) and track the best
+		// upper bound among non-exact ones.
+		var exact minHeap
+		bestOpenUpper := 0.0
+		for key, c := range cands {
+			if c.seen == n {
+				exact.Offer(Result{Key: key, Value: c.sum / denom}, k)
+			} else {
+				upper := (c.sum + float64(n-c.seen)*maxFrontier) / denom
+				if upper > bestOpenUpper {
+					bestOpenUpper = upper
+				}
+			}
+		}
+		// A completely unseen member is bounded by the frontier on every
+		// list.
+		if unseenUpper := maxFrontier; unseenUpper > bestOpenUpper && len(cands) < listLen {
+			bestOpenUpper = unseenUpper
+		}
+		if exact.Len() >= k && exact.MinValue() >= bestOpenUpper {
+			return exact.Drain(), stats
+		}
+	}
+
+	// Lists exhausted: every member has been seen everywhere.
+	var heap minHeap
+	for key, c := range cands {
+		heap.Offer(Result{Key: key, Value: c.sum / denom}, k)
+	}
+	return heap.Drain(), stats
+}
