@@ -124,6 +124,50 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateParallel measures the sharded evaluation pipeline at
+// increasing worker counts, for both marketplace measures. workers=1 is
+// the single-threaded partitioned pipeline (contrast with the serial
+// nested scan timed by BenchmarkEvaluate before PR 1; see EXPERIMENTS.md
+// for the recorded trajectory); higher counts show the sharding scaling
+// on multi-core hosts.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	m := marketplace.New(marketplace.Config{Seed: 7})
+	crawl := m.CrawlAll()
+	for _, measure := range []core.MarketplaceMeasure{core.MeasureEMD, core.MeasureExposure} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", measure, workers), func(b *testing.B) {
+				ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: measure, Workers: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.EvaluateAll(crawl, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchEvaluate measures the F-Box on the Google sweep under
+// both search measures, with worker-count sub-benchmarks. The pairwise
+// distance cache means each user pair is measured once per result set
+// regardless of how many (g, g') combinations include it.
+func BenchmarkSearchEvaluate(b *testing.B) {
+	e := search.New(search.Config{Seed: 11})
+	sweep := e.CrawlAll()
+	for _, measure := range []core.SearchMeasure{core.MeasureKendallTau, core.MeasureJaccard} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", measure, workers), func(b *testing.B) {
+				ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: measure, Workers: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.EvaluateAll(sweep, nil)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationTopK compares the paper's Threshold Algorithm against
 // Fagin's original FA and a naive full scan on the group-fairness
 // instance, for growing scopes (DESIGN.md A1).

@@ -68,7 +68,10 @@ func (m MarketplaceMeasure) String() string {
 // example and is ablated in BenchmarkAblationEMDBins.
 const DefaultEMDBins = 10
 
-// MarketplaceEvaluator computes d<g,q,l> for marketplace rankings.
+// MarketplaceEvaluator computes d<g,q,l> for marketplace rankings. The
+// evaluator itself is read-only during evaluation and safe to share
+// across goroutines; EvaluateAll shards its work across Workers
+// goroutines internally.
 type MarketplaceEvaluator struct {
 	Schema  *Schema
 	Measure MarketplaceMeasure
@@ -77,6 +80,10 @@ type MarketplaceEvaluator struct {
 	// UseScores makes relevance use the platform's observed scores when
 	// present instead of rank-derived relevance.
 	UseScores bool
+	// Workers bounds the goroutines EvaluateAll shards rankings across:
+	// 0 uses runtime.GOMAXPROCS(0), 1 forces single-threaded evaluation.
+	// Any worker count produces a byte-identical table (see DESIGN.md §7).
+	Workers int
 }
 
 func (e *MarketplaceEvaluator) bins() int {
@@ -89,54 +96,108 @@ func (e *MarketplaceEvaluator) bins() int {
 // Unfairness returns d<g,q,l> for the given ranking. The boolean is false
 // when the value is undefined: the group has no workers on the page, or no
 // comparable group does, leaving nothing to contrast against.
+//
+// Unfairness partitions the page on every call; callers evaluating many
+// (ranking, group) cells should use EvaluateAll, which amortizes the
+// partition across all groups of a page.
 func (e *MarketplaceEvaluator) Unfairness(r *MarketplaceRanking, g Group) (float64, bool) {
 	if len(r.Workers) == 0 {
 		return 0, false
 	}
+	part := partitionRanking(e.Schema, r)
+	sc := e.newScratch()
+	sc.preparePage(e, r)
+	return e.unfairnessCell(r, part, g.Key(), e.Schema.Comparable(g), nil, sc)
+}
+
+// mktScratch is one worker goroutine's reusable evaluation state: the two
+// histogram buffers the EMD measure fills per comparable-group pair, and
+// the current page's relevance and exposure vectors, computed once per
+// page and shared by every (group, comparable) cell on it. Reusing the
+// histograms removes the dominant allocation of the EMD hot path;
+// caching exposure keeps ExposureAtRank's logarithm out of the inner
+// loops.
+type mktScratch struct {
+	hg, hc   *stats.Histogram
+	rel, exp []float64 // indexed by page position
+}
+
+func (e *MarketplaceEvaluator) newScratch() *mktScratch {
+	return &mktScratch{
+		hg: stats.NewHistogram(0, 1, e.bins()),
+		hc: stats.NewHistogram(0, 1, e.bins()),
+	}
+}
+
+// preparePage fills the scratch's per-page relevance and exposure vectors
+// for r. Both are pure functions of a worker's page entry, so caching
+// them changes no arithmetic — each cell reads the exact value it would
+// have recomputed.
+func (sc *mktScratch) preparePage(e *MarketplaceEvaluator, r *MarketplaceRanking) {
+	n := len(r.Workers)
+	if cap(sc.rel) < n {
+		sc.rel = make([]float64, n)
+		sc.exp = make([]float64, n)
+	} else {
+		sc.rel = sc.rel[:n]
+		sc.exp = sc.exp[:n]
+	}
+	for i, w := range r.Workers {
+		sc.rel[i] = r.Relevance(w, e.UseScores)
+		sc.exp[i] = metrics.ExposureAtRank(w.Rank)
+	}
+}
+
+// unfairnessCell computes one d<g,q,l> cell from a prebuilt page
+// partition. gKey is g's canonical key, comp its comparable groups, and
+// compKeys their canonical keys (nil lets the cell derive them, for the
+// single-cell Unfairness path).
+func (e *MarketplaceEvaluator) unfairnessCell(r *MarketplaceRanking, part pagePartition, gKey string, comp []Group, compKeys []string, sc *mktScratch) (float64, bool) {
+	if len(r.Workers) == 0 {
+		return 0, false
+	}
+	if compKeys == nil {
+		compKeys = make([]string, len(comp))
+		for i, cg := range comp {
+			compKeys[i] = cg.Key()
+		}
+	}
 	switch e.Measure {
 	case MeasureEMD:
-		return e.emd(r, g)
+		return e.emdCell(part, gKey, compKeys, sc)
 	case MeasureExposure:
-		return e.exposure(r, g)
+		return e.exposureCell(part, gKey, compKeys, sc)
 	default:
 		panic(fmt.Sprintf("core: unknown marketplace measure %d", int(e.Measure)))
 	}
 }
 
-func (e *MarketplaceEvaluator) membersOf(r *MarketplaceRanking, g Group) []RankedWorker {
-	var out []RankedWorker
-	for _, w := range r.Workers {
-		if w.Attrs.Matches(g.Label) {
-			out = append(out, w)
-		}
+// fillHistogram resets h and adds the relevance of every page member in
+// idx, in page order.
+func fillHistogram(h *stats.Histogram, rel []float64, idx []int) {
+	h.Reset()
+	for _, i := range idx {
+		h.Add(rel[i])
 	}
-	return out
 }
 
-func (e *MarketplaceEvaluator) histogramOf(r *MarketplaceRanking, workers []RankedWorker) *stats.Histogram {
-	h := stats.NewHistogram(0, 1, e.bins())
-	for _, w := range workers {
-		h.Add(r.Relevance(w, e.UseScores))
-	}
-	return h
-}
-
-// emd implements §3.3.1: average EMD between g's relevance histogram and
-// each non-empty comparable group's histogram.
-func (e *MarketplaceEvaluator) emd(r *MarketplaceRanking, g Group) (float64, bool) {
-	members := e.membersOf(r, g)
+// emdCell implements §3.3.1: average EMD between g's relevance histogram
+// and each non-empty comparable group's histogram.
+func (e *MarketplaceEvaluator) emdCell(part pagePartition, gKey string, compKeys []string, sc *mktScratch) (float64, bool) {
+	members := part[gKey]
 	if len(members) == 0 {
 		return 0, false
 	}
-	hg := e.histogramOf(r, members)
+	fillHistogram(sc.hg, sc.rel, members)
 	var sum float64
 	var n int
-	for _, cg := range e.Schema.Comparable(g) {
-		cMembers := e.membersOf(r, cg)
+	for _, ck := range compKeys {
+		cMembers := part[ck]
 		if len(cMembers) == 0 {
 			continue
 		}
-		sum += metrics.EMDHistograms(hg, e.histogramOf(r, cMembers))
+		fillHistogram(sc.hc, sc.rel, cMembers)
+		sum += metrics.EMDHistograms(sc.hg, sc.hc)
 		n++
 	}
 	if n == 0 {
@@ -145,8 +206,9 @@ func (e *MarketplaceEvaluator) emd(r *MarketplaceRanking, g Group) (float64, boo
 	return sum / float64(n), true
 }
 
-// exposure implements §3.3.2: the L1 deviation of g's exposure share from
-// its relevance share, both taken over the population g ∪ comparable(g).
+// exposureCell implements §3.3.2: the L1 deviation of g's exposure share
+// from its relevance share, both taken over the population
+// g ∪ comparable(g).
 //
 // Unlike the EMD measure, the exposure formula stays defined when no
 // comparable group is on the page: both shares are then g's share of
@@ -155,22 +217,22 @@ func (e *MarketplaceEvaluator) emd(r *MarketplaceRanking, g Group) (float64, boo
 // Females when one gender is absent from some result pages (the paper's
 // Table 12, where the two genders' overall values differ even though the
 // per-page deviations of two complementary groups are equal).
-func (e *MarketplaceEvaluator) exposure(r *MarketplaceRanking, g Group) (float64, bool) {
-	members := e.membersOf(r, g)
+func (e *MarketplaceEvaluator) exposureCell(part pagePartition, gKey string, compKeys []string, sc *mktScratch) (float64, bool) {
+	members := part[gKey]
 	if len(members) == 0 {
 		return 0, false
 	}
 	var gExp, gRel float64
-	for _, w := range members {
-		gExp += metrics.ExposureAtRank(w.Rank)
-		gRel += r.Relevance(w, e.UseScores)
+	for _, i := range members {
+		gExp += sc.exp[i]
+		gRel += sc.rel[i]
 	}
 	totExp, totRel := gExp, gRel
 	anyComparable := false
-	for _, cg := range e.Schema.Comparable(g) {
-		for _, w := range e.membersOf(r, cg) {
-			totExp += metrics.ExposureAtRank(w.Rank)
-			totRel += r.Relevance(w, e.UseScores)
+	for _, ck := range compKeys {
+		for _, i := range part[ck] {
+			totExp += sc.exp[i]
+			totRel += sc.rel[i]
 			anyComparable = true
 		}
 	}
@@ -187,17 +249,36 @@ func (e *MarketplaceEvaluator) exposure(r *MarketplaceRanking, g Group) (float64
 // EvaluateAll computes d<g,q,l> for every ranking and every group,
 // producing the unfairness table the indices and problem solvers consume.
 // A nil groups slice evaluates the full schema universe.
+//
+// The work is sharded across Workers goroutines (see the field doc): each
+// worker partitions its pages once, fills a private table with its
+// contiguous slice of rankings, and the shards are merged in shard order,
+// so the result is byte-identical to a single-threaded evaluation.
 func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, groups []Group) *Table {
 	if groups == nil {
 		groups = e.Schema.Universe()
 	}
-	t := NewTable()
-	for _, r := range rankings {
-		for _, g := range groups {
-			if v, ok := e.Unfairness(r, g); ok {
-				t.Set(g, r.Query, r.Location, v)
+	plan := newEvalPlan(e.Schema, groups)
+	w := boundedWorkers(e.Workers, len(rankings))
+	shards := make([]*Table, w)
+	runSharded(len(rankings), w, func(shard, lo, hi int) {
+		t := NewTable()
+		sc := e.newScratch()
+		pt := newPartitioner(e.Schema)
+		for _, r := range rankings[lo:hi] {
+			part := pt.ranking(r)
+			sc.preparePage(e, r)
+			for i := range plan.groups {
+				if v, ok := e.unfairnessCell(r, part, plan.keys[i], nil, plan.compKeys[i], sc); ok {
+					t.setKeyed(plan.keys[i], plan.groups[i], r.Query, r.Location, v)
+				}
 			}
 		}
+		shards[shard] = t
+	})
+	out := shards[0]
+	for _, s := range shards[1:] {
+		out.Merge(s)
 	}
-	return t
+	return out
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file holds the shared machinery of the parallel evaluation
+// pipeline: the precomputed evaluation plan and the sharding helpers. See
+// DESIGN.md §7 ("Concurrency model") for the invariants.
+
+// evalPlan precomputes everything about the group dimension that is
+// constant across result pages: the groups to evaluate, their canonical
+// keys, and each group's comparable set with its keys. Building it once
+// per EvaluateAll keeps Group.Key's string construction and
+// Schema.Comparable off the per-page hot path entirely. A plan is
+// read-only after construction and safe to share across worker
+// goroutines.
+type evalPlan struct {
+	groups   []Group
+	keys     []string   // keys[i] == groups[i].Key()
+	compKeys [][]string // compKeys[i][j] == schema.Comparable(groups[i])[j].Key()
+}
+
+func newEvalPlan(s *Schema, groups []Group) *evalPlan {
+	p := &evalPlan{
+		groups:   groups,
+		keys:     make([]string, len(groups)),
+		compKeys: make([][]string, len(groups)),
+	}
+	for i, g := range groups {
+		p.keys[i] = g.Key()
+		cgs := s.Comparable(g)
+		ck := make([]string, len(cgs))
+		for j, cg := range cgs {
+			ck[j] = cg.Key()
+		}
+		p.compKeys[i] = ck
+	}
+	return p
+}
+
+// boundedWorkers resolves a Workers setting against the number of
+// independent work items: 0 means runtime.GOMAXPROCS(0), and the result
+// never exceeds the item count (one goroutine per item is the useful
+// maximum) and never drops below 1.
+func boundedWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// shardBounds returns the half-open range [lo, hi) of items assigned to
+// shard i of w over n items. Shards are contiguous, in order, and differ
+// in size by at most one, so concatenating shard outputs in shard order
+// replays the serial iteration order exactly — the invariant the
+// deterministic merge relies on.
+func shardBounds(n, w, i int) (lo, hi int) {
+	return i * n / w, (i + 1) * n / w
+}
+
+// runSharded splits n items across w worker goroutines and calls run with
+// each shard's index and item range. It returns once every shard is done.
+// With w == 1 it runs inline on the caller's goroutine.
+func runSharded(n, w int, run func(shard, lo, hi int)) {
+	if w <= 1 {
+		run(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		lo, hi := shardBounds(n, w, i)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			run(shard, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fairjob/internal/stats"
+)
+
+// The determinism contract of the sharded pipeline: EvaluateAll at any
+// worker count produces a table byte-identical to the serial reference
+// (the naive nested loop over Unfairness), for both evaluators and all
+// measures. "Byte-identical" means exact float64 equality per triple, not
+// approximate — the parallel path must replay the serial arithmetic.
+
+// genRankings synthesizes a crawl with deliberately uneven pages: some
+// pages miss entire groups (exercising the undefined-cell paths), some
+// queries repeat a (query, location) pair (exercising the shard-order
+// overwrite invariant), and attribute values occasionally fall outside
+// the schema domain (exercising partition behaviour for unknown values).
+func genRankings(n int) []*MarketplaceRanking {
+	rng := stats.NewRNG(42)
+	genders := []string{"Male", "Female"}
+	ethnicities := []string{"Asian", "Black", "White", "Other"} // "Other" is outside the schema
+	out := make([]*MarketplaceRanking, n)
+	for i := range out {
+		r := &MarketplaceRanking{
+			Query:    Query(fmt.Sprintf("q%d", rng.Intn(n/2+1))),
+			Location: Location(fmt.Sprintf("l%d", rng.Intn(5))),
+		}
+		for w := 0; w < 1+rng.Intn(12); w++ {
+			r.Workers = append(r.Workers, RankedWorker{
+				ID: fmt.Sprintf("w%d-%d", i, w),
+				Attrs: Assignment{
+					"gender":    genders[rng.Intn(len(genders))],
+					"ethnicity": ethnicities[rng.Intn(len(ethnicities))],
+				},
+				Rank:  w + 1,
+				Score: rng.Float64(),
+			})
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// genSearchResults synthesizes study sweeps with overlapping shuffled
+// result lists so both Kendall Tau and Jaccard exercise nontrivial
+// intersections.
+func genSearchResults(n int) []*SearchResults {
+	rng := stats.NewRNG(99)
+	genders := []string{"Male", "Female"}
+	ethnicities := []string{"Asian", "Black", "White"}
+	out := make([]*SearchResults, n)
+	for i := range out {
+		sr := &SearchResults{
+			Query:    Query(fmt.Sprintf("q%d", rng.Intn(n/2+1))),
+			Location: Location(fmt.Sprintf("l%d", rng.Intn(4))),
+		}
+		for u := 0; u < 2+rng.Intn(10); u++ {
+			list := make([]string, 0, 8)
+			for _, p := range rng.Perm(12)[:8] {
+				list = append(list, fmt.Sprintf("job%d", p))
+			}
+			sr.Users = append(sr.Users, UserResults{
+				ID: fmt.Sprintf("u%d-%d", i, u),
+				Attrs: Assignment{
+					"gender":    genders[rng.Intn(len(genders))],
+					"ethnicity": ethnicities[rng.Intn(len(ethnicities))],
+				},
+				List: list,
+			})
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// requireTablesIdentical fails unless the two tables hold exactly the
+// same triples with exactly equal values.
+func requireTablesIdentical(t *testing.T, want, got *Table) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("table size: want %d triples, got %d", want.Len(), got.Len())
+	}
+	want.Range(func(tr Triple, v float64) {
+		gv, ok := got.GetKey(tr.GroupKey, tr.Query, tr.Location)
+		if !ok {
+			t.Fatalf("triple %v missing", tr)
+		}
+		if gv != v {
+			t.Fatalf("triple %v: want %v, got %v (not byte-identical)", tr, v, gv)
+		}
+	})
+	if lw, lg := len(want.Groups()), len(got.Groups()); lw != lg {
+		t.Fatalf("group dimension: want %d, got %d", lw, lg)
+	}
+	if lw, lg := len(want.Queries()), len(got.Queries()); lw != lg {
+		t.Fatalf("query dimension: want %d, got %d", lw, lg)
+	}
+	if lw, lg := len(want.Locations()), len(got.Locations()); lw != lg {
+		t.Fatalf("location dimension: want %d, got %d", lw, lg)
+	}
+}
+
+func TestMarketplaceEvaluateAllDeterministicAcrossWorkers(t *testing.T) {
+	rankings := genRankings(60)
+	schema := DefaultSchema()
+	for _, measure := range []MarketplaceMeasure{MeasureEMD, MeasureExposure} {
+		t.Run(measure.String(), func(t *testing.T) {
+			// Serial reference: the naive nested loop over Unfairness.
+			serial := NewTable()
+			ref := &MarketplaceEvaluator{Schema: schema, Measure: measure}
+			for _, r := range rankings {
+				for _, g := range schema.Universe() {
+					if v, ok := ref.Unfairness(r, g); ok {
+						serial.Set(g, r.Query, r.Location, v)
+					}
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				ev := &MarketplaceEvaluator{Schema: schema, Measure: measure, Workers: workers}
+				requireTablesIdentical(t, serial, ev.EvaluateAll(rankings, nil))
+			}
+		})
+	}
+}
+
+func TestSearchEvaluateAllDeterministicAcrossWorkers(t *testing.T) {
+	results := genSearchResults(40)
+	schema := DefaultSchema()
+	for _, measure := range []SearchMeasure{MeasureKendallTau, MeasureJaccard} {
+		t.Run(measure.String(), func(t *testing.T) {
+			serial := NewTable()
+			ref := &SearchEvaluator{Schema: schema, Measure: measure}
+			for _, sr := range results {
+				for _, g := range schema.Universe() {
+					if v, ok := ref.Unfairness(sr, g); ok {
+						serial.Set(g, sr.Query, sr.Location, v)
+					}
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				ev := &SearchEvaluator{Schema: schema, Measure: measure, Workers: workers}
+				requireTablesIdentical(t, serial, ev.EvaluateAll(results, nil))
+			}
+		})
+	}
+}
+
+// TestPartitionMatchesNaiveMembership cross-checks the partition against
+// Assignment.Matches for every universe group, including workers whose
+// ethnicity falls outside the schema domain.
+func TestPartitionMatchesNaiveMembership(t *testing.T) {
+	schema := DefaultSchema()
+	for _, r := range genRankings(20) {
+		part := partitionRanking(schema, r)
+		for _, g := range schema.Universe() {
+			var naive []int
+			for i, w := range r.Workers {
+				if w.Attrs.Matches(g.Label) {
+					naive = append(naive, i)
+				}
+			}
+			got := part[g.Key()]
+			if len(got) != len(naive) {
+				t.Fatalf("group %s: partition %v vs naive %v", g.Name(), got, naive)
+			}
+			for i := range got {
+				if got[i] != naive[i] {
+					t.Fatalf("group %s: partition order %v vs naive %v", g.Name(), got, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestTableMergeDisjointShards(t *testing.T) {
+	g1 := NewGroup(Predicate{"gender", "Male"})
+	g2 := NewGroup(Predicate{"gender", "Female"})
+	a, b := NewTable(), NewTable()
+	a.Set(g1, "q1", "l1", 0.1)
+	b.Set(g2, "q2", "l2", 0.2)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", a.Len())
+	}
+	if v, ok := a.Get(g1, "q1", "l1"); !ok || v != 0.1 {
+		t.Fatalf("g1 = %v,%v", v, ok)
+	}
+	if v, ok := a.Get(g2, "q2", "l2"); !ok || v != 0.2 {
+		t.Fatalf("g2 = %v,%v", v, ok)
+	}
+	if len(a.Groups()) != 2 || len(a.Queries()) != 2 || len(a.Locations()) != 2 {
+		t.Fatalf("merged dimensions = %d groups × %d queries × %d locations, want 2×2×2",
+			len(a.Groups()), len(a.Queries()), len(a.Locations()))
+	}
+	// b must be untouched by the merge.
+	if b.Len() != 1 {
+		t.Fatalf("merge mutated its argument: len = %d", b.Len())
+	}
+}
+
+func TestTableMergeOverlappingShardsLaterWins(t *testing.T) {
+	g := NewGroup(Predicate{"gender", "Male"})
+	a, b := NewTable(), NewTable()
+	a.Set(g, "q", "l", 0.1)
+	a.Set(g, "q", "l2", 0.3)
+	b.Set(g, "q", "l", 0.9) // overlaps a's triple
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", a.Len())
+	}
+	if v, _ := a.Get(g, "q", "l"); v != 0.9 {
+		t.Fatalf("overlap = %v, want the merged-in 0.9 (later shard wins)", v)
+	}
+	if v, _ := a.Get(g, "q", "l2"); v != 0.3 {
+		t.Fatalf("untouched triple = %v, want 0.3", v)
+	}
+}
+
+func TestTableMergeNilIsNoOp(t *testing.T) {
+	g := NewGroup(Predicate{"gender", "Male"})
+	a := NewTable()
+	a.Set(g, "q", "l", 0.5)
+	a.Merge(nil)
+	if a.Len() != 1 {
+		t.Fatalf("len = %d after nil merge, want 1", a.Len())
+	}
+}

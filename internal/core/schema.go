@@ -3,15 +3,28 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Schema declares the protected attributes a site tracks and their value
 // domains. The paper's case study uses gender = {Male, Female} and
 // ethnicity = {Asian, Black, White}; the framework is generic over any
 // schema (§3.1 allows "any combination of protected attributes").
+//
+// A Schema is immutable after NewSchema and safe for concurrent use: the
+// group-enumeration methods (Universe, Comparable, GroupByName) memoize
+// their results behind internal locks, which is what makes them cheap
+// enough to sit on the evaluators' per-(page, group) hot path.
 type Schema struct {
 	attrs   []Attribute
 	domains map[Attribute][]string
+
+	univOnce sync.Once
+	univ     []Group          // memoized Universe(), sorted by key
+	byName   map[string]Group // memoized Name() → Group index over univ
+
+	cmpMu    sync.RWMutex
+	cmpCache map[string][]Group // group key → memoized Comparable(g)
 }
 
 // NewSchema builds a schema. Attribute iteration order is the sorted
@@ -72,21 +85,35 @@ func (s *Schema) Has(attr Attribute) bool {
 // chosen attribute. For the default gender×ethnicity schema this yields
 // the 11 groups of the paper's Table 8 (6 full combinations + 3
 // ethnicity-only + 2 gender-only).
+//
+// The result is computed once per schema and shared between callers; it
+// must not be modified.
 func (s *Schema) Universe() []Group {
-	var out []Group
-	n := len(s.attrs)
-	// Iterate attribute subsets via bitmask; skip the empty subset.
-	for mask := 1; mask < 1<<n; mask++ {
-		var chosen []Attribute
-		for i, attr := range s.attrs {
-			if mask&(1<<i) != 0 {
-				chosen = append(chosen, attr)
+	s.univOnce.Do(func() {
+		var out []Group
+		n := len(s.attrs)
+		// Iterate attribute subsets via bitmask; skip the empty subset.
+		for mask := 1; mask < 1<<n; mask++ {
+			var chosen []Attribute
+			for i, attr := range s.attrs {
+				if mask&(1<<i) != 0 {
+					chosen = append(chosen, attr)
+				}
+			}
+			out = append(out, s.expand(chosen, nil)...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+		s.univ = out
+		s.byName = make(map[string]Group, len(out))
+		for _, g := range out {
+			// Keep the first group in universe order on a name clash,
+			// matching what a linear scan over Universe() returned.
+			if _, dup := s.byName[g.Name()]; !dup {
+				s.byName[g.Name()] = g
 			}
 		}
-		out = append(out, s.expand(chosen, nil)...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out
+	})
+	return s.univ
 }
 
 func (s *Schema) expand(attrs []Attribute, prefix []Predicate) []Group {
@@ -137,22 +164,37 @@ func (s *Schema) Variants(g Group, attr Attribute) []Group {
 // over all attributes a ∈ A(g). For "Black Female" under the default
 // schema this is {Black Male, Asian Female, White Female}, exactly the
 // paper's §1 example.
+//
+// The evaluators call Comparable once per (result page, group) cell, so
+// the result is memoized per group key and shared between callers; it
+// must not be modified.
 func (s *Schema) Comparable(g Group) []Group {
+	key := g.Key()
+	s.cmpMu.RLock()
+	cached, ok := s.cmpCache[key]
+	s.cmpMu.RUnlock()
+	if ok {
+		return cached
+	}
 	var out []Group
 	for _, attr := range g.Label.Attributes() {
 		out = append(out, s.Variants(g, attr)...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	s.cmpMu.Lock()
+	if s.cmpCache == nil {
+		s.cmpCache = make(map[string][]Group)
+	}
+	s.cmpCache[key] = out
+	s.cmpMu.Unlock()
 	return out
 }
 
 // GroupByName finds the universe group whose Name() equals name (e.g.
-// "Asian Female" or "Male"). The boolean reports whether it exists.
+// "Asian Female" or "Male"). The boolean reports whether it exists. The
+// lookup uses the memoized name index built alongside Universe().
 func (s *Schema) GroupByName(name string) (Group, bool) {
-	for _, g := range s.Universe() {
-		if g.Name() == name {
-			return g, true
-		}
-	}
-	return Group{}, false
+	s.Universe() // ensure the name index is built
+	g, ok := s.byName[name]
+	return g, ok
 }

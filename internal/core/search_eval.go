@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"fairjob/internal/metrics"
 )
@@ -49,10 +50,17 @@ func (m SearchMeasure) String() string {
 // SearchEvaluator computes d<g,q,l> for search-engine result lists
 // following §3.2: the unfairness of group g is the average over comparable
 // groups g' of the average pairwise distance between result lists of users
-// in g and users in g'.
+// in g and users in g'. The evaluator is read-only during evaluation and
+// safe to share across goroutines; EvaluateAll shards its work across
+// Workers goroutines internally.
 type SearchEvaluator struct {
 	Schema  *Schema
 	Measure SearchMeasure
+	// Workers bounds the goroutines EvaluateAll shards result sets
+	// across: 0 uses runtime.GOMAXPROCS(0), 1 forces single-threaded
+	// evaluation. Any worker count produces a byte-identical table (see
+	// DESIGN.md §7).
+	Workers int
 }
 
 func (e *SearchEvaluator) dist(a, b []string) float64 {
@@ -76,25 +84,76 @@ func usersOf(sr *SearchResults, g Group) []UserResults {
 	return out
 }
 
+// distCache memoizes the pairwise distance between a result set's users
+// so each user pair is measured exactly once per (SearchResults, measure).
+// Overlapping (g, g') combinations — e.g. "Male" vs "Female" and
+// "Asian Male" vs "Asian Female" — would otherwise re-walk the same two
+// result lists once per combination. The cache stores one value per
+// unordered pair, which is sound because both distance measures are
+// symmetric: the discordant-pair count (Kendall) and the set overlap
+// (Jaccard, also Kendall's degenerate fallback) do not depend on argument
+// order, so dist(u, v) and dist(v, u) are bitwise-equal. A distCache
+// belongs to one worker goroutine and is not safe for concurrent use.
+type distCache struct {
+	n int
+	d []float64 // row-major n×n; NaN marks a pair not yet measured
+}
+
+func newDistCache(n int) *distCache {
+	d := make([]float64, n*n)
+	for i := range d {
+		d[i] = math.NaN()
+	}
+	return &distCache{n: n, d: d}
+}
+
+// dist returns the memoized distance between users i and j of sr.
+func (c *distCache) dist(e *SearchEvaluator, sr *SearchResults, i, j int) float64 {
+	if v := c.d[i*c.n+j]; !math.IsNaN(v) {
+		return v
+	}
+	v := e.dist(sr.Users[i].List, sr.Users[j].List)
+	c.d[i*c.n+j] = v
+	c.d[j*c.n+i] = v
+	return v
+}
+
 // Unfairness returns d<g,q,l> per Equation 1. The boolean is false when
 // the value is undefined: no users of g participated, or no comparable
 // group has participants.
+//
+// Unfairness partitions the result set and builds a fresh distance cache
+// on every call; callers evaluating many (result set, group) cells should
+// use EvaluateAll, which amortizes both across all groups of a result
+// set.
 func (e *SearchEvaluator) Unfairness(sr *SearchResults, g Group) (float64, bool) {
-	gUsers := usersOf(sr, g)
+	part := partitionUsers(e.Schema, sr)
+	comp := e.Schema.Comparable(g)
+	compKeys := make([]string, len(comp))
+	for i, cg := range comp {
+		compKeys[i] = cg.Key()
+	}
+	return e.unfairnessCell(sr, part, newDistCache(len(sr.Users)), g.Key(), compKeys)
+}
+
+// unfairnessCell computes one d<g,q,l> cell from a prebuilt user
+// partition and per-result-set distance cache.
+func (e *SearchEvaluator) unfairnessCell(sr *SearchResults, part pagePartition, dc *distCache, gKey string, compKeys []string) (float64, bool) {
+	gUsers := part[gKey]
 	if len(gUsers) == 0 {
 		return 0, false
 	}
 	var sum float64
 	var n int
-	for _, cg := range e.Schema.Comparable(g) {
-		cUsers := usersOf(sr, cg)
+	for _, ck := range compKeys {
+		cUsers := part[ck]
 		if len(cUsers) == 0 {
 			continue
 		}
 		var pairSum float64
 		for _, u := range gUsers {
 			for _, v := range cUsers {
-				pairSum += e.dist(u.List, v.List)
+				pairSum += dc.dist(e, sr, u, v)
 			}
 		}
 		sum += pairSum / float64(len(gUsers)*len(cUsers))
@@ -126,17 +185,36 @@ func (e *SearchEvaluator) PairwiseUnfairness(sr *SearchResults, g, other Group) 
 
 // EvaluateAll computes the full unfairness table over all result sets and
 // groups. A nil groups slice evaluates the schema universe.
+//
+// The work is sharded across Workers goroutines (see the field doc): each
+// worker partitions its result sets once, memoizes pairwise distances per
+// result set, fills a private table with its contiguous slice of result
+// sets, and the shards are merged in shard order, so the result is
+// byte-identical to a single-threaded evaluation.
 func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) *Table {
 	if groups == nil {
 		groups = e.Schema.Universe()
 	}
-	t := NewTable()
-	for _, sr := range results {
-		for _, g := range groups {
-			if v, ok := e.Unfairness(sr, g); ok {
-				t.Set(g, sr.Query, sr.Location, v)
+	plan := newEvalPlan(e.Schema, groups)
+	w := boundedWorkers(e.Workers, len(results))
+	shards := make([]*Table, w)
+	runSharded(len(results), w, func(shard, lo, hi int) {
+		t := NewTable()
+		pt := newPartitioner(e.Schema)
+		for _, sr := range results[lo:hi] {
+			part := pt.users(sr)
+			dc := newDistCache(len(sr.Users))
+			for i := range plan.groups {
+				if v, ok := e.unfairnessCell(sr, part, dc, plan.keys[i], plan.compKeys[i]); ok {
+					t.setKeyed(plan.keys[i], plan.groups[i], sr.Query, sr.Location, v)
+				}
 			}
 		}
+		shards[shard] = t
+	})
+	out := shards[0]
+	for _, s := range shards[1:] {
+		out.Merge(s)
 	}
-	return t
+	return out
 }

@@ -23,7 +23,9 @@ type Triple struct {
 // Table stores unfairness values d<g,q,l> for every evaluated triple. It
 // is the substrate the three index families and both problem solvers read
 // from. A Table is cheap to copy by reference; it is not safe for
-// concurrent mutation.
+// concurrent mutation. Concurrent writers must each fill a private table
+// and combine them with Merge, which is how the evaluators' sharded
+// EvaluateAll pipelines work.
 type Table struct {
 	values map[Triple]float64
 	groups map[string]Group
@@ -43,10 +45,40 @@ func NewTable() *Table {
 
 // Set records d<g,q,l> = v, overwriting any previous value.
 func (t *Table) Set(g Group, q Query, l Location, v float64) {
-	t.values[Triple{g.Key(), q, l}] = v
-	t.groups[g.Key()] = g
+	t.setKeyed(g.Key(), g, q, l, v)
+}
+
+// setKeyed is Set for hot paths that already hold g's canonical key,
+// avoiding the string construction of Group.Key.
+func (t *Table) setKeyed(key string, g Group, q Query, l Location, v float64) {
+	t.values[Triple{key, q, l}] = v
+	t.groups[key] = g
 	t.qs[q] = struct{}{}
 	t.ls[l] = struct{}{}
+}
+
+// Merge copies every triple of other into t, overwriting values t already
+// holds for the same triple. It is the combination step of the sharded
+// evaluation pipeline: each worker fills a private table and the shards
+// are merged in shard order, so later shards win overlaps exactly as
+// later iterations win in a serial fill. Merge mutates t only; other is
+// read but never modified, and a nil or empty other is a no-op.
+func (t *Table) Merge(other *Table) {
+	if other == nil {
+		return
+	}
+	for tr, v := range other.values {
+		t.values[tr] = v
+	}
+	for k, g := range other.groups {
+		t.groups[k] = g
+	}
+	for q := range other.qs {
+		t.qs[q] = struct{}{}
+	}
+	for l := range other.ls {
+		t.ls[l] = struct{}{}
+	}
 }
 
 // Get returns d<g,q,l> and whether it was recorded.

@@ -38,6 +38,11 @@ type Env struct {
 	// quantified by TestObservedLabelsStayCloseToGroundTruth and noted
 	// in EXPERIMENTS.md.
 	ObservedLabels bool
+	// Workers bounds the goroutines the evaluators shard table
+	// construction across. The zero value selects the parallel default
+	// (runtime.GOMAXPROCS); the sharded pipeline is deterministic, so
+	// the tables are identical at any worker count.
+	Workers int
 
 	mkt         *marketplace.Marketplace
 	mktCrawl    []*core.MarketplaceRanking // observed-label rankings
@@ -102,7 +107,7 @@ func (e *Env) MarketTable(m core.MarketplaceMeasure) *core.Table {
 	if tbl, ok := e.mktTables[m]; ok {
 		return tbl
 	}
-	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m}
+	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers}
 	tbl := ev.EvaluateAll(e.MarketCrawl(), nil)
 	e.mktTables[m] = tbl
 	return tbl
@@ -153,7 +158,7 @@ func (e *Env) GoogleTable(m core.SearchMeasure) *core.Table {
 	if tbl, ok := e.googleTbls[m]; ok {
 		return tbl
 	}
-	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m}
+	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers}
 	tbl := ev.EvaluateAll(e.GoogleResults(), nil)
 	e.googleTbls[m] = tbl
 	return tbl

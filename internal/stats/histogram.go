@@ -54,6 +54,14 @@ func (h *Histogram) Add(x float64) {
 	h.Counts[h.BinOf(x)]++
 }
 
+// Reset zeroes every bin count while keeping the geometry, so a histogram
+// can serve as a reusable buffer instead of being reallocated per use.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+}
+
 // AddWeighted records an observation of x with weight w.
 func (h *Histogram) AddWeighted(x, w float64) {
 	h.Counts[h.BinOf(x)] += w

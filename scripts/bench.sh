@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — record the repo's performance trajectory.
+#
+# Runs the evaluation and crawl benchmarks (the F-Box hot paths that the
+# parallel sharded pipeline of PR 1 optimizes, plus the two dataset
+# generators) and writes the results to a JSON file so successive PRs can
+# be compared number-to-number.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR1.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$'
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (this takes a few minutes)"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . | tee "$raw"
+
+# Convert `go test -bench` lines into a JSON array of
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records.
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3; bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes  = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "bench.sh: wrote $out"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's verification gate, make-free by design.
+#
+# Runs, in order:
+#   1. go vet ./...          static checks
+#   2. go build ./...        everything compiles
+#   3. go test -race ./...   full suite under the race detector — the
+#                            evaluators' sharded worker pools must stay
+#                            race-clean at any worker count
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all green"
