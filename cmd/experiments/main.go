@@ -25,6 +25,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, markdown or csv")
 		only     = flag.String("only", "", "run a single experiment by ID (e.g. T8); empty runs all")
 		observed = flag.Bool("observed", false, "use the simulated AMT labels instead of ground-truth demographics")
+		workers  = flag.Int("workers", 0, "worker goroutines for evaluation and batch serving (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -38,6 +39,7 @@ func main() {
 
 	env := experiment.NewEnv(*seed)
 	env.ObservedLabels = *observed
+	env.Workers = *workers
 
 	runners := experiment.All()
 	if *only != "" {

@@ -8,12 +8,19 @@
 //
 //	fairjob quantify -dim group|query|location [-k 5] [-least] [-measure emd|exposure|kendall|jaccard] [-platform market|google] [-data DIR]
 //	fairjob compare  -by group|query|location  -r1 A -r2 B [-measure ...] [-platform ...] [-data DIR]
+//	fairjob batch    [-k 5] [-workers 0] [-measure ...] [-data DIR]
 //
 // With -data it loads a crawl written by datagen (taskers.jsonl +
 // pages.jsonl for the marketplace, google.jsonl for the search study);
 // otherwise it synthesizes the default platform in memory. The emd and
 // exposure measures imply -platform market; kendall and jaccard imply
 // -platform google.
+//
+// All modes execute through the internal/serve query engine: the table is
+// frozen into an immutable IndexSnapshot and queries run against it, so
+// repeated questions hit the engine's result cache. The batch mode
+// demonstrates the concurrent path: it fans a mixed Problem 1 / Problem 2
+// workload across -workers goroutines via the batch API.
 //
 // Examples:
 //
@@ -22,6 +29,7 @@
 //	fairjob quantify -dim group -k 5 -measure kendall
 //	fairjob compare -r1 "gender=Male" -r2 "gender=Female" -by location -measure exposure
 //	fairjob compare -r1 "Lawn Mowing" -r2 "Event Decorating" -by group
+//	fairjob batch -k 3 -workers 8
 package main
 
 import (
@@ -34,8 +42,8 @@ import (
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
 	"fairjob/internal/experiment"
-	"fairjob/internal/index"
 	"fairjob/internal/report"
+	"fairjob/internal/serve"
 	"fairjob/internal/topk"
 )
 
@@ -51,11 +59,12 @@ func main() {
 		seed    = fs.Uint64("seed", experiment.DefaultSeed, "seed when synthesizing")
 		measure = fs.String("measure", "emd", "unfairness measure: emd, exposure, kendall or jaccard")
 		dim     = fs.String("dim", "group", "quantify: dimension to rank (group, query or location)")
-		k       = fs.Int("k", 5, "quantify: how many results")
+		k       = fs.Int("k", 5, "quantify/batch: how many results")
 		least   = fs.Bool("least", false, "quantify: return the least unfair instead of the most")
 		r1      = fs.String("r1", "", "compare: first value (group key like \"gender=Male\", query, or location)")
 		r2      = fs.String("r2", "", "compare: second value")
 		by      = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
+		workers = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -65,12 +74,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{Workers: *workers})
 
 	switch mode {
 	case "quantify":
-		err = quantify(tbl, *dim, *k, *least)
+		err = quantify(eng, *dim, *k, *least)
 	case "compare":
-		err = runCompare(tbl, *r1, *r2, *by)
+		err = runCompare(eng, *r1, *r2, *by)
+	case "batch":
+		err = runBatch(eng, *k)
 	default:
 		usage()
 		os.Exit(2)
@@ -81,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare [flags] (see -h of each mode)")
+	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare|batch [flags] (see -h of each mode)")
 }
 
 func fatal(err error) {
@@ -167,111 +179,165 @@ func loadGoogleResults(dir string) ([]*core.SearchResults, error) {
 	return (&dataset.Google{Records: recs}).ToSearchResults(), nil
 }
 
-// quantify solves Problem 1 with the Threshold Algorithm over the
-// pre-computed indices.
-func quantify(tbl *core.Table, dim string, k int, least bool) error {
+// parseDim maps a CLI dimension name to the compare enum shared by both
+// problems.
+func parseDim(s string) (compare.Dimension, error) {
+	switch s {
+	case "group":
+		return compare.ByGroup, nil
+	case "query":
+		return compare.ByQuery, nil
+	case "location":
+		return compare.ByLocation, nil
+	default:
+		return 0, fmt.Errorf("unknown dimension %q (want group, query or location)", s)
+	}
+}
+
+// displayName resolves a member key to a human-readable name (group keys
+// become predicate names; queries and locations are their own names).
+func displayName(snap *serve.Snapshot, dim compare.Dimension, key string) string {
+	if dim == compare.ByGroup {
+		if g, ok := snap.Group(key); ok {
+			return g.Name()
+		}
+	}
+	return key
+}
+
+// quantify solves Problem 1 through the serve engine with the Threshold
+// Algorithm over the snapshot's pre-computed indices.
+func quantify(eng *serve.Engine, dim string, k int, least bool) error {
+	d, err := parseDim(dim)
+	if err != nil {
+		return err
+	}
 	dir := topk.MostUnfair
 	label := "most"
 	if least {
 		dir = topk.LeastUnfair
 		label = "least"
 	}
-	var results []topk.Result
-	var err error
-	switch dim {
-	case "group":
-		results, err = topk.GroupFairness(index.BuildGroupIndex(tbl), nil, nil, k, dir)
-	case "query":
-		results, err = topk.QueryFairness(index.BuildQueryIndex(tbl), nil, nil, k, dir)
-	case "location":
-		results, err = topk.LocationFairness(index.BuildLocationIndex(tbl), nil, nil, k, dir)
-	default:
-		return fmt.Errorf("unknown dimension %q (want group, query or location)", dim)
-	}
-	if err != nil {
-		return err
+	resp := eng.Do(serve.Request{
+		Problem:   serve.Quantify,
+		Dim:       d,
+		K:         k,
+		Direction: dir,
+		Algorithm: topk.TA,
+	})
+	if resp.Err != nil {
+		return resp.Err
 	}
 	out := report.NewTable(fmt.Sprintf("%d %s unfair %ss (Threshold Algorithm)", k, label, dim),
 		"Rank", dim, "Avg unfairness")
-	for i, r := range results {
-		name := r.Key
-		if dim == "group" {
-			if g, ok := tbl.GroupByKey(r.Key); ok {
-				name = g.Name()
-			}
-		}
-		out.AddRow(i+1, name, r.Value)
+	for i, r := range resp.Results {
+		out.AddRow(i+1, displayName(eng.Snapshot(), d, r.Key), r.Value)
 	}
 	return out.WriteText(os.Stdout)
 }
 
-// runCompare solves Problem 2 for the two values, inferring their
-// dimension from the table's contents.
-func runCompare(tbl *core.Table, r1, r2, by string) error {
+// runCompare solves Problem 2 through the serve engine, inferring the
+// operands' dimension from the snapshot's contents. The CLI keeps the
+// defined-only aggregation semantics it has always used.
+func runCompare(eng *serve.Engine, r1, r2, by string) error {
 	if r1 == "" || r2 == "" {
 		return fmt.Errorf("compare needs -r1 and -r2")
 	}
-	var byDim compare.Dimension
-	switch by {
-	case "group":
-		byDim = compare.ByGroup
-	case "query":
-		byDim = compare.ByQuery
-	case "location":
-		byDim = compare.ByLocation
-	default:
+	byDim, err := parseDim(by)
+	if err != nil {
 		return fmt.Errorf("unknown breakdown %q", by)
 	}
-	c := compare.NewDefinedOnly(tbl)
-
-	dimOf := func(v string) string {
-		if _, ok := tbl.GroupByKey(v); ok {
-			return "group"
-		}
-		for _, q := range tbl.Queries() {
-			if string(q) == v {
-				return "query"
-			}
-		}
-		for _, l := range tbl.Locations() {
-			if string(l) == v {
-				return "location"
-			}
-		}
-		return ""
-	}
-	d1, d2 := dimOf(r1), dimOf(r2)
-	if d1 == "" || d1 != d2 {
+	snap := eng.Snapshot()
+	d1, ok1 := snap.DimensionOf(r1)
+	d2, ok2 := snap.DimensionOf(r2)
+	if !ok1 || !ok2 || d1 != d2 {
 		return fmt.Errorf("cannot resolve %q and %q to one dimension (group key, query, or location)", r1, r2)
 	}
+	resp := eng.Do(serve.Request{
+		Problem:     serve.Compare,
+		Of:          d1,
+		R1:          r1,
+		R2:          r2,
+		By:          byDim,
+		DefinedOnly: true,
+	})
+	if resp.Err != nil {
+		return resp.Err
+	}
+	cmp := resp.Comparison
 
-	var cmp *compare.Comparison
-	var err error
-	switch d1 {
-	case "group":
-		cmp, err = c.Groups(r1, r2, byDim, compare.Scope{})
-	case "query":
-		cmp, err = c.Queries(core.Query(r1), core.Query(r2), byDim, compare.Scope{})
-	case "location":
-		cmp, err = c.Locations(core.Location(r1), core.Location(r2), byDim, compare.Scope{})
-	}
-	if err != nil {
-		return err
-	}
-
-	name := func(key string) string {
-		if byDim == compare.ByGroup {
-			if g, ok := tbl.GroupByKey(key); ok {
-				return g.Name()
-			}
-		}
-		return key
-	}
 	out := report.NewTable(fmt.Sprintf("%s vs %s, broken down by %s", r1, r2, by),
 		by, r1, r2, "differs from overall")
 	out.AddRow("All", cmp.Overall1, cmp.Overall2, "")
 	for _, b := range cmp.All {
-		out.AddRow(name(b.B), b.V1, b.V2, fmt.Sprintf("%v", b.Reversed))
+		out.AddRow(displayName(snap, byDim, b.B), b.V1, b.V2, fmt.Sprintf("%v", b.Reversed))
 	}
 	return out.WriteText(os.Stdout)
+}
+
+// runBatch fans a mixed Problem 1 / Problem 2 workload across the
+// engine's worker pool via the batch API: every dimension × direction
+// quantification, plus the reversal analysis of the two most unfair
+// groups, queries and locations. It prints one summary row per request
+// and the engine's cache counters.
+func runBatch(eng *serve.Engine, k int) error {
+	snap := eng.Snapshot()
+	var reqs []serve.Request
+	for _, d := range []compare.Dimension{compare.ByGroup, compare.ByQuery, compare.ByLocation} {
+		for _, dir := range []topk.Direction{topk.MostUnfair, topk.LeastUnfair} {
+			reqs = append(reqs, serve.Request{
+				Problem: serve.Quantify, Dim: d, K: k, Direction: dir, Algorithm: topk.TA,
+			})
+		}
+	}
+	// Compare the two most unfair members of each dimension, broken down
+	// by one of the other dimensions.
+	quantified := eng.DoBatch(reqs[:len(reqs):len(reqs)])
+	breakdown := map[compare.Dimension]compare.Dimension{
+		compare.ByGroup:    compare.ByQuery,
+		compare.ByQuery:    compare.ByLocation,
+		compare.ByLocation: compare.ByQuery,
+	}
+	for i, resp := range quantified {
+		if resp.Err != nil || reqs[i].Direction != topk.MostUnfair || len(resp.Results) < 2 {
+			continue
+		}
+		reqs = append(reqs, serve.Request{
+			Problem:     serve.Compare,
+			Of:          reqs[i].Dim,
+			R1:          resp.Results[0].Key,
+			R2:          resp.Results[1].Key,
+			By:          breakdown[reqs[i].Dim],
+			DefinedOnly: true,
+		})
+	}
+
+	out := report.NewTable(fmt.Sprintf("batch of %d fairness queries (one snapshot, generation %d)", len(reqs), snap.Gen()),
+		"#", "problem", "question", "answer", "cached")
+	for i, resp := range eng.DoBatch(reqs) {
+		req := reqs[i]
+		var question, answer string
+		switch req.Problem {
+		case serve.Quantify:
+			question = fmt.Sprintf("top-%d %v %s", req.K, req.Direction, req.Dim)
+			if resp.Err == nil && len(resp.Results) > 0 {
+				answer = fmt.Sprintf("%s (%.4f)", displayName(snap, req.Dim, resp.Results[0].Key), resp.Results[0].Value)
+			}
+		case serve.Compare:
+			question = fmt.Sprintf("%s vs %s by %s", displayName(snap, req.Of, req.R1), displayName(snap, req.Of, req.R2), req.By)
+			if resp.Err == nil {
+				answer = fmt.Sprintf("%.4f vs %.4f, %d reversal(s)", resp.Comparison.Overall1, resp.Comparison.Overall2, len(resp.Comparison.Reversed))
+			}
+		}
+		if resp.Err != nil {
+			answer = "error: " + resp.Err.Error()
+		}
+		out.AddRow(i+1, req.Problem.String(), question, answer, resp.CacheHit)
+	}
+	if err := out.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	hits, misses := eng.CacheStats()
+	fmt.Printf("cache: %d hit(s), %d miss(es)\n", hits, misses)
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
+	"fairjob/internal/serve"
 )
 
 // writeTinyDataset writes a minimal but valid datagen-format crawl to dir.
@@ -97,29 +98,33 @@ func TestQuantifyAndCompareOnDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	// These render to stdout; the tests assert they succeed and reject
-	// bad dimensions.
-	if err := quantify(tbl, "group", 3, false); err != nil {
+	// bad dimensions. All modes run through one serve engine, as main does.
+	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{})
+	if err := quantify(eng, "group", 3, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := quantify(tbl, "query", 2, true); err != nil {
+	if err := quantify(eng, "query", 2, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := quantify(tbl, "nebula", 2, false); err == nil {
+	if err := quantify(eng, "nebula", 2, false); err == nil {
 		t.Fatal("unknown dimension should error")
 	}
-	if err := runCompare(tbl, "cleaning", "moving", "group"); err != nil {
+	if err := runCompare(eng, "cleaning", "moving", "group"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(tbl, "gender=Male", "gender=Female", "query"); err != nil {
+	if err := runCompare(eng, "gender=Male", "gender=Female", "query"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(tbl, "", "x", "group"); err == nil {
+	if err := runCompare(eng, "", "x", "group"); err == nil {
 		t.Fatal("missing r1 should error")
 	}
-	if err := runCompare(tbl, "cleaning", "gender=Male", "group"); err == nil {
+	if err := runCompare(eng, "cleaning", "gender=Male", "group"); err == nil {
 		t.Fatal("mixed dimensions should error")
 	}
-	if err := runCompare(tbl, "cleaning", "moving", "universe"); err == nil {
+	if err := runCompare(eng, "cleaning", "moving", "universe"); err == nil {
 		t.Fatal("unknown breakdown should error")
+	}
+	if err := runBatch(eng, 2); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -70,6 +70,13 @@ type Comparison struct {
 // Comparer answers fairness-comparison questions against a group-based
 // index family.
 //
+// A Comparer is read-only while answering: the index, table and semantics
+// flag are fixed at construction and every Algorithm 3 accumulator lives
+// in a per-call accum value, so one Comparer may serve any number of
+// concurrent queries provided Epsilon is not reassigned after the
+// Comparer is shared (set it right after New / NewDefinedOnly, before
+// publishing).
+//
 // Two aggregation semantics are supported. The default (New) follows
 // Algorithms 1–3 exactly: undefined triples contribute 0 and denominators
 // are the full scope size. NewDefinedOnly averages over defined triples
@@ -103,7 +110,14 @@ const defaultEpsilon = 1e-9
 // NewDefinedOnly builds a Comparer that averages over defined triples
 // only, reading directly from the unfairness table.
 func NewDefinedOnly(tbl *core.Table) *Comparer {
-	return &Comparer{gi: index.BuildGroupIndex(tbl), tbl: tbl, definedOnly: true, Epsilon: defaultEpsilon}
+	return NewDefinedOnlyWith(index.BuildGroupIndex(tbl), tbl)
+}
+
+// NewDefinedOnlyWith is NewDefinedOnly for callers that already hold the
+// table's group-based index family (the serve layer's snapshots build all
+// three families once); gi must have been built from tbl.
+func NewDefinedOnlyWith(gi *index.GroupIndex, tbl *core.Table) *Comparer {
+	return &Comparer{gi: gi, tbl: tbl, definedOnly: true, Epsilon: defaultEpsilon}
 }
 
 func (c *Comparer) scopeOrAll(s Scope) Scope {
@@ -136,74 +150,69 @@ func (c *Comparer) value(g string, q core.Query, l core.Location) (float64, bool
 	return v, true, nil
 }
 
-// average applies the Comparer's aggregation semantics to a sum over
-// cells: full-denominator for completion semantics, defined-count for
+// accum is the per-call accumulator of one Algorithm 3 aggregation: the
+// running sum over cells, how many of them were defined, and the full
+// scope size. Every aggregation a comparison performs builds its own
+// accum on the stack, which is what makes a shared Comparer safe for
+// concurrent queries — there is no aggregation state on the Comparer or
+// the index to contend on.
+type accum struct {
+	sum     float64
+	defined int
+	total   int
+}
+
+// average applies the Comparer's aggregation semantics to an accumulated
+// scope: full-denominator for completion semantics, defined-count for
 // defined-only semantics (0 when nothing was defined).
-func (c *Comparer) average(sum float64, defined, total int) float64 {
+func (c *Comparer) average(a accum) float64 {
 	if c.definedOnly {
-		if defined == 0 {
+		if a.defined == 0 {
 			return 0
 		}
-		return sum / float64(defined)
+		return a.sum / float64(a.defined)
 	}
-	return sum / float64(total)
+	return a.sum / float64(a.total)
+}
+
+// d is Algorithm 3 generalized to a rectangular scope: the aggregate
+// unfairness over gs × qs × ls via random accesses to the group-based
+// index. The singleton forms of the paper — d<g,Q,L>, d<G,q,L>, d<G,Q,l>
+// — are d with one axis pinned to a single member; QuerySets passes a
+// multi-member query axis. Cells are visited in group-major (g, q, l)
+// order, so every aggregate is a deterministic left-to-right sum.
+func (c *Comparer) d(gs []string, qs []core.Query, ls []core.Location) (float64, error) {
+	a := accum{total: len(gs) * len(qs) * len(ls)}
+	for _, g := range gs {
+		for _, q := range qs {
+			for _, l := range ls {
+				v, ok, err := c.value(g, q, l)
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					a.sum += v
+					a.defined++
+				}
+			}
+		}
+	}
+	return c.average(a), nil
 }
 
 // dGroup is Algorithm 3: d<g,Q,L>.
 func (c *Comparer) dGroup(g string, qs []core.Query, ls []core.Location) (float64, error) {
-	var sum float64
-	var defined int
-	for _, q := range qs {
-		for _, l := range ls {
-			v, ok, err := c.value(g, q, l)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				sum += v
-				defined++
-			}
-		}
-	}
-	return c.average(sum, defined, len(qs)*len(ls)), nil
+	return c.d([]string{g}, qs, ls)
 }
 
 // dQuery is the query analogue: d<G,q,L>.
 func (c *Comparer) dQuery(q core.Query, gs []string, ls []core.Location) (float64, error) {
-	var sum float64
-	var defined int
-	for _, g := range gs {
-		for _, l := range ls {
-			v, ok, err := c.value(g, q, l)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				sum += v
-				defined++
-			}
-		}
-	}
-	return c.average(sum, defined, len(gs)*len(ls)), nil
+	return c.d(gs, []core.Query{q}, ls)
 }
 
 // dLocation is the location analogue: d<G,Q,l>.
 func (c *Comparer) dLocation(l core.Location, gs []string, qs []core.Query) (float64, error) {
-	var sum float64
-	var defined int
-	for _, g := range gs {
-		for _, q := range qs {
-			v, ok, err := c.value(g, q, l)
-			if err != nil {
-				return 0, err
-			}
-			if ok {
-				sum += v
-				defined++
-			}
-		}
-	}
-	return c.average(sum, defined, len(gs)*len(qs)), nil
+	return c.d(gs, qs, []core.Location{l})
 }
 
 // reversed is the paper's Problem 2 predicate:
@@ -384,23 +393,7 @@ func (c *Comparer) QuerySets(label1, label2 string, qs1, qs2 []core.Query, by Di
 	}
 	s := c.scopeOrAll(scope)
 	dSet := func(qs []core.Query, gs []string, ls []core.Location) (float64, error) {
-		var sum float64
-		var defined int
-		for _, q := range qs {
-			for _, g := range gs {
-				for _, l := range ls {
-					v, ok, err := c.value(g, q, l)
-					if err != nil {
-						return 0, err
-					}
-					if ok {
-						sum += v
-						defined++
-					}
-				}
-			}
-		}
-		return c.average(sum, defined, len(qs)*len(gs)*len(ls)), nil
+		return c.d(gs, qs, ls)
 	}
 	o1, err := dSet(qs1, s.Groups, s.Locations)
 	if err != nil {

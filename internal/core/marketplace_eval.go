@@ -259,9 +259,9 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 		groups = e.Schema.Universe()
 	}
 	plan := newEvalPlan(e.Schema, groups)
-	w := boundedWorkers(e.Workers, len(rankings))
+	w := BoundedWorkers(e.Workers, len(rankings))
 	shards := make([]*Table, w)
-	runSharded(len(rankings), w, func(shard, lo, hi int) {
+	RunSharded(len(rankings), w, func(shard, lo, hi int) {
 		t := NewTable()
 		sc := e.newScratch()
 		pt := newPartitioner(e.Schema)

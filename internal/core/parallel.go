@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file holds the shared machinery of the parallel evaluation
@@ -40,11 +41,13 @@ func newEvalPlan(s *Schema, groups []Group) *evalPlan {
 	return p
 }
 
-// boundedWorkers resolves a Workers setting against the number of
+// BoundedWorkers resolves a Workers setting against the number of
 // independent work items: 0 means runtime.GOMAXPROCS(0), and the result
 // never exceeds the item count (one goroutine per item is the useful
-// maximum) and never drops below 1.
-func boundedWorkers(workers, items int) int {
+// maximum) and never drops below 1. It is the single convention every
+// concurrent component of the repository uses to size its pool — the
+// evaluators' sharded pipelines and the serve layer's query batches.
+func BoundedWorkers(workers, items int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -66,10 +69,13 @@ func shardBounds(n, w, i int) (lo, hi int) {
 	return i * n / w, (i + 1) * n / w
 }
 
-// runSharded splits n items across w worker goroutines and calls run with
+// RunSharded splits n items across w worker goroutines and calls run with
 // each shard's index and item range. It returns once every shard is done.
-// With w == 1 it runs inline on the caller's goroutine.
-func runSharded(n, w int, run func(shard, lo, hi int)) {
+// With w == 1 it runs inline on the caller's goroutine. Static contiguous
+// shards are the right shape for the evaluators, whose per-item cost is
+// uniform and whose merge step needs shard order; use RunIndexed when item
+// costs vary.
+func RunSharded(n, w int, run func(shard, lo, hi int)) {
 	if w <= 1 {
 		run(0, 0, n)
 		return
@@ -82,6 +88,39 @@ func runSharded(n, w int, run func(shard, lo, hi int)) {
 			defer wg.Done()
 			run(shard, lo, hi)
 		}(i, lo, hi)
+	}
+	wg.Wait()
+}
+
+// RunIndexed calls fn(i) for every i in [0, n) across w worker goroutines,
+// handing out indices dynamically through a shared atomic counter. Unlike
+// RunSharded's static partition, a worker that finishes a cheap item
+// immediately pulls the next one, which keeps the pool busy when item
+// costs vary wildly — the regime of a mixed query batch where one request
+// is a cache hit and the next runs a full table scan. fn is called at most
+// once per index; writes to distinct result slots need no synchronization.
+// With w <= 1 it runs inline on the caller's goroutine.
+func RunIndexed(n, w int, fn func(i int)) {
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -196,9 +196,9 @@ func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) 
 		groups = e.Schema.Universe()
 	}
 	plan := newEvalPlan(e.Schema, groups)
-	w := boundedWorkers(e.Workers, len(results))
+	w := BoundedWorkers(e.Workers, len(results))
 	shards := make([]*Table, w)
-	runSharded(len(results), w, func(shard, lo, hi int) {
+	RunSharded(len(results), w, func(shard, lo, hi int) {
 		t := NewTable()
 		pt := newPartitioner(e.Schema)
 		for _, sr := range results[lo:hi] {

@@ -81,6 +81,31 @@ func (t *Table) Merge(other *Table) {
 	}
 }
 
+// Clone returns a deep copy of the table: the copy and the original share
+// no mutable state, so one side may keep writing while the other is frozen
+// behind an immutable snapshot. Group values are immutable and shared.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		values: make(map[Triple]float64, len(t.values)),
+		groups: make(map[string]Group, len(t.groups)),
+		qs:     make(map[Query]struct{}, len(t.qs)),
+		ls:     make(map[Location]struct{}, len(t.ls)),
+	}
+	for tr, v := range t.values {
+		c.values[tr] = v
+	}
+	for k, g := range t.groups {
+		c.groups[k] = g
+	}
+	for q := range t.qs {
+		c.qs[q] = struct{}{}
+	}
+	for l := range t.ls {
+		c.ls[l] = struct{}{}
+	}
+	return c
+}
+
 // Get returns d<g,q,l> and whether it was recorded.
 func (t *Table) Get(g Group, q Query, l Location) (float64, bool) {
 	v, ok := t.values[Triple{g.Key(), q, l}]

@@ -28,6 +28,7 @@ func All() []Runner {
 		tables18and19(),
 		tables20and21(),
 		significanceRunner(),
+		servingRunner(),
 	}
 }
 

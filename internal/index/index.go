@@ -14,6 +14,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"fairjob/internal/core"
 )
@@ -216,4 +217,26 @@ func BuildLocationIndex(t *core.Table) *LocationIndex {
 // Get returns the inverted list of locations for (groupKey, q).
 func (li *LocationIndex) Get(g string, q core.Query) *Inverted {
 	return li.lists[GQ{g, q}]
+}
+
+// BuildAll builds the three Table-5 index families from one unfairness
+// table, one family per goroutine (the families are independent and each
+// build only reads the table). Every index this package builds is
+// immutable once its Build* constructor returns — there is no mutating
+// method on any index type — so the returned families may be shared by
+// any number of concurrent readers; internal/serve relies on this to
+// freeze them into query-serving snapshots.
+func BuildAll(t *core.Table) (*GroupIndex, *QueryIndex, *LocationIndex) {
+	var (
+		gi *GroupIndex
+		qi *QueryIndex
+		li *LocationIndex
+		wg sync.WaitGroup
+	)
+	wg.Add(3)
+	go func() { defer wg.Done(); gi = BuildGroupIndex(t) }()
+	go func() { defer wg.Done(); qi = BuildQueryIndex(t) }()
+	go func() { defer wg.Done(); li = BuildLocationIndex(t) }()
+	wg.Wait()
+	return gi, qi, li
 }

@@ -1,0 +1,97 @@
+package serve_test
+
+import (
+	"testing"
+
+	"fairjob/internal/serve"
+	"fairjob/internal/stats"
+)
+
+// benchWorkload builds the serving benchmark's toy-experiment fixture: a
+// table at the TaskRabbit case-study scale (11 groups × 48 queries × 10
+// locations) and a 256-request mixed workload drawn from 32 distinct
+// query shapes, each repeated 8× and deterministically shuffled — the
+// "heavy traffic" regime where many users ask overlapping fairness
+// questions.
+func benchWorkload() (*serve.Snapshot, []serve.Request) {
+	rng := stats.NewRNG(4242)
+	snap := serve.NewSnapshot(randomTable(rng, 11, 48, 10, 0.1))
+	distinct := battery(snap)
+	if len(distinct) > 32 {
+		distinct = distinct[:32]
+	}
+	reqs := make([]serve.Request, 0, len(distinct)*8)
+	for rep := 0; rep < 8; rep++ {
+		for i := range distinct {
+			reqs = append(reqs, distinct[(i+rep*5)%len(distinct)])
+		}
+	}
+	return snap, reqs
+}
+
+// BenchmarkServeConcurrent measures end-to-end query throughput on the
+// toy-experiment table. "sequential" is the baseline the acceptance
+// criterion compares against: a plain single-worker query loop with no
+// result cache, i.e. what callers did before the serve layer existed.
+// The engine variants use the batch API with the LRU cache enabled; each
+// iteration starts a fresh engine, so every distinct request shape pays
+// its miss before repeats hit. queries/s is reported as a custom metric.
+func BenchmarkServeConcurrent(b *testing.B) {
+	snap, reqs := benchWorkload()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := serve.NewEngine(snap, serve.Options{Workers: 1, CacheSize: -1})
+			for _, r := range reqs {
+				if resp := eng.Do(r); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("engine-w", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := serve.NewEngine(snap, serve.Options{Workers: workers})
+				for _, resp := range eng.DoBatch(reqs) {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkServeSnapshotBuild measures the cost of freezing a table into
+// a snapshot (clone + three index builds), the price of one
+// copy-on-write refresh.
+func BenchmarkServeSnapshotBuild(b *testing.B) {
+	rng := stats.NewRNG(4242)
+	tbl := randomTable(rng, 11, 48, 10, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve.NewSnapshot(tbl)
+	}
+}
+
+// BenchmarkServeCacheHit isolates the steady-state cost of a cached
+// query — the fast path heavy traffic actually exercises.
+func BenchmarkServeCacheHit(b *testing.B) {
+	snap, reqs := benchWorkload()
+	eng := serve.NewEngine(snap, serve.Options{})
+	req := reqs[0]
+	eng.Do(req) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := eng.Do(req); !resp.CacheHit {
+			b.Fatal("expected steady-state cache hits")
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + string(rune('0'+n))
+}

@@ -1,0 +1,127 @@
+package serve
+
+import "sync"
+
+// cacheKey identifies one cacheable query result. It embeds everything
+// that determines the answer: the snapshot generation plus every request
+// field — problem, quantification dimension, k, direction, algorithm,
+// candidate restriction, comparison operands, breakdown dimension and
+// aggregation semantics. Two requests with equal keys against equal
+// generations are the same computation, which is what makes serving a
+// cached Response sound; a table refresh bumps the generation and thereby
+// invalidates every older entry without touching the cache.
+type cacheKey struct {
+	gen         uint64
+	problem     Problem
+	dim         int
+	k           int
+	dir         int
+	algo        int
+	candidates  string // "\x1f"-joined restriction set, "" = unrestricted
+	r1, r2      string
+	by          int
+	definedOnly bool
+}
+
+// lruCache is a fixed-capacity least-recently-used map from cacheKey to
+// Response, safe for concurrent use. Entries form an intrusive doubly
+// linked list in recency order; Get promotes, Put inserts at the front
+// and evicts from the back. The zero value is not usable — construct with
+// newLRU.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[cacheKey]*lruEntry
+	// head is most recently used, tail least. nil when empty.
+	head, tail *lruEntry
+}
+
+type lruEntry struct {
+	key        cacheKey
+	val        Response
+	prev, next *lruEntry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[cacheKey]*lruEntry, capacity)}
+}
+
+// Get returns the cached response for key, promoting it to most recently
+// used.
+func (c *lruCache) Get(key cacheKey) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return Response{}, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put records key's response, evicting the least recently used entry when
+// the cache is at capacity.
+func (c *lruCache) Put(key cacheKey, val Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &lruEntry{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		c.evict(c.tail)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *lruCache) evict(e *lruEntry) {
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.items, e.key)
+}

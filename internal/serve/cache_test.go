@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int) cacheKey { return cacheKey{gen: 1, k: i} }
+
+func val(i int) Response { return Response{Gen: uint64(i)} }
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.Put(key(1), val(1))
+	c.Put(key(2), val(2))
+	if _, ok := c.Get(key(1)); !ok { // promotes 1; 2 is now LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(key(3), val(3)) // evicts 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	for _, i := range []int{1, 3} {
+		if v, ok := c.Get(key(i)); !ok || v.Gen != uint64(i) {
+			t.Fatalf("entry %d = %+v, %v", i, v, ok)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUPutOverwritesAndPromotes(t *testing.T) {
+	c := newLRU(2)
+	c.Put(key(1), val(1))
+	c.Put(key(2), val(2))
+	c.Put(key(1), val(11)) // overwrite promotes 1; 2 is LRU
+	c.Put(key(3), val(3))  // evicts 2
+	if v, ok := c.Get(key(1)); !ok || v.Gen != 11 {
+		t.Fatalf("overwritten entry = %+v, %v", v, ok)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+}
+
+func TestLRUSingleCapacity(t *testing.T) {
+	c := newLRU(1)
+	for i := 0; i < 10; i++ {
+		c.Put(key(i), val(i))
+		if v, ok := c.Get(key(i)); !ok || v.Gen != uint64(i) {
+			t.Fatalf("entry %d = %+v, %v", i, v, ok)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestLRUConcurrentAccess hammers one cache from many goroutines; the
+// race detector (scripts/check.sh) turns any unsynchronized access into a
+// failure, and the invariant checked here is that the cache never exceeds
+// capacity and never returns a value for the wrong key.
+func TestLRUConcurrentAccess(t *testing.T) {
+	const (
+		workers = 16
+		keys    = 8
+		rounds  = 200
+	)
+	c := newLRU(4)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % keys
+				c.Put(key(i), val(i))
+				if v, ok := c.Get(key(i)); ok && v.Gen != uint64(i) {
+					panic(fmt.Sprintf("key %d returned value %d", i, v.Gen))
+				}
+				if c.Len() > 4 {
+					panic("cache exceeded capacity")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

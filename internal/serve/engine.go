@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/topk"
+)
+
+// Problem selects which of the paper's two problems a request asks.
+type Problem int
+
+const (
+	// Quantify is Problem 1: the k most/least unfair members of one
+	// dimension, solved by a Fagin-style algorithm over the indices.
+	Quantify Problem = iota
+	// Compare is Problem 2: where does the fairness comparison of two
+	// values reverse relative to their overall comparison (Algorithms
+	// 2–3).
+	Compare
+)
+
+func (p Problem) String() string {
+	switch p {
+	case Quantify:
+		return "quantify"
+	case Compare:
+		return "compare"
+	default:
+		return fmt.Sprintf("Problem(%d)", int(p))
+	}
+}
+
+// Request is one fairness query. Quantify requests use Dim, K, Direction,
+// Algorithm and optionally Candidates (the §4.1 "out of these members…"
+// restriction). Compare requests use R1, R2 (two members of the Of
+// dimension), By (the breakdown dimension) and DefinedOnly (aggregation
+// semantics; false = the completion semantics of Algorithms 1–3).
+type Request struct {
+	Problem Problem
+
+	// Quantify fields.
+	Dim        compare.Dimension
+	K          int
+	Direction  topk.Direction
+	Algorithm  topk.Algorithm
+	Candidates []string
+
+	// Compare fields.
+	Of          compare.Dimension
+	R1, R2      string
+	By          compare.Dimension
+	DefinedOnly bool
+}
+
+// key derives the cache key of the request against a snapshot generation.
+func (r Request) key(gen uint64) cacheKey {
+	return cacheKey{
+		gen:         gen,
+		problem:     r.Problem,
+		dim:         int(r.Dim),
+		k:           r.K,
+		dir:         int(r.Direction),
+		algo:        int(r.Algorithm),
+		candidates:  strings.Join(r.Candidates, "\x1f"),
+		r1:          r.R1,
+		r2:          r.R2,
+		by:          int(r.By),
+		definedOnly: r.DefinedOnly,
+	}
+}
+
+// Response is the answer to one Request. Quantify responses fill Results
+// and Stats; Compare responses fill Comparison. Gen records which
+// snapshot generation produced the answer and CacheHit whether it was
+// served from the result cache. Responses may be shared between callers
+// (a cache hit returns the stored value), so callers must treat Results
+// and Comparison as read-only.
+type Response struct {
+	Results    []topk.Result
+	Stats      topk.Stats
+	Comparison *compare.Comparison
+	Gen        uint64
+	CacheHit   bool
+	Err        error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the goroutines DoBatch fans a batch across,
+	// following the repository-wide convention of core.BoundedWorkers: 0
+	// selects runtime.GOMAXPROCS(0), 1 runs batches inline, and the pool
+	// never exceeds the batch size.
+	Workers int
+	// CacheSize is the LRU result cache capacity in entries: 0 selects
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+}
+
+// DefaultCacheSize is the result cache capacity when Options.CacheSize is
+// zero.
+const DefaultCacheSize = 1024
+
+// Engine executes fairness queries against the current snapshot. It is
+// safe for concurrent use: the snapshot hangs behind an atomic pointer
+// (Swap / Refresh publish a new generation without pausing in-flight
+// queries), the cache is internally locked, and all algorithm state is
+// per-call.
+type Engine struct {
+	workers int
+	cache   *lruCache // nil when caching is disabled
+	snap    atomic.Pointer[Snapshot]
+
+	hits, misses atomic.Uint64
+}
+
+// NewEngine builds an engine serving the given snapshot.
+func NewEngine(snap *Snapshot, opts Options) *Engine {
+	if snap == nil {
+		panic("serve: NewEngine with nil snapshot")
+	}
+	e := &Engine{workers: opts.Workers}
+	switch {
+	case opts.CacheSize == 0:
+		e.cache = newLRU(DefaultCacheSize)
+	case opts.CacheSize > 0:
+		e.cache = newLRU(opts.CacheSize)
+	}
+	e.snap.Store(snap)
+	return e
+}
+
+// Snapshot returns the snapshot currently being served.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Swap atomically publishes a new snapshot. Queries that already loaded
+// the old snapshot finish against it; subsequent queries see the new
+// generation, whose distinct cache keys make every older cache entry
+// unreachable (they age out of the LRU).
+func (e *Engine) Swap(snap *Snapshot) {
+	if snap == nil {
+		panic("serve: Swap with nil snapshot")
+	}
+	e.snap.Store(snap)
+}
+
+// Refresh is copy-on-write table maintenance in one step: it derives a
+// new snapshot from the current one via WithUpdates(apply), publishes it,
+// and returns it.
+func (e *Engine) Refresh(apply func(*core.Table)) *Snapshot {
+	next := e.Snapshot().WithUpdates(apply)
+	e.Swap(next)
+	return next
+}
+
+// CacheStats returns the number of cache hits and misses served so far.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// Do answers one request against the current snapshot.
+func (e *Engine) Do(req Request) Response {
+	return e.doOn(e.Snapshot(), req)
+}
+
+// DoBatch answers a batch of requests across the bounded worker pool and
+// returns the responses in request order. The snapshot is loaded once for
+// the whole batch, so every response in it carries the same generation
+// even if a Swap lands mid-batch — a batch is a consistent read.
+func (e *Engine) DoBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	snap := e.Snapshot()
+	w := core.BoundedWorkers(e.workers, len(reqs))
+	core.RunIndexed(len(reqs), w, func(i int) {
+		out[i] = e.doOn(snap, reqs[i])
+	})
+	return out
+}
+
+// doOn answers req against a pinned snapshot, consulting the cache.
+func (e *Engine) doOn(snap *Snapshot, req Request) Response {
+	if err := validate(req); err != nil {
+		return Response{Gen: snap.gen, Err: err}
+	}
+	var key cacheKey
+	if e.cache != nil {
+		key = req.key(snap.gen)
+		if resp, ok := e.cache.Get(key); ok {
+			e.hits.Add(1)
+			resp.CacheHit = true
+			return resp
+		}
+		e.misses.Add(1)
+	}
+	resp := execute(snap, req)
+	if e.cache != nil && resp.Err == nil {
+		e.cache.Put(key, resp)
+	}
+	return resp
+}
+
+// validate rejects malformed requests before they reach the algorithms.
+func validate(req Request) error {
+	switch req.Problem {
+	case Quantify:
+		if req.K <= 0 {
+			return fmt.Errorf("serve: quantify needs k > 0, got %d", req.K)
+		}
+		switch req.Dim {
+		case compare.ByGroup, compare.ByQuery, compare.ByLocation:
+		default:
+			return fmt.Errorf("serve: unknown quantify dimension %v", req.Dim)
+		}
+		if req.Candidates != nil && req.Dim != compare.ByGroup {
+			return fmt.Errorf("serve: candidate restriction is only supported for the group dimension")
+		}
+		switch req.Direction {
+		case topk.MostUnfair, topk.LeastUnfair:
+		default:
+			return fmt.Errorf("serve: unknown direction %v", req.Direction)
+		}
+		switch req.Algorithm {
+		case topk.TA, topk.FA, topk.Naive, topk.NRA:
+		default:
+			return fmt.Errorf("serve: unknown algorithm %v", req.Algorithm)
+		}
+	case Compare:
+		if req.R1 == "" || req.R2 == "" {
+			return fmt.Errorf("serve: compare needs both r1 and r2")
+		}
+		switch req.Of {
+		case compare.ByGroup, compare.ByQuery, compare.ByLocation:
+		default:
+			return fmt.Errorf("serve: unknown compare dimension %v", req.Of)
+		}
+		switch req.By {
+		case compare.ByGroup, compare.ByQuery, compare.ByLocation:
+		default:
+			return fmt.Errorf("serve: unknown breakdown dimension %v", req.By)
+		}
+		if req.Of == req.By {
+			return fmt.Errorf("serve: cannot break a %v comparison down by %v", req.Of, req.By)
+		}
+	default:
+		return fmt.Errorf("serve: unknown problem %v", req.Problem)
+	}
+	return nil
+}
+
+// execute runs the request's algorithm against the snapshot; all mutable
+// state lives inside the callee's per-call structs.
+func execute(snap *Snapshot, req Request) Response {
+	resp := Response{Gen: snap.gen}
+	switch req.Problem {
+	case Quantify:
+		src := snap.source(req.Dim)
+		if src == nil {
+			resp.Err = fmt.Errorf("serve: snapshot has no %v lists (empty table?)", req.Dim)
+			return resp
+		}
+		if req.Candidates != nil {
+			restricted, err := topk.NewFilteredLists(src, req.Candidates)
+			if err != nil {
+				resp.Err = err
+				return resp
+			}
+			src = restricted
+		}
+		resp.Results, resp.Stats, resp.Err = topk.TopK(src, req.K, req.Direction, req.Algorithm)
+	case Compare:
+		c := snap.comparer(req.DefinedOnly)
+		switch req.Of {
+		case compare.ByGroup:
+			resp.Comparison, resp.Err = c.Groups(req.R1, req.R2, req.By, compare.Scope{})
+		case compare.ByQuery:
+			resp.Comparison, resp.Err = c.Queries(core.Query(req.R1), core.Query(req.R2), req.By, compare.Scope{})
+		case compare.ByLocation:
+			resp.Comparison, resp.Err = c.Locations(core.Location(req.R1), core.Location(req.R2), req.By, compare.Scope{})
+		}
+	}
+	return resp
+}

@@ -1,0 +1,110 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/serve"
+	"fairjob/internal/stats"
+	"fairjob/internal/topk"
+)
+
+// fuzzWorld holds the shared immutable fixtures of FuzzSnapshotQueries:
+// one snapshot, a cached engine and an uncached reference engine. Built
+// once — the snapshot is immutable, so reuse across fuzz executions is
+// sound and keeps iterations cheap.
+var fuzzWorld struct {
+	once     sync.Once
+	snap     *serve.Snapshot
+	cached   *serve.Engine
+	uncached *serve.Engine
+}
+
+func fuzzSetup() {
+	fuzzWorld.once.Do(func() {
+		rng := stats.NewRNG(2024)
+		fuzzWorld.snap = serve.NewSnapshot(randomTable(rng, 6, 5, 4, 0.2))
+		fuzzWorld.cached = serve.NewEngine(fuzzWorld.snap, serve.Options{CacheSize: 64})
+		fuzzWorld.uncached = serve.NewEngine(fuzzWorld.snap, serve.Options{CacheSize: -1})
+	})
+}
+
+// FuzzSnapshotQueries round-trips arbitrary request shapes — including
+// out-of-range dimensions, algorithms, ks and operands — through the
+// serve API and asserts the two engine-level contracts: no input panics,
+// and a cache hit is byte-identical to the cache miss that populated it
+// (and to an uncached evaluation). Run with `go test -fuzz
+// FuzzSnapshotQueries ./internal/serve` to explore beyond the seed
+// corpus.
+func FuzzSnapshotQueries(f *testing.F) {
+	// Seeds cover both problems, every dimension, every algorithm, both
+	// directions, invalid enum values and out-of-range member indices.
+	f.Add(uint8(0), uint8(0), 3, uint8(0), uint8(0), uint8(0), uint8(1), uint8(1), false)
+	f.Add(uint8(0), uint8(1), 1, uint8(1), uint8(1), uint8(2), uint8(0), uint8(2), true)
+	f.Add(uint8(0), uint8(2), 100, uint8(0), uint8(2), uint8(9), uint8(9), uint8(0), false)
+	f.Add(uint8(0), uint8(9), -5, uint8(9), uint8(9), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint8(1), uint8(0), 0, uint8(0), uint8(3), uint8(0), uint8(1), uint8(1), false)
+	f.Add(uint8(1), uint8(1), 2, uint8(0), uint8(0), uint8(3), uint8(4), uint8(0), true)
+	f.Add(uint8(1), uint8(2), 7, uint8(1), uint8(1), uint8(200), uint8(201), uint8(2), false)
+
+	f.Fuzz(func(t *testing.T, problem, dim uint8, k int, dir, algo, i1, i2, by uint8, definedOnly bool) {
+		fuzzSetup()
+		snap := fuzzWorld.snap
+
+		req := serve.Request{
+			Problem:     serve.Problem(problem % 3), // includes one invalid value
+			Dim:         compare.Dimension(dim),
+			K:           k,
+			Direction:   topk.Direction(dir),
+			Algorithm:   topk.Algorithm(algo),
+			Of:          compare.Dimension(dim % 4),
+			By:          compare.Dimension(by),
+			DefinedOnly: definedOnly,
+		}
+		// Operands are drawn from the snapshot's own dimensions when the
+		// index is in range, and left as raw garbage otherwise so the
+		// error paths stay covered.
+		pick := func(i uint8, of compare.Dimension) string {
+			switch of {
+			case compare.ByGroup:
+				if gks := snap.GroupKeys(); int(i) < len(gks) {
+					return gks[i]
+				}
+			case compare.ByQuery:
+				if qs := snap.Queries(); int(i) < len(qs) {
+					return string(qs[i])
+				}
+			case compare.ByLocation:
+				if ls := snap.Locations(); int(i) < len(ls) {
+					return string(ls[i])
+				}
+			}
+			return string(rune('A' + i%26))
+		}
+		req.R1 = pick(i1, req.Of)
+		req.R2 = pick(i2, req.Of)
+		if k%5 == 0 && req.Dim == compare.ByGroup {
+			gks := snap.GroupKeys()
+			req.Candidates = gks[:1+int(i1)%len(gks)]
+		}
+
+		// Contract 1: no panic, whatever the shape (validated via normal
+		// execution — a panic fails the fuzz run).
+		first := fuzzWorld.cached.Do(req)
+		// Contract 2: cache-hit results equal cache-miss results, and
+		// both equal an uncached evaluation.
+		second := fuzzWorld.cached.Do(req)
+		if fingerprint(first) != fingerprint(second) {
+			t.Fatalf("cache hit diverged from miss:\nmiss: %s\nhit:  %s", fingerprint(first), fingerprint(second))
+		}
+		reference := fuzzWorld.uncached.Do(req)
+		if fingerprint(first) != fingerprint(reference) {
+			t.Fatalf("cached engine diverged from uncached:\ncached:   %s\nuncached: %s", fingerprint(first), fingerprint(reference))
+		}
+		// An accepted quantify request returns at most k results.
+		if first.Err == nil && req.Problem == serve.Quantify && len(first.Results) > req.K {
+			t.Fatalf("quantify returned %d results for k=%d", len(first.Results), req.K)
+		}
+	})
+}

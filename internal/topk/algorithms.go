@@ -62,6 +62,11 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Algorithms lists every implemented top-k strategy, in declaration
+// order; the equivalence tests and the serve layer's cross-algorithm
+// checks iterate it rather than hard-coding the set.
+func Algorithms() []Algorithm { return []Algorithm{TA, FA, Naive, NRA} }
+
 // Stats reports the access costs of a top-k run, the quantity the
 // Fagin-vs-baseline ablation measures.
 type Stats struct {
@@ -69,6 +74,18 @@ type Stats struct {
 	RandomAccesses int
 	Rounds         int
 }
+
+// Total returns the combined sorted + random access count, the cost
+// metric of the Fagin-vs-naive comparison.
+func (s Stats) Total() int { return s.SortedAccesses + s.RandomAccesses }
+
+// Every algorithm below keeps its query-time state — round-robin sorted
+// access cursors, seen-sets, candidate accumulators, bounded result heaps
+// and access-cost counters — in a per-call state struct built fresh inside
+// TopK. A ListSource is only ever read, never written, so a single source
+// (typically a view over an immutable index snapshot, see internal/serve)
+// safely serves any number of simultaneous TopK calls; the race and
+// concurrency tests pin this contract.
 
 // TopK solves fairness quantification over src: the k members with the
 // most/least average value across lists. It returns results in order
@@ -81,13 +98,13 @@ func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats
 	run := func(s ListSource) ([]Result, Stats) {
 		switch algo {
 		case TA:
-			return thresholdAlgorithm(s, k)
+			return newTAState(s, k).run()
 		case FA:
-			return faginFA(s, k)
+			return newFAState(s, k).run()
 		case Naive:
-			return naiveScan(s, k)
+			return newNaiveState(s, k).run()
 		case NRA:
-			return nra(s, k)
+			return newNRAState(s, k).run()
 		default:
 			panic(fmt.Sprintf("topk: unknown algorithm %d", int(algo)))
 		}
@@ -103,124 +120,148 @@ func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats
 	return results, stats, nil
 }
 
-// thresholdAlgorithm is the paper's Algorithm 1. Each round advances a
-// shared cursor across every list (sorted access); each newly discovered
-// member is completed with random accesses to all other lists; the round
-// threshold τ is the average of the frontier values, a valid upper bound
-// on any unseen member's aggregate because lists are sorted descending and
-// membership is identical. The run stops when the heap holds k members
-// with min value ≥ τ, or when the lists are exhausted.
-func thresholdAlgorithm(src ListSource, k int) ([]Result, Stats) {
-	var (
-		stats     Stats
-		heap      minHeap
-		seen      = make(map[string]bool)
-		n         = src.NumLists()
-		listLen   = src.ListLen()
-		denom     = float64(n)
-		exhausted bool
-	)
-	for pos := 0; !exhausted; pos++ {
-		if pos >= listLen {
-			break
-		}
-		stats.Rounds++
+// taState owns the query-time state of one Threshold Algorithm execution
+// (the paper's Algorithm 1): the shared sorted-access cursor, the set of
+// members already completed by random access, the bounded result heap and
+// the access counters. Nothing here outlives or escapes the call.
+type taState struct {
+	src    ListSource
+	k      int
+	cursor int             // round-robin sorted-access position, shared by all lists
+	seen   map[string]bool // members already completed via random access
+	heap   minHeap         // current top-k candidates
+	stats  Stats
+}
+
+func newTAState(src ListSource, k int) *taState {
+	return &taState{src: src, k: k, seen: make(map[string]bool)}
+}
+
+// run advances the cursor one position per round across every list
+// (sorted access), completes each newly discovered member with random
+// accesses to all other lists, and recomputes the round threshold τ — the
+// average of the frontier values, a valid upper bound on any unseen
+// member's aggregate because lists are sorted descending and membership is
+// identical. It stops when the heap holds k members with min value ≥ τ,
+// or when the lists are exhausted.
+func (st *taState) run() ([]Result, Stats) {
+	n := st.src.NumLists()
+	listLen := st.src.ListLen()
+	denom := float64(n)
+	for ; st.cursor < listLen; st.cursor++ {
+		st.stats.Rounds++
 		var frontierSum float64
 		for i := 0; i < n; i++ {
-			e, ok := src.At(i, pos)
-			stats.SortedAccesses++
+			e, ok := st.src.At(i, st.cursor)
+			st.stats.SortedAccesses++
 			if !ok {
-				exhausted = true
-				break
+				return st.heap.Drain(), st.stats
 			}
 			frontierSum += e.Value
-			if seen[e.Key] {
+			if st.seen[e.Key] {
 				continue
 			}
-			seen[e.Key] = true
+			st.seen[e.Key] = true
 			total := e.Value
 			for j := 0; j < n; j++ {
 				if j == i {
 					continue
 				}
-				v, _ := src.Find(j, e.Key)
-				stats.RandomAccesses++
+				v, _ := st.src.Find(j, e.Key)
+				st.stats.RandomAccesses++
 				total += v
 			}
-			heap.Offer(Result{Key: e.Key, Value: total / denom}, k)
-		}
-		if exhausted {
-			break
+			st.heap.Offer(Result{Key: e.Key, Value: total / denom}, st.k)
 		}
 		tau := frontierSum / denom
-		if heap.Len() >= k && heap.MinValue() >= tau {
+		if st.heap.Len() >= st.k && st.heap.MinValue() >= tau {
 			break
 		}
 	}
-	return heap.Drain(), stats
+	return st.heap.Drain(), st.stats
 }
 
-// faginFA is Fagin's original algorithm: sorted access in parallel until at
-// least k members have been encountered on every list, then random-access
-// completion of every member seen.
-func faginFA(src ListSource, k int) ([]Result, Stats) {
-	var (
-		stats   Stats
-		n       = src.NumLists()
-		listLen = src.ListLen()
-		count   = make(map[string]int)
-		full    int
-	)
-	pos := 0
-	for ; pos < listLen && full < k; pos++ {
-		stats.Rounds++
+// faState owns the query-time state of one run of Fagin's original
+// algorithm: the per-member list-coverage counts from the sorted-access
+// phase, and the result heap of the random-access completion phase.
+type faState struct {
+	src   ListSource
+	k     int
+	count map[string]int // lists each member has been seen on
+	full  int            // members seen on every list
+	stats Stats
+}
+
+func newFAState(src ListSource, k int) *faState {
+	return &faState{src: src, k: k, count: make(map[string]int)}
+}
+
+// run performs sorted access in parallel until at least k members have
+// been encountered on every list, then completes every member seen with
+// random accesses.
+func (st *faState) run() ([]Result, Stats) {
+	n := st.src.NumLists()
+	listLen := st.src.ListLen()
+	for pos := 0; pos < listLen && st.full < st.k; pos++ {
+		st.stats.Rounds++
 		for i := 0; i < n; i++ {
-			e, ok := src.At(i, pos)
-			stats.SortedAccesses++
+			e, ok := st.src.At(i, pos)
+			st.stats.SortedAccesses++
 			if !ok {
 				continue
 			}
-			count[e.Key]++
-			if count[e.Key] == n {
-				full++
+			st.count[e.Key]++
+			if st.count[e.Key] == n {
+				st.full++
 			}
 		}
 	}
 	var heap minHeap
-	for key := range count {
+	for key := range st.count {
 		var total float64
 		for i := 0; i < n; i++ {
-			v, _ := src.Find(i, key)
-			stats.RandomAccesses++
+			v, _ := st.src.Find(i, key)
+			st.stats.RandomAccesses++
 			total += v
 		}
-		heap.Offer(Result{Key: key, Value: total / float64(n)}, k)
+		heap.Offer(Result{Key: key, Value: total / float64(n)}, st.k)
 	}
-	return heap.Drain(), stats
+	return heap.Drain(), st.stats
 }
 
-// naiveScan reads every posting of every list.
-func naiveScan(src ListSource, k int) ([]Result, Stats) {
-	var stats Stats
-	n := src.NumLists()
-	listLen := src.ListLen()
-	totals := make(map[string]float64, listLen)
+// naiveState owns the query-time state of the naive full scan: the
+// per-member running totals.
+type naiveState struct {
+	src    ListSource
+	k      int
+	totals map[string]float64
+	stats  Stats
+}
+
+func newNaiveState(src ListSource, k int) *naiveState {
+	return &naiveState{src: src, k: k, totals: make(map[string]float64, src.ListLen())}
+}
+
+// run reads every posting of every list.
+func (st *naiveState) run() ([]Result, Stats) {
+	n := st.src.NumLists()
+	listLen := st.src.ListLen()
 	for i := 0; i < n; i++ {
 		for pos := 0; pos < listLen; pos++ {
-			e, ok := src.At(i, pos)
-			stats.SortedAccesses++
+			e, ok := st.src.At(i, pos)
+			st.stats.SortedAccesses++
 			if !ok {
 				break
 			}
-			totals[e.Key] += e.Value
+			st.totals[e.Key] += e.Value
 		}
 	}
-	stats.Rounds = listLen
+	st.stats.Rounds = listLen
 	var heap minHeap
-	for key, total := range totals {
-		heap.Offer(Result{Key: key, Value: total / float64(n)}, k)
+	for key, total := range st.totals {
+		heap.Offer(Result{Key: key, Value: total / float64(n)}, st.k)
 	}
-	return heap.Drain(), stats
+	return heap.Drain(), st.stats
 }
 
 // sortResults orders results descending by value with deterministic key

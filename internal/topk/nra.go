@@ -1,44 +1,61 @@
 package topk
 
-// nra is Fagin's No-Random-Access algorithm, the third member of the
-// Fagin family the paper's §4.2 alludes to ("we propose adaptations of
-// Fagin's algorithms"). It never calls Find: each round performs one
-// sorted access per list and maintains, for every member seen so far, a
-// lower bound (seen values; unseen lists contribute 0, the completion
-// floor) and an upper bound (unseen lists contribute their current
-// frontier value). It stops when the k best lower bounds are exact — the
-// member has been seen on every list — and no other member's upper bound
-// can beat the k-th exact score.
+// nraState owns the query-time state of one run of Fagin's No-Random-
+// Access algorithm, the third member of the Fagin family the paper's §4.2
+// alludes to ("we propose adaptations of Fagin's algorithms"): the
+// per-member candidate accumulators (partial sums and list-coverage
+// counts) and the per-list frontier values. NRA never calls Find: each
+// round performs one sorted access per list and maintains, for every
+// member seen so far, a lower bound (seen values; unseen lists contribute
+// 0, the completion floor) and an upper bound (unseen lists contribute
+// their current frontier value). It stops when the k best lower bounds
+// are exact — the member has been seen on every list — and no other
+// member's upper bound can beat the k-th exact score.
 //
 // NRA is the right choice when random access is expensive or impossible
 // (e.g. streaming posting lists); the BenchmarkAblationTopK benchmark
 // compares its cost profile against TA, FA and the naive scan.
-func nra(src ListSource, k int) ([]Result, Stats) {
-	var stats Stats
-	n := src.NumLists()
-	listLen := src.ListLen()
+type nraState struct {
+	src      ListSource
+	k        int
+	cands    map[string]*nraCand
+	frontier []float64
+	stats    Stats
+}
 
-	type cand struct {
-		sum  float64 // sum of values on lists where the member was seen
-		seen int     // number of lists the member was seen on
+// nraCand accumulates one member's partial evidence: the sum of values on
+// lists where the member was seen, and how many lists those were.
+type nraCand struct {
+	sum  float64
+	seen int
+}
+
+func newNRAState(src ListSource, k int) *nraState {
+	return &nraState{
+		src:      src,
+		k:        k,
+		cands:    make(map[string]*nraCand),
+		frontier: make([]float64, src.NumLists()),
 	}
-	cands := make(map[string]*cand)
-	frontier := make([]float64, n)
+}
 
+func (st *nraState) run() ([]Result, Stats) {
+	n := st.src.NumLists()
+	listLen := st.src.ListLen()
 	denom := float64(n)
 	for pos := 0; pos < listLen; pos++ {
-		stats.Rounds++
+		st.stats.Rounds++
 		for i := 0; i < n; i++ {
-			e, ok := src.At(i, pos)
-			stats.SortedAccesses++
+			e, ok := st.src.At(i, pos)
+			st.stats.SortedAccesses++
 			if !ok {
 				continue
 			}
-			frontier[i] = e.Value
-			c := cands[e.Key]
+			st.frontier[i] = e.Value
+			c := st.cands[e.Key]
 			if c == nil {
-				c = &cand{}
-				cands[e.Key] = c
+				c = &nraCand{}
+				st.cands[e.Key] = c
 			}
 			c.sum += e.Value
 			c.seen++
@@ -49,7 +66,7 @@ func nra(src ListSource, k int) ([]Result, Stats) {
 		// maxFrontier bounds it on any list. Correctness needs an upper
 		// bound, not the tightest one.
 		maxFrontier := 0.0
-		for _, f := range frontier {
+		for _, f := range st.frontier {
 			if f > maxFrontier {
 				maxFrontier = f
 			}
@@ -59,9 +76,9 @@ func nra(src ListSource, k int) ([]Result, Stats) {
 		// upper bound among non-exact ones.
 		var exact minHeap
 		bestOpenUpper := 0.0
-		for key, c := range cands {
+		for key, c := range st.cands {
 			if c.seen == n {
-				exact.Offer(Result{Key: key, Value: c.sum / denom}, k)
+				exact.Offer(Result{Key: key, Value: c.sum / denom}, st.k)
 			} else {
 				upper := (c.sum + float64(n-c.seen)*maxFrontier) / denom
 				if upper > bestOpenUpper {
@@ -71,18 +88,18 @@ func nra(src ListSource, k int) ([]Result, Stats) {
 		}
 		// A completely unseen member is bounded by the frontier on every
 		// list.
-		if unseenUpper := maxFrontier; unseenUpper > bestOpenUpper && len(cands) < listLen {
+		if unseenUpper := maxFrontier; unseenUpper > bestOpenUpper && len(st.cands) < listLen {
 			bestOpenUpper = unseenUpper
 		}
-		if exact.Len() >= k && exact.MinValue() >= bestOpenUpper {
-			return exact.Drain(), stats
+		if exact.Len() >= st.k && exact.MinValue() >= bestOpenUpper {
+			return exact.Drain(), st.stats
 		}
 	}
 
 	// Lists exhausted: every member has been seen everywhere.
 	var heap minHeap
-	for key, c := range cands {
-		heap.Offer(Result{Key: key, Value: c.sum / denom}, k)
+	for key, c := range st.cands {
+		heap.Offer(Result{Key: key, Value: c.sum / denom}, st.k)
 	}
-	return heap.Drain(), stats
+	return heap.Drain(), st.stats
 }

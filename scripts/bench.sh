@@ -3,21 +3,23 @@
 #
 # Runs the evaluation and crawl benchmarks (the F-Box hot paths that the
 # parallel sharded pipeline of PR 1 optimizes, plus the two dataset
-# generators) and writes the results to a JSON file so successive PRs can
+# generators) and the query-serving benchmarks of PR 2 (batch engine
+# throughput vs a sequential query loop, snapshot freeze cost, cache-hit
+# latency), and writes the results to a JSON file so successive PRs can
 # be compared number-to-number.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR1.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR2.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
-pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$'
+out="${1:-BENCH_PR2.json}"
+pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
-go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records.

@@ -5,13 +5,25 @@
 #   1. go vet ./...          static checks
 #   2. go build ./...        everything compiles
 #   3. go test -race ./...   full suite under the race detector — the
-#                            evaluators' sharded worker pools must stay
-#                            race-clean at any worker count
+#                            evaluators' sharded worker pools and the
+#                            serve engine's concurrent query paths must
+#                            stay race-clean at any worker count
+#
+# Usage: scripts/check.sh [-short]
+#
+# With -short the test step runs `go test -race -short ./...`, trimming
+# the iteration counts of the randomized equivalence and concurrency
+# suites for a fast pre-commit signal; the full run stays the gate.
 #
 # Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -19,7 +31,7 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race ${short:+$short }./..."
+go test -race $short ./...
 
 echo "check.sh: all green"
