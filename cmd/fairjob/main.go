@@ -35,13 +35,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
 	"fairjob/internal/experiment"
+	"fairjob/internal/obs"
 	"fairjob/internal/report"
 	"fairjob/internal/serve"
 	"fairjob/internal/topk"
@@ -65,16 +70,19 @@ func main() {
 		r2      = fs.String("r2", "", "compare: second value")
 		by      = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
 		workers = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
+		admin   = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /debug/traces, /debug/pprof/")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	tbl, err := buildTable(*data, *seed, *measure)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+	tbl, err := buildTable(*data, *seed, *measure, reg)
 	if err != nil {
 		fatal(err)
 	}
-	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{Workers: *workers})
+	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{Workers: *workers, Obs: reg, Tracer: tracer})
 
 	switch mode {
 	case "quantify":
@@ -90,6 +98,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// With -admin the process stays alive after the mode completes so the
+	// run's metrics, traces and profiles can be inspected over HTTP.
+	if *admin != "" {
+		srv, err := obs.Serve(*admin, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /debug/traces, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 }
 
 func usage() {
@@ -103,8 +125,10 @@ func fatal(err error) {
 
 // buildTable produces the unfairness table from a stored crawl or a fresh
 // synthetic one. The measure name selects the platform: emd/exposure are
-// marketplace measures, kendall/jaccard are search-engine measures.
-func buildTable(dir string, seed uint64, measure string) (*core.Table, error) {
+// marketplace measures, kendall/jaccard are search-engine measures. The
+// evaluators report shard telemetry into reg, so -admin exposes the table
+// build alongside the serving metrics.
+func buildTable(dir string, seed uint64, measure string, reg *obs.Registry) (*core.Table, error) {
 	switch measure {
 	case "emd", "exposure":
 		m := core.MeasureEMD
@@ -113,13 +137,14 @@ func buildTable(dir string, seed uint64, measure string) (*core.Table, error) {
 		}
 		if dir == "" {
 			env := experiment.NewEnv(seed)
+			env.Obs = reg
 			return env.MarketTable(m), nil
 		}
 		rankings, err := loadMarketRankings(dir)
 		if err != nil {
 			return nil, err
 		}
-		ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m}
+		ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m, Obs: reg}
 		return ev.EvaluateAll(rankings, nil), nil
 	case "kendall", "jaccard":
 		m := core.MeasureKendallTau
@@ -128,13 +153,14 @@ func buildTable(dir string, seed uint64, measure string) (*core.Table, error) {
 		}
 		if dir == "" {
 			env := experiment.NewEnv(seed)
+			env.Obs = reg
 			return env.GoogleTable(m), nil
 		}
 		results, err := loadGoogleResults(dir)
 		if err != nil {
 			return nil, err
 		}
-		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m}
+		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m, Obs: reg}
 		return ev.EvaluateAll(results, nil), nil
 	default:
 		return nil, fmt.Errorf("unknown measure %q (want emd, exposure, kendall or jaccard)", measure)
@@ -337,7 +363,28 @@ func runBatch(eng *serve.Engine, k int) error {
 	if err := out.WriteText(os.Stdout); err != nil {
 		return err
 	}
-	hits, misses := eng.CacheStats()
-	fmt.Printf("cache: %d hit(s), %d miss(es)\n", hits, misses)
+	fmt.Println(telemetrySummary(eng))
 	return nil
+}
+
+// telemetrySummary digests the engine's registry into the batch mode's
+// one-line report: request count, cache hit ratio, p95 latency across
+// both problems, and the snapshot generation that served the run — CLI
+// observability without the -admin endpoint.
+func telemetrySummary(eng *serve.Engine) string {
+	s := eng.Registry().Snapshot()
+	cs := eng.CacheStats()
+	requests := s.CounterSum("serve_requests_total")
+	ratio := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		ratio = 100 * float64(cs.Hits) / float64(lookups)
+	}
+	p95 := "n/a"
+	if h, ok := s.MergeHistograms("serve_request_seconds"); ok && h.Count > 0 {
+		if q := h.Quantile(0.95); !math.IsNaN(q) {
+			p95 = time.Duration(q * float64(time.Second)).Round(time.Microsecond).String()
+		}
+	}
+	return fmt.Sprintf("telemetry: %d request(s), cache %d/%d hits (%.1f%%, %d eviction(s)), p95 latency %s, snapshot generation %d",
+		requests, cs.Hits, cs.Hits+cs.Misses, ratio, cs.Evictions, p95, eng.Snapshot().Gen())
 }

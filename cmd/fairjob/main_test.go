@@ -48,7 +48,7 @@ func TestBuildTableFromMarketDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
 	for _, measure := range []string{"emd", "exposure"} {
-		tbl, err := buildTable(dir, 1, measure)
+		tbl, err := buildTable(dir, 1, measure, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", measure, err)
 		}
@@ -65,7 +65,7 @@ func TestBuildTableFromGoogleDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
 	for _, measure := range []string{"kendall", "jaccard"} {
-		tbl, err := buildTable(dir, 1, measure)
+		tbl, err := buildTable(dir, 1, measure, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", measure, err)
 		}
@@ -79,13 +79,13 @@ func TestBuildTableFromGoogleDataset(t *testing.T) {
 }
 
 func TestBuildTableErrors(t *testing.T) {
-	if _, err := buildTable("", 1, "cosine"); err == nil {
+	if _, err := buildTable("", 1, "cosine", nil); err == nil {
 		t.Fatal("unknown measure should error")
 	}
-	if _, err := buildTable(t.TempDir(), 1, "emd"); err == nil {
+	if _, err := buildTable(t.TempDir(), 1, "emd", nil); err == nil {
 		t.Fatal("missing files should error")
 	}
-	if _, err := buildTable(t.TempDir(), 1, "kendall"); err == nil {
+	if _, err := buildTable(t.TempDir(), 1, "kendall", nil); err == nil {
 		t.Fatal("missing google.jsonl should error")
 	}
 }
@@ -93,7 +93,7 @@ func TestBuildTableErrors(t *testing.T) {
 func TestQuantifyAndCompareOnDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
-	tbl, err := buildTable(dir, 1, "emd")
+	tbl, err := buildTable(dir, 1, "emd", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

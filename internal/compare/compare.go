@@ -65,6 +65,11 @@ type Comparison struct {
 	Overall1, Overall2 float64
 	All                []Breakdown
 	Reversed           []Breakdown
+	// Accesses counts the Algorithm 3 random accesses (index cell reads)
+	// this comparison performed, across the two overall aggregates and
+	// every breakdown — the Problem 2 analogue of topk.Stats, which the
+	// serve layer exports into its access-cost telemetry.
+	Accesses int
 }
 
 // Comparer answers fairness-comparison questions against a group-based
@@ -175,18 +180,29 @@ func (c *Comparer) average(a accum) float64 {
 	return a.sum / float64(a.total)
 }
 
+// dctx is the per-call state of one comparison: the shared read-only
+// Comparer plus the running Algorithm 3 random-access count. Like topk's
+// per-call state structs, it is what keeps a shared Comparer safe for
+// concurrent queries while still letting each call account its own
+// access cost (Comparison.Accesses).
+type dctx struct {
+	c        *Comparer
+	accesses int
+}
+
 // d is Algorithm 3 generalized to a rectangular scope: the aggregate
 // unfairness over gs × qs × ls via random accesses to the group-based
 // index. The singleton forms of the paper — d<g,Q,L>, d<G,q,L>, d<G,Q,l>
 // — are d with one axis pinned to a single member; QuerySets passes a
 // multi-member query axis. Cells are visited in group-major (g, q, l)
 // order, so every aggregate is a deterministic left-to-right sum.
-func (c *Comparer) d(gs []string, qs []core.Query, ls []core.Location) (float64, error) {
+func (dc *dctx) d(gs []string, qs []core.Query, ls []core.Location) (float64, error) {
 	a := accum{total: len(gs) * len(qs) * len(ls)}
 	for _, g := range gs {
 		for _, q := range qs {
 			for _, l := range ls {
-				v, ok, err := c.value(g, q, l)
+				v, ok, err := dc.c.value(g, q, l)
+				dc.accesses++
 				if err != nil {
 					return 0, err
 				}
@@ -197,22 +213,22 @@ func (c *Comparer) d(gs []string, qs []core.Query, ls []core.Location) (float64,
 			}
 		}
 	}
-	return c.average(a), nil
+	return dc.c.average(a), nil
 }
 
 // dGroup is Algorithm 3: d<g,Q,L>.
-func (c *Comparer) dGroup(g string, qs []core.Query, ls []core.Location) (float64, error) {
-	return c.d([]string{g}, qs, ls)
+func (dc *dctx) dGroup(g string, qs []core.Query, ls []core.Location) (float64, error) {
+	return dc.d([]string{g}, qs, ls)
 }
 
 // dQuery is the query analogue: d<G,q,L>.
-func (c *Comparer) dQuery(q core.Query, gs []string, ls []core.Location) (float64, error) {
-	return c.d(gs, []core.Query{q}, ls)
+func (dc *dctx) dQuery(q core.Query, gs []string, ls []core.Location) (float64, error) {
+	return dc.d(gs, []core.Query{q}, ls)
 }
 
 // dLocation is the location analogue: d<G,Q,l>.
-func (c *Comparer) dLocation(l core.Location, gs []string, qs []core.Query) (float64, error) {
-	return c.d(gs, qs, []core.Location{l})
+func (dc *dctx) dLocation(l core.Location, gs []string, qs []core.Query) (float64, error) {
+	return dc.d(gs, qs, []core.Location{l})
 }
 
 // reversed is the paper's Problem 2 predicate:
@@ -242,22 +258,23 @@ func (c *Comparer) Groups(g1, g2 string, by Dimension, scope Scope) (*Comparison
 		return nil, fmt.Errorf("compare: cannot break a group comparison down by group")
 	}
 	s := c.scopeOrAll(scope)
-	o1, err := c.dGroup(g1, s.Queries, s.Locations)
+	dc := &dctx{c: c}
+	o1, err := dc.dGroup(g1, s.Queries, s.Locations)
 	if err != nil {
 		return nil, err
 	}
-	o2, err := c.dGroup(g2, s.Queries, s.Locations)
+	o2, err := dc.dGroup(g2, s.Queries, s.Locations)
 	if err != nil {
 		return nil, err
 	}
 	cmp := &Comparison{R1: g1, R2: g2, By: by, Overall1: o1, Overall2: o2}
 	if by == ByLocation {
 		for _, l := range s.Locations {
-			v1, err := c.dGroup(g1, s.Queries, []core.Location{l})
+			v1, err := dc.dGroup(g1, s.Queries, []core.Location{l})
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dGroup(g2, s.Queries, []core.Location{l})
+			v2, err := dc.dGroup(g2, s.Queries, []core.Location{l})
 			if err != nil {
 				return nil, err
 			}
@@ -265,17 +282,18 @@ func (c *Comparer) Groups(g1, g2 string, by Dimension, scope Scope) (*Comparison
 		}
 	} else {
 		for _, q := range s.Queries {
-			v1, err := c.dGroup(g1, []core.Query{q}, s.Locations)
+			v1, err := dc.dGroup(g1, []core.Query{q}, s.Locations)
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dGroup(g2, []core.Query{q}, s.Locations)
+			v2, err := dc.dGroup(g2, []core.Query{q}, s.Locations)
 			if err != nil {
 				return nil, err
 			}
 			cmp.add(string(q), v1, v2, c.Epsilon)
 		}
 	}
+	cmp.Accesses = dc.accesses
 	return cmp, nil
 }
 
@@ -287,22 +305,23 @@ func (c *Comparer) Queries(q1, q2 core.Query, by Dimension, scope Scope) (*Compa
 		return nil, fmt.Errorf("compare: cannot break a query comparison down by query")
 	}
 	s := c.scopeOrAll(scope)
-	o1, err := c.dQuery(q1, s.Groups, s.Locations)
+	dc := &dctx{c: c}
+	o1, err := dc.dQuery(q1, s.Groups, s.Locations)
 	if err != nil {
 		return nil, err
 	}
-	o2, err := c.dQuery(q2, s.Groups, s.Locations)
+	o2, err := dc.dQuery(q2, s.Groups, s.Locations)
 	if err != nil {
 		return nil, err
 	}
 	cmp := &Comparison{R1: string(q1), R2: string(q2), By: by, Overall1: o1, Overall2: o2}
 	if by == ByGroup {
 		for _, g := range s.Groups {
-			v1, err := c.dQuery(q1, []string{g}, s.Locations)
+			v1, err := dc.dQuery(q1, []string{g}, s.Locations)
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dQuery(q2, []string{g}, s.Locations)
+			v2, err := dc.dQuery(q2, []string{g}, s.Locations)
 			if err != nil {
 				return nil, err
 			}
@@ -310,17 +329,18 @@ func (c *Comparer) Queries(q1, q2 core.Query, by Dimension, scope Scope) (*Compa
 		}
 	} else {
 		for _, l := range s.Locations {
-			v1, err := c.dQuery(q1, s.Groups, []core.Location{l})
+			v1, err := dc.dQuery(q1, s.Groups, []core.Location{l})
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dQuery(q2, s.Groups, []core.Location{l})
+			v2, err := dc.dQuery(q2, s.Groups, []core.Location{l})
 			if err != nil {
 				return nil, err
 			}
 			cmp.add(string(l), v1, v2, c.Epsilon)
 		}
 	}
+	cmp.Accesses = dc.accesses
 	return cmp, nil
 }
 
@@ -332,22 +352,23 @@ func (c *Comparer) Locations(l1, l2 core.Location, by Dimension, scope Scope) (*
 		return nil, fmt.Errorf("compare: cannot break a location comparison down by location")
 	}
 	s := c.scopeOrAll(scope)
-	o1, err := c.dLocation(l1, s.Groups, s.Queries)
+	dc := &dctx{c: c}
+	o1, err := dc.dLocation(l1, s.Groups, s.Queries)
 	if err != nil {
 		return nil, err
 	}
-	o2, err := c.dLocation(l2, s.Groups, s.Queries)
+	o2, err := dc.dLocation(l2, s.Groups, s.Queries)
 	if err != nil {
 		return nil, err
 	}
 	cmp := &Comparison{R1: string(l1), R2: string(l2), By: by, Overall1: o1, Overall2: o2}
 	if by == ByGroup {
 		for _, g := range s.Groups {
-			v1, err := c.dLocation(l1, []string{g}, s.Queries)
+			v1, err := dc.dLocation(l1, []string{g}, s.Queries)
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dLocation(l2, []string{g}, s.Queries)
+			v2, err := dc.dLocation(l2, []string{g}, s.Queries)
 			if err != nil {
 				return nil, err
 			}
@@ -355,17 +376,18 @@ func (c *Comparer) Locations(l1, l2 core.Location, by Dimension, scope Scope) (*
 		}
 	} else {
 		for _, q := range s.Queries {
-			v1, err := c.dLocation(l1, s.Groups, []core.Query{q})
+			v1, err := dc.dLocation(l1, s.Groups, []core.Query{q})
 			if err != nil {
 				return nil, err
 			}
-			v2, err := c.dLocation(l2, s.Groups, []core.Query{q})
+			v2, err := dc.dLocation(l2, s.Groups, []core.Query{q})
 			if err != nil {
 				return nil, err
 			}
 			cmp.add(string(q), v1, v2, c.Epsilon)
 		}
 	}
+	cmp.Accesses = dc.accesses
 	return cmp, nil
 }
 
@@ -392,8 +414,9 @@ func (c *Comparer) QuerySets(label1, label2 string, qs1, qs2 []core.Query, by Di
 		return nil, fmt.Errorf("compare: empty query set")
 	}
 	s := c.scopeOrAll(scope)
+	dc := &dctx{c: c}
 	dSet := func(qs []core.Query, gs []string, ls []core.Location) (float64, error) {
-		return c.d(gs, qs, ls)
+		return dc.d(gs, qs, ls)
 	}
 	o1, err := dSet(qs1, s.Groups, s.Locations)
 	if err != nil {
@@ -429,5 +452,6 @@ func (c *Comparer) QuerySets(label1, label2 string, qs1, qs2 []core.Query, by Di
 			cmp.add(string(l), v1, v2, c.Epsilon)
 		}
 	}
+	cmp.Accesses = dc.accesses
 	return cmp, nil
 }

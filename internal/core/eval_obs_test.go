@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"fairjob/internal/obs"
+)
+
+// TestMarketplaceEvalTelemetry runs EvaluateAll with a registry attached
+// and checks that the eval="market" metric family reflects the work
+// actually done: every page counted once, one run, a shard-duration
+// sample per shard, and a plausible utilization gauge.
+func TestMarketplaceEvalTelemetry(t *testing.T) {
+	rankings := genRankings(40)
+	reg := obs.NewRegistry()
+	ev := &MarketplaceEvaluator{Schema: DefaultSchema(), Measure: MeasureEMD, Workers: 4, Obs: reg}
+	tbl := ev.EvaluateAll(rankings, nil)
+
+	s := reg.Snapshot()
+	pages := obs.Name("eval_pages_total", "eval", "market")
+	if got := s.Counters[pages]; got != uint64(len(rankings)) {
+		t.Fatalf("%s = %d, want %d", pages, got, len(rankings))
+	}
+	// The counter tallies every defined cell computed; duplicate (query,
+	// location) pages overwrite table entries, so it bounds the table
+	// size from above.
+	cells := obs.Name("eval_cells_total", "eval", "market")
+	if got := s.Counters[cells]; got < uint64(tbl.Len()) || got == 0 {
+		t.Fatalf("%s = %d, want ≥ table size %d", cells, got, tbl.Len())
+	}
+	if got := s.Counters[obs.Name("eval_runs_total", "eval", "market")]; got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+	w := BoundedWorkers(4, len(rankings))
+	if got := s.Gauges[obs.Name("eval_workers", "eval", "market")]; got != float64(w) {
+		t.Fatalf("workers gauge = %g, want %d", got, w)
+	}
+	h := s.Histograms[obs.Name("eval_shard_seconds", "eval", "market")]
+	if h.Count != uint64(w) {
+		t.Fatalf("shard histogram count = %d, want one sample per shard (%d)", h.Count, w)
+	}
+	util := s.Gauges[obs.Name("eval_worker_utilization", "eval", "market")]
+	if util <= 0 || util > 1.5 { // clock skew can nudge it past 1, never far
+		t.Fatalf("utilization = %g, want in (0, 1.5]", util)
+	}
+
+	// A second run accumulates counters and replaces run-level gauges.
+	ev.EvaluateAll(rankings, nil)
+	s = reg.Snapshot()
+	if got := s.Counters[pages]; got != 2*uint64(len(rankings)) {
+		t.Fatalf("pages after second run = %d, want %d", got, 2*len(rankings))
+	}
+	if got := s.Counters[obs.Name("eval_runs_total", "eval", "market")]; got != 2 {
+		t.Fatalf("runs = %d, want 2", got)
+	}
+}
+
+// TestSearchEvalTelemetry checks the search family plus the
+// distance-cache hit/miss counters: with every (group, comparable) pair
+// sharing user pairs, the memo must report both hits and misses, and
+// misses must equal the unique unordered pairs actually measured.
+func TestSearchEvalTelemetry(t *testing.T) {
+	results := genSearchResults(25)
+	reg := obs.NewRegistry()
+	ev := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureKendallTau, Workers: 3, Obs: reg}
+	tbl := ev.EvaluateAll(results, nil)
+
+	s := reg.Snapshot()
+	if got := s.Counters[obs.Name("eval_pages_total", "eval", "search")]; got != uint64(len(results)) {
+		t.Fatalf("pages = %d, want %d", got, len(results))
+	}
+	if got := s.Counters[obs.Name("eval_cells_total", "eval", "search")]; got < uint64(tbl.Len()) || got == 0 {
+		t.Fatalf("cells = %d, want ≥ %d", got, tbl.Len())
+	}
+	hits := s.Counters["eval_distcache_hits_total"]
+	misses := s.Counters["eval_distcache_misses_total"]
+	if hits == 0 || misses == 0 {
+		t.Fatalf("distance cache hits/misses = %d/%d, want both non-zero", hits, misses)
+	}
+	// The schema's overlapping group hierarchy guarantees heavy reuse:
+	// hits must dominate misses on this workload.
+	if hits < misses {
+		t.Fatalf("distance cache hits %d < misses %d — memo not effective", hits, misses)
+	}
+}
+
+// TestEvalTelemetryDisabledByDefault ensures a nil registry keeps the
+// evaluators telemetry-free (the zero-value path every existing caller
+// takes).
+func TestEvalTelemetryDisabledByDefault(t *testing.T) {
+	ev := &MarketplaceEvaluator{Schema: DefaultSchema(), Measure: MeasureEMD, Workers: 2}
+	ev.EvaluateAll(genRankings(10), nil) // must not panic
+	sev := &SearchEvaluator{Schema: DefaultSchema(), Measure: MeasureJaccard, Workers: 2}
+	sev.EvaluateAll(genSearchResults(8), nil)
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fairjob/internal/metrics"
+	"fairjob/internal/obs"
 	"fairjob/internal/stats"
 )
 
@@ -84,6 +86,11 @@ type MarketplaceEvaluator struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 forces single-threaded evaluation.
 	// Any worker count produces a byte-identical table (see DESIGN.md §7).
 	Workers int
+	// Obs, when non-nil, receives per-shard telemetry from EvaluateAll
+	// under the eval="market" label family: shard durations, page and
+	// cell throughput counters, and the worker-utilization gauge of the
+	// latest run. A nil registry keeps evaluation telemetry-free.
+	Obs *obs.Registry
 }
 
 func (e *MarketplaceEvaluator) bins() int {
@@ -259,9 +266,12 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 		groups = e.Schema.Universe()
 	}
 	plan := newEvalPlan(e.Schema, groups)
+	run := newEvalMetrics(e.Obs, "market").begin()
 	w := BoundedWorkers(e.Workers, len(rankings))
 	shards := make([]*Table, w)
 	RunSharded(len(rankings), w, func(shard, lo, hi int) {
+		start := time.Now()
+		cells := 0
 		t := NewTable()
 		sc := e.newScratch()
 		pt := newPartitioner(e.Schema)
@@ -271,14 +281,17 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 			for i := range plan.groups {
 				if v, ok := e.unfairnessCell(r, part, plan.keys[i], nil, plan.compKeys[i], sc); ok {
 					t.setKeyed(plan.keys[i], plan.groups[i], r.Query, r.Location, v)
+					cells++
 				}
 			}
 		}
 		shards[shard] = t
+		run.shardDone(start, hi-lo, cells)
 	})
 	out := shards[0]
 	for _, s := range shards[1:] {
 		out.Merge(s)
 	}
+	run.finish(w)
 	return out
 }

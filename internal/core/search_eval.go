@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fairjob/internal/metrics"
+	"fairjob/internal/obs"
 )
 
 // UserResults is one study participant's personalized result list for a
@@ -61,6 +63,12 @@ type SearchEvaluator struct {
 	// evaluation. Any worker count produces a byte-identical table (see
 	// DESIGN.md §7).
 	Workers int
+	// Obs, when non-nil, receives per-shard telemetry from EvaluateAll
+	// under the eval="search" label family: shard durations, result-set
+	// and cell throughput counters, the worker-utilization gauge of the
+	// latest run, and the distance-cache hit/miss totals. A nil registry
+	// keeps evaluation telemetry-free.
+	Obs *obs.Registry
 }
 
 func (e *SearchEvaluator) dist(a, b []string) float64 {
@@ -95,8 +103,9 @@ func usersOf(sr *SearchResults, g Group) []UserResults {
 // order, so dist(u, v) and dist(v, u) are bitwise-equal. A distCache
 // belongs to one worker goroutine and is not safe for concurrent use.
 type distCache struct {
-	n int
-	d []float64 // row-major n×n; NaN marks a pair not yet measured
+	n            int
+	d            []float64 // row-major n×n; NaN marks a pair not yet measured
+	hits, misses int       // memo effectiveness, drained into obs counters
 }
 
 func newDistCache(n int) *distCache {
@@ -110,8 +119,10 @@ func newDistCache(n int) *distCache {
 // dist returns the memoized distance between users i and j of sr.
 func (c *distCache) dist(e *SearchEvaluator, sr *SearchResults, i, j int) float64 {
 	if v := c.d[i*c.n+j]; !math.IsNaN(v) {
+		c.hits++
 		return v
 	}
+	c.misses++
 	v := e.dist(sr.Users[i].List, sr.Users[j].List)
 	c.d[i*c.n+j] = v
 	c.d[j*c.n+i] = v
@@ -196,9 +207,12 @@ func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) 
 		groups = e.Schema.Universe()
 	}
 	plan := newEvalPlan(e.Schema, groups)
+	run := newEvalMetrics(e.Obs, "search").begin()
 	w := BoundedWorkers(e.Workers, len(results))
 	shards := make([]*Table, w)
 	RunSharded(len(results), w, func(shard, lo, hi int) {
+		start := time.Now()
+		cells, dcHits, dcMisses := 0, 0, 0
 		t := NewTable()
 		pt := newPartitioner(e.Schema)
 		for _, sr := range results[lo:hi] {
@@ -207,14 +221,20 @@ func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) 
 			for i := range plan.groups {
 				if v, ok := e.unfairnessCell(sr, part, dc, plan.keys[i], plan.compKeys[i]); ok {
 					t.setKeyed(plan.keys[i], plan.groups[i], sr.Query, sr.Location, v)
+					cells++
 				}
 			}
+			dcHits += dc.hits
+			dcMisses += dc.misses
 		}
 		shards[shard] = t
+		run.shardDone(start, hi-lo, cells)
+		run.distCacheDone(dcHits, dcMisses)
 	})
 	out := shards[0]
 	for _, s := range shards[1:] {
 		out.Merge(s)
 	}
+	run.finish(w)
 	return out
 }

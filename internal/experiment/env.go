@@ -13,6 +13,7 @@ import (
 	"fairjob/internal/dataset"
 	"fairjob/internal/labeling"
 	"fairjob/internal/marketplace"
+	"fairjob/internal/obs"
 	"fairjob/internal/report"
 	"fairjob/internal/search"
 )
@@ -43,6 +44,11 @@ type Env struct {
 	// (runtime.GOMAXPROCS); the sharded pipeline is deterministic, so
 	// the tables are identical at any worker count.
 	Workers int
+	// Obs, when non-nil, is handed to the evaluators so table
+	// construction reports shard telemetry (eval_shard_seconds,
+	// eval_pages_total, …) alongside whatever the serving layer records
+	// in the same registry.
+	Obs *obs.Registry
 
 	mkt         *marketplace.Marketplace
 	mktCrawl    []*core.MarketplaceRanking // observed-label rankings
@@ -107,7 +113,7 @@ func (e *Env) MarketTable(m core.MarketplaceMeasure) *core.Table {
 	if tbl, ok := e.mktTables[m]; ok {
 		return tbl
 	}
-	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers}
+	ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers, Obs: e.Obs}
 	tbl := ev.EvaluateAll(e.MarketCrawl(), nil)
 	e.mktTables[m] = tbl
 	return tbl
@@ -158,7 +164,7 @@ func (e *Env) GoogleTable(m core.SearchMeasure) *core.Table {
 	if tbl, ok := e.googleTbls[m]; ok {
 		return tbl
 	}
-	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers}
+	ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m, Workers: e.Workers, Obs: e.Obs}
 	tbl := ev.EvaluateAll(e.GoogleResults(), nil)
 	e.googleTbls[m] = tbl
 	return tbl

@@ -29,6 +29,7 @@ func All() []Runner {
 		tables20and21(),
 		significanceRunner(),
 		servingRunner(),
+		observabilityRunner(),
 	}
 }
 

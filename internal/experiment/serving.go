@@ -51,7 +51,7 @@ func servingRunner() Runner {
 					hits++
 				}
 			}
-			cacheHits, cacheMisses := eng.CacheStats()
+			cs := eng.CacheStats()
 
 			res := &Result{ID: "SV1", Title: "Concurrent serving equivalence"}
 			out := report.NewTable("Batch serving on the marketplace EMD table",
@@ -61,7 +61,7 @@ func servingRunner() Runner {
 			out.AddRow("responses matching direct computation", len(reqs)-mismatches-errors)
 			out.AddRow("request errors", errors)
 			out.AddRow("repeat batch served from cache", hits)
-			out.AddRow("engine cache hits / misses", fmt.Sprintf("%d / %d", cacheHits, cacheMisses))
+			out.AddRow("engine cache hits / misses / entries", fmt.Sprintf("%d / %d / %d", cs.Hits, cs.Misses, cs.Entries))
 			res.Tables = append(res.Tables, out)
 
 			res.check(errors == 0, "all %d batch requests executed without error", len(reqs))

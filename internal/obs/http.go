@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric base name, then
+// one line per counter/gauge and the cumulative `_bucket`/`_sum`/`_count`
+// series per histogram. Label blocks embedded in metric names (see Name)
+// are passed through; histogram bucket lines merge the `le` label into
+// them.
+func WriteMetrics(w io.Writer, s Snapshot) error {
+	type line struct {
+		name string
+		text string
+	}
+	byBase := make(map[string][]line)
+	types := make(map[string]string)
+	add := func(base, name, text string) {
+		byBase[base] = append(byBase[base], line{name: name, text: text})
+	}
+
+	for name, v := range s.Counters {
+		base, _ := SplitName(name)
+		types[base] = "counter"
+		add(base, name, fmt.Sprintf("%s %d\n", name, v))
+	}
+	for name, v := range s.Gauges {
+		base, _ := SplitName(name)
+		types[base] = "gauge"
+		add(base, name, fmt.Sprintf("%s %s\n", name, formatFloat(v)))
+	}
+	for name, h := range s.Histograms {
+		base, labels := SplitName(name)
+		types[base] = "histogram"
+		var b strings.Builder
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, joinLabels(labels), le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, braced(labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, braced(labels), h.Count)
+		add(base, name, b.String())
+	}
+
+	bases := make([]string, 0, len(byBase))
+	for base := range byBase {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, types[base]); err != nil {
+			return err
+		}
+		lines := byBase[base]
+		sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+		for _, l := range lines {
+			if _, err := io.WriteString(w, l.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// joinLabels renders a label block as a prefix for an additional label:
+// `a="b"` → `a="b",`; empty stays empty.
+func joinLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// braced re-wraps a label block in braces, or returns "" when empty.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the admin endpoint's HTTP handler:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/traces   JSON dump of the tracer's recent traces, newest first
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//	/               a plain-text index of the above
+//
+// reg and tz may each be nil, which serves an empty snapshot / trace
+// list.
+func Handler(reg *Registry, tz *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var s Snapshot
+		if reg != nil {
+			s = reg.Snapshot()
+		}
+		_ = WriteMetrics(w, s)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := tz.Recent()
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Finished uint64   `json:"finished"`
+			Traces   []*Trace `json:"traces"`
+		}{tz.Finished(), traces})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/debug/traces\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running admin endpoint; Close shuts it down.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the admin endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0") and serves it on a background goroutine until Close.
+func Serve(addr string, reg *Registry, tz *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tz)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes the listener.
+func (s *Server) Close() error { return s.srv.Close() }

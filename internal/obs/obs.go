@@ -1,0 +1,240 @@
+// Package obs is the repository's zero-dependency telemetry layer: a
+// named registry of atomic counters, gauges and fixed-bucket histograms,
+// plus lightweight per-query trace spans kept in a ring buffer, plus an
+// optional HTTP admin endpoint that exposes both (Prometheus text
+// exposition at /metrics, JSON traces at /debug/traces, and
+// net/http/pprof).
+//
+// The package exists because the paper's efficiency story (§6.3, Table 6)
+// is about access costs and latency, and the serving/eval pipelines those
+// numbers come from were previously observable only through one-off
+// benchmarks. With obs, the serve engine, the sharded evaluators and the
+// top-k algorithms publish their hot-path behavior continuously, and both
+// experiments and operators can read it back — through Registry.Snapshot
+// in-process, or over HTTP from a live process.
+//
+// Design constraints (see DESIGN.md §9):
+//
+//   - Zero dependencies: standard library only.
+//   - Allocation-conscious: recording a counter increment or a histogram
+//     observation allocates nothing and takes a handful of atomic
+//     operations; metric pointers are resolved once at instrumentation
+//     setup, never per event. Tracing allocates one small Trace per query
+//     and is opt-in.
+//   - Safe for concurrent use: every metric type and the registry itself
+//     may be hammered from any number of goroutines. Histogram snapshots
+//     are read without stopping writers and are therefore only
+//     approximately consistent (bucket counts may lag the total by
+//     in-flight observations); this is the standard trade of scrape-based
+//     telemetry and is irrelevant at scrape timescales.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 — a value that can go up and
+// down (queue depth, utilization, generation number).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a named collection of metrics. Metric accessors are
+// get-or-create: the first call with a name registers the metric, later
+// calls return the same instance, so instrumentation sites can resolve
+// their metrics once at setup and share them freely. Registering one name
+// as two different kinds panics — that is a programming error, not an
+// operational condition.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]any // *Counter | *Gauge | gaugeFunc | *Histogram
+}
+
+// gaugeFunc is a gauge evaluated at snapshot time rather than set at
+// event time — for values that are cheaper to read on demand than to
+// maintain (cache length, snapshot age).
+type gaugeFunc func() float64
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// lookup returns the metric registered under name, or nil.
+func (r *Registry) lookup(name string) any {
+	r.mu.RLock()
+	m := r.metrics[name]
+	r.mu.RUnlock()
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if m := r.lookup(name); m != nil {
+		return mustKind[*Counter](name, m)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return mustKind[*Counter](name, m)
+	}
+	c := &Counter{}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if m := r.lookup(name); m != nil {
+		return mustKind[*Gauge](name, m)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return mustKind[*Gauge](name, m)
+	}
+	g := &Gauge{}
+	r.metrics[name] = g
+	return g
+}
+
+// GaugeFunc registers fn as a gauge evaluated lazily at snapshot time.
+// Re-registering a name replaces the previous function (an engine that
+// swaps snapshots re-points its age gauge this way).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if _, isFn := m.(gaugeFunc); !isFn {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T, not a gauge func", name, m))
+		}
+	}
+	r.metrics[name] = gaugeFunc(fn)
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (later calls ignore
+// bounds and return the existing instance). A nil bounds defaults to
+// LatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if m := r.lookup(name); m != nil {
+		return mustKind[*Histogram](name, m)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return mustKind[*Histogram](name, m)
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = h
+	return h
+}
+
+// mustKind asserts that a registered metric has the expected kind.
+func mustKind[T any](name string, m any) T {
+	t, ok := m.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return t
+}
+
+// names returns all registered metric names, sorted, plus a shallow copy
+// of the metric map taken under the lock.
+func (r *Registry) copyMetrics() (names []string, metrics map[string]any) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	metrics = make(map[string]any, len(r.metrics))
+	names = make([]string, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		metrics[name] = m
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, metrics
+}
+
+// Name composes a metric name with a static label set:
+// Name("topk_sorted_accesses", "algo", "TA") →
+// `topk_sorted_accesses{algo="TA"}`. Labels are key-value pairs; an odd
+// count panics. Label values are escaped per the Prometheus text format.
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: Name(%q) with odd label count %d", base, len(labels)))
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitName splits a metric name into its base and its label block
+// (without braces): `a{b="c"}` → ("a", `b="c"`); a plain name returns
+// ("a", "").
+func SplitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %g", g.Value())
+	}
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %g, want 2", g.Value())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("Counter(a) returned two instances")
+	}
+	g1 := r.Gauge("b")
+	if g1 != r.Gauge("b") {
+		t.Fatal("Gauge(b) returned two instances")
+	}
+	h1 := r.Histogram("c", []float64{1, 2})
+	h2 := r.Histogram("c", []float64{99})
+	if h1 != h2 {
+		t.Fatal("Histogram(c) returned two instances")
+	}
+	if got := len(h2.Snapshot().Bounds); got != 2 {
+		t.Fatalf("second Histogram call rebuilt bounds: %d", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	mustPanic(t, "Gauge over Counter", func() { r.Gauge("x") })
+	mustPanic(t, "Histogram over Counter", func() { r.Histogram("x", nil) })
+	r.GaugeFunc("f", func() float64 { return 1 })
+	mustPanic(t, "GaugeFunc over Counter", func() { r.GaugeFunc("x", func() float64 { return 0 }) })
+	mustPanic(t, "Counter over GaugeFunc", func() { r.Counter("f") })
+}
+
+func TestGaugeFuncLazyAndReplace(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("lazy", func() float64 { return v })
+	v = 7
+	if got := r.Snapshot().Gauges["lazy"]; got != 7 {
+		t.Fatalf("gauge func evaluated eagerly: %g", got)
+	}
+	r.GaugeFunc("lazy", func() float64 { return -1 })
+	if got := r.Snapshot().Gauges["lazy"]; got != -1 {
+		t.Fatalf("re-registered gauge func not replaced: %g", got)
+	}
+}
+
+func TestNameComposesLabels(t *testing.T) {
+	if got := Name("base"); got != "base" {
+		t.Fatalf("Name(base) = %q", got)
+	}
+	if got := Name("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := Name("m", "k", "a\"b\\c\nd"); got != `m{k="a\"b\\c\nd"}` {
+		t.Fatalf("Name escaping = %q", got)
+	}
+	mustPanic(t, "odd labels", func() { Name("m", "only-key") })
+}
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct {
+		in, base, labels string
+	}{
+		{"plain", "plain", ""},
+		{`m{a="1"}`, "m", `a="1"`},
+		{`m{a="1",b="2"}`, "m", `a="1",b="2"`},
+	} {
+		base, labels := SplitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Fatalf("SplitName(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+}
+
+func TestSnapshotCounterSumAcrossLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("req", "p", "a")).Add(3)
+	r.Counter(Name("req", "p", "b")).Add(4)
+	r.Counter("other").Add(100)
+	if got := r.Snapshot().CounterSum("req"); got != 7 {
+		t.Fatalf("CounterSum(req) = %d, want 7", got)
+	}
+	if got := r.Snapshot().CounterSum("missing"); got != 0 {
+		t.Fatalf("CounterSum(missing) = %d", got)
+	}
+}
+
+func TestSnapshotMergeHistogramsAcrossLabels(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 2, 4}
+	r.Histogram(Name("lat", "p", "a"), bounds).Observe(0.5)
+	r.Histogram(Name("lat", "p", "b"), bounds).Observe(3)
+	s := r.Snapshot()
+	h, ok := s.MergeHistograms("lat")
+	if !ok || h.Count != 2 || h.Sum != 3.5 {
+		t.Fatalf("MergeHistograms(lat) = %+v, %v", h, ok)
+	}
+	if _, ok := s.MergeHistograms("absent"); ok {
+		t.Fatal("MergeHistograms(absent) reported found")
+	}
+	// Incompatible bounds across label variants must refuse to merge.
+	r.Histogram(Name("lat", "p", "c"), []float64{9}).Observe(1)
+	if _, ok := r.Snapshot().MergeHistograms("lat"); ok {
+		t.Fatal("MergeHistograms over mismatched bounds reported ok")
+	}
+}
+
+// TestConcurrentHammering drives every metric kind and the registry's
+// get-or-create path from many goroutines at once; totals must be exact
+// and -race must stay quiet.
+func TestConcurrentHammering(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hammer_total").Inc()
+				r.Gauge("hammer_gauge").Add(1)
+				r.Histogram("hammer_hist", []float64{0.25, 0.5, 0.75}).Observe(float64(i%4) * 0.25)
+			}
+		}()
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s := r.Snapshot()
+				h := s.Histograms["hammer_hist"]
+				var sum uint64
+				for _, c := range h.Counts {
+					sum += c
+				}
+				if sum != h.Count {
+					panic("histogram snapshot internally incoherent")
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const total = workers * perWorker
+	s := r.Snapshot()
+	if got := s.Counters["hammer_total"]; got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := s.Gauges["hammer_gauge"]; got != total {
+		t.Fatalf("gauge = %g, want %d", got, total)
+	}
+	h := s.Histograms["hammer_hist"]
+	if h.Count != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count, total)
+	}
+	wantSum := float64(total) / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum, wantSum)
+	}
+	// Values 0 and 0.25 both fall in the le=0.25 bucket; 0.5 and 0.75 get
+	// their own; the +Inf overflow stays empty.
+	wantBuckets := []uint64{total / 2, total / 4, total / 4, 0}
+	for i, c := range h.Counts {
+		if c != wantBuckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

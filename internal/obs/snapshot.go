@@ -1,0 +1,68 @@
+package obs
+
+// Snapshot is a point-in-time copy of every metric in a registry, keyed
+// by full metric name (base plus label block). It is the HTTP-free read
+// API: experiments and tests assert on telemetry through Snapshot rather
+// than scraping /metrics. Lazily registered GaugeFuncs are evaluated at
+// snapshot time and appear under Gauges.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	names, metrics := r.copyMetrics()
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			s.Counters[name] = m.Value()
+		case *Gauge:
+			s.Gauges[name] = m.Value()
+		case gaugeFunc:
+			s.Gauges[name] = m()
+		case *Histogram:
+			s.Histograms[name] = m.Snapshot()
+		}
+	}
+	return s
+}
+
+// CounterSum sums every counter whose base name (label block stripped)
+// equals base — the cross-label total, e.g. requests across problems.
+func (s Snapshot) CounterSum(base string) uint64 {
+	var sum uint64
+	for name, v := range s.Counters {
+		if b, _ := SplitName(name); b == base {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// MergeHistograms merges every histogram whose base name equals base
+// into one snapshot — the cross-label aggregate, e.g. request latency
+// across problems. The boolean is false when no histogram matched or the
+// label variants carry incompatible bucket bounds.
+func (s Snapshot) MergeHistograms(base string) (HistogramSnapshot, bool) {
+	var out HistogramSnapshot
+	found := false
+	for name, h := range s.Histograms {
+		if b, _ := SplitName(name); b != base {
+			continue
+		}
+		merged, ok := out.Merge(h)
+		if !ok {
+			return HistogramSnapshot{}, false
+		}
+		out = merged
+		found = true
+	}
+	return out, found
+}

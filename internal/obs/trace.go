@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one phase of a traced query: its name, its offset from the
+// trace start, and its duration. Spans are contiguous — each Mark closes
+// the span running since the previous mark — which matches the serve
+// pipeline's linear phase structure (snapshot pin → cache lookup →
+// execute → record).
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Annotation is one key-value tag on a trace (generation, algorithm,
+// cache-hit flag, error text).
+type Annotation struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Trace is the record of one query through an instrumented pipeline. A
+// trace is owned by the goroutine executing the query until Finish hands
+// it to the tracer's ring; after that it is read-only. All methods are
+// nil-receiver-safe so instrumentation sites can run unconditionally —
+// with tracing disabled, Start returns nil and every Mark/Annotate on it
+// is a no-op costing one predictable branch.
+type Trace struct {
+	ID    uint64        `json:"id"`
+	Label string        `json:"label"`
+	Begin time.Time     `json:"begin"`
+	Total time.Duration `json:"total_ns"`
+	// Gen and QueueWait are typed fast-path tags (snapshot generation,
+	// time queued before a batch worker picked the request up). They are
+	// fields rather than Annotations so the hot path stores an integer
+	// instead of formatting a string per query.
+	Gen       uint64        `json:"gen,omitempty"`
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
+	Spans     []Span        `json:"spans"`
+	Annots    []Annotation  `json:"annotations,omitempty"`
+
+	spanBuf  [5]Span       // inline storage: the serve pipeline has ≤ 5 phases
+	annotBuf [2]Annotation // typical traces carry ≤ 2 string tags
+	last     time.Duration
+}
+
+// SetGen records the snapshot generation serving the traced query.
+func (t *Trace) SetGen(gen uint64) {
+	if t == nil {
+		return
+	}
+	t.Gen = gen
+}
+
+// SetQueueWait records how long the request queued before execution.
+func (t *Trace) SetQueueWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.QueueWait = d
+}
+
+// Mark closes the current span under the given name: it covers the time
+// since the previous mark (or the trace start).
+func (t *Trace) Mark(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.Begin)
+	t.Spans = append(t.Spans, Span{Name: name, Start: t.last, Dur: now - t.last})
+	t.last = now
+}
+
+// Annotate tags the trace with a key-value pair.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.Annots = append(t.Annots, Annotation{Key: key, Value: value})
+}
+
+// Tracer keeps the most recent completed traces in a fixed-size ring
+// buffer. Start/Finish are cheap and lock-free — one small allocation
+// per trace, and publishing claims a ring slot with an atomic counter
+// and stores the trace with an atomic pointer, so concurrent batch
+// workers never contend on a mutex. Recent copies the ring for
+// inspection. A nil *Tracer is valid and disables tracing entirely.
+type Tracer struct {
+	capacity int
+	seq      atomic.Uint64
+	finished atomic.Uint64
+
+	// next counts slot claims; claim i lands in ring[i % capacity]. A
+	// reader can observe a claimed-but-not-yet-stored slot, in which
+	// case Recent sees the slot's previous trace (or nil) — acceptable
+	// for a diagnostic ring, and sequential Finish/Recent pairs are
+	// exact.
+	next atomic.Uint64
+	ring []atomic.Pointer[Trace]
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// NewTracer builds a tracer retaining the last capacity traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{capacity: capacity, ring: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Start begins a new trace. On a nil tracer it returns nil, which every
+// Trace method accepts.
+func (tz *Tracer) Start(label string) *Trace {
+	if tz == nil {
+		return nil
+	}
+	t := &Trace{
+		ID:    tz.seq.Add(1),
+		Label: label,
+		Begin: time.Now(),
+	}
+	t.Spans = t.spanBuf[:0]
+	t.Annots = t.annotBuf[:0]
+	return t
+}
+
+// Finish stamps the trace's total duration and publishes it into the
+// ring, evicting the oldest trace once the ring is full. Nil tracer or
+// nil trace are no-ops.
+func (tz *Tracer) Finish(t *Trace) {
+	if tz == nil || t == nil {
+		return
+	}
+	t.Total = time.Since(t.Begin)
+	slot := tz.next.Add(1) - 1
+	tz.ring[slot%uint64(tz.capacity)].Store(t)
+	tz.finished.Add(1)
+}
+
+// Finished returns the number of traces completed so far (including
+// those already evicted from the ring).
+func (tz *Tracer) Finished() uint64 {
+	if tz == nil {
+		return 0
+	}
+	return tz.finished.Load()
+}
+
+// Recent returns the retained traces, newest first. The returned slice
+// is a copy; the traces themselves are shared and read-only.
+func (tz *Tracer) Recent() []*Trace {
+	if tz == nil {
+		return nil
+	}
+	claimed := tz.next.Load()
+	n := claimed
+	if n > uint64(tz.capacity) {
+		n = uint64(tz.capacity)
+	}
+	out := make([]*Trace, 0, n)
+	// Walk the ring backwards from the most recently claimed slot,
+	// skipping slots whose store hasn't landed yet.
+	for i := uint64(0); i < n; i++ {
+		t := tz.ring[(claimed-1-i)%uint64(tz.capacity)].Load()
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

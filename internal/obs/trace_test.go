@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsFullyInert covers the disabled-tracing contract: every
+// operation on a nil tracer and the nil traces it hands out must be a
+// safe no-op.
+func TestNilTracerIsFullyInert(t *testing.T) {
+	var tz *Tracer
+	tr := tz.Start("q")
+	if tr != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	tr.Mark("phase") // must not panic
+	tr.Annotate("k", "v")
+	tz.Finish(tr)
+	if tz.Finished() != 0 {
+		t.Fatalf("nil tracer finished = %d", tz.Finished())
+	}
+	if tz.Recent() != nil {
+		t.Fatal("nil tracer has recent traces")
+	}
+}
+
+func TestTraceSpansAreContiguous(t *testing.T) {
+	tz := NewTracer(4)
+	tr := tz.Start("query")
+	tr.Mark("a")
+	time.Sleep(time.Millisecond)
+	tr.Mark("b")
+	tr.Annotate("cache", "miss")
+	tz.Finish(tr)
+
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %v", tr.Spans)
+	}
+	if tr.Spans[0].Name != "a" || tr.Spans[1].Name != "b" {
+		t.Fatalf("span names = %q, %q", tr.Spans[0].Name, tr.Spans[1].Name)
+	}
+	if tr.Spans[0].Start != 0 {
+		t.Fatalf("first span starts at %v", tr.Spans[0].Start)
+	}
+	if tr.Spans[1].Start != tr.Spans[0].Start+tr.Spans[0].Dur {
+		t.Fatal("spans are not contiguous")
+	}
+	if tr.Spans[1].Dur < time.Millisecond {
+		t.Fatalf("span b duration = %v, want ≥ 1ms", tr.Spans[1].Dur)
+	}
+	if tr.Total < tr.Spans[1].Start+tr.Spans[1].Dur {
+		t.Fatalf("total %v < end of last span", tr.Total)
+	}
+	if len(tr.Annots) != 1 || tr.Annots[0] != (Annotation{"cache", "miss"}) {
+		t.Fatalf("annotations = %v", tr.Annots)
+	}
+}
+
+// TestRingWraparound fills a small ring past capacity and checks that
+// Recent returns exactly the newest traces, newest first.
+func TestRingWraparound(t *testing.T) {
+	const capacity, total = 4, 10
+	tz := NewTracer(capacity)
+	for i := 1; i <= total; i++ {
+		tz.Finish(tz.Start(fmt.Sprintf("q%d", i)))
+	}
+	if tz.Finished() != total {
+		t.Fatalf("finished = %d, want %d", tz.Finished(), total)
+	}
+	recent := tz.Recent()
+	if len(recent) != capacity {
+		t.Fatalf("recent len = %d, want %d", len(recent), capacity)
+	}
+	for i, tr := range recent {
+		want := fmt.Sprintf("q%d", total-i)
+		if tr.Label != want {
+			t.Fatalf("recent[%d] = %s, want %s (ring order broken)", i, tr.Label, want)
+		}
+	}
+}
+
+func TestRecentBeforeFull(t *testing.T) {
+	tz := NewTracer(8)
+	for i := 1; i <= 3; i++ {
+		tz.Finish(tz.Start(fmt.Sprintf("q%d", i)))
+	}
+	recent := tz.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent len = %d", len(recent))
+	}
+	for i, want := range []string{"q3", "q2", "q1"} {
+		if recent[i].Label != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, recent[i].Label, want)
+		}
+	}
+}
+
+func TestTraceIDsAreUnique(t *testing.T) {
+	tz := NewTracer(16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		tr := tz.Start("q")
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace id %d", tr.ID)
+		}
+		seen[tr.ID] = true
+		tz.Finish(tr)
+	}
+}
+
+// TestConcurrentTracing hammers Start/Mark/Finish/Recent from many
+// goroutines; -race must stay quiet and the finished count exact.
+func TestConcurrentTracing(t *testing.T) {
+	const workers, perWorker = 8, 500
+	tz := NewTracer(32)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr := tz.Start("q")
+				tr.Mark("only")
+				tz.Finish(tr)
+				if i%100 == 0 {
+					tz.Recent()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tz.Finished() != workers*perWorker {
+		t.Fatalf("finished = %d, want %d", tz.Finished(), workers*perWorker)
+	}
+	if len(tz.Recent()) != 32 {
+		t.Fatalf("ring len = %d, want 32", len(tz.Recent()))
+	}
+}

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"testing"
 
+	"fairjob/internal/obs"
 	"fairjob/internal/serve"
 	"fairjob/internal/stats"
 )
@@ -63,6 +64,42 @@ func BenchmarkServeConcurrent(b *testing.B) {
 			b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
 	}
+}
+
+// BenchmarkServeInstrumented measures the telemetry layer's overhead on
+// the batch serving path at the engine-w4 configuration. "off" is the
+// default engine — metrics land in its private registry (metric
+// recording is always on; it is what CacheStats reads), with tracing
+// disabled. "on" adds the full opt-in surface: a caller-shared registry
+// plus a per-query trace ring at DefaultTraceCapacity. The acceptance
+// budget for on-vs-off is < 5% (bench.sh computes the delta into the
+// BENCH JSON).
+func BenchmarkServeInstrumented(b *testing.B) {
+	snap, reqs := benchWorkload()
+	run := func(b *testing.B, opts func() serve.Options) {
+		for i := 0; i < b.N; i++ {
+			eng := serve.NewEngine(snap, opts())
+			for _, resp := range eng.DoBatch(reqs) {
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() serve.Options { return serve.Options{Workers: 4} })
+	})
+	b.Run("on", func(b *testing.B) {
+		// Fresh registry and tracer per engine, as cmd/fairjob wires it.
+		run(b, func() serve.Options {
+			return serve.Options{
+				Workers: 4,
+				Obs:     obs.NewRegistry(),
+				Tracer:  obs.NewTracer(obs.DefaultTraceCapacity),
+			}
+		})
+	})
 }
 
 // BenchmarkServeSnapshotBuild measures the cost of freezing a table into

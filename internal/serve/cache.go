@@ -29,9 +29,10 @@ type cacheKey struct {
 // and evicts from the back. The zero value is not usable — construct with
 // newLRU.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	items map[cacheKey]*lruEntry
+	mu        sync.Mutex
+	cap       int
+	evictions uint64 // entries dropped from the tail since construction
+	items     map[cacheKey]*lruEntry
 	// head is most recently used, tail least. nil when empty.
 	head, tail *lruEntry
 }
@@ -59,22 +60,25 @@ func (c *lruCache) Get(key cacheKey) (Response, bool) {
 	return e.val, true
 }
 
-// Put records key's response, evicting the least recently used entry when
-// the cache is at capacity.
-func (c *lruCache) Put(key cacheKey, val Response) {
+// Put records key's response, evicting the least recently used entry
+// when the cache is at capacity; it reports whether an eviction
+// happened.
+func (c *lruCache) Put(key cacheKey, val Response) (evicted bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
 		e.val = val
 		c.moveToFront(e)
-		return
+		return false
 	}
 	e := &lruEntry{key: key, val: val}
 	c.items[key] = e
 	c.pushFront(e)
 	if len(c.items) > c.cap {
 		c.evict(c.tail)
+		return true
 	}
+	return false
 }
 
 // Len returns the number of cached entries.
@@ -82,6 +86,14 @@ func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
+}
+
+// Evictions returns how many entries have been evicted from the tail
+// since construction.
+func (c *lruCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 func (c *lruCache) pushFront(e *lruEntry) {
@@ -124,4 +136,5 @@ func (c *lruCache) evict(e *lruEntry) {
 	}
 	c.unlink(e)
 	delete(c.items, e.key)
+	c.evictions++
 }

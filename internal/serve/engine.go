@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
+	"fairjob/internal/obs"
 	"fairjob/internal/topk"
 )
 
@@ -98,6 +100,21 @@ type Options struct {
 	// CacheSize is the LRU result cache capacity in entries: 0 selects
 	// DefaultCacheSize, negative disables caching entirely.
 	CacheSize int
+	// Obs is the metrics registry the engine publishes its telemetry
+	// into (request counts, cache hit/miss/eviction, per-problem latency
+	// and queue-wait histograms, top-k access-cost histograms, snapshot
+	// generation/age gauges — see DESIGN.md §9 for the full inventory).
+	// Nil gives the engine a private registry, still readable through
+	// Engine.Registry, so CacheStats and the telemetry summary work
+	// without any wiring. The engine registers per-engine gauge
+	// callbacks (cache length, snapshot age), so give each engine its
+	// own registry rather than sharing one across engines.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records a per-query trace (snapshot pin →
+	// validate → cache lookup → execute → access accounting) into its
+	// ring buffer. Nil disables tracing; the per-query cost is then a
+	// few nil checks.
+	Tracer *obs.Tracer
 }
 
 // DefaultCacheSize is the result cache capacity when Options.CacheSize is
@@ -107,14 +124,71 @@ const DefaultCacheSize = 1024
 // Engine executes fairness queries against the current snapshot. It is
 // safe for concurrent use: the snapshot hangs behind an atomic pointer
 // (Swap / Refresh publish a new generation without pausing in-flight
-// queries), the cache is internally locked, and all algorithm state is
-// per-call.
+// queries), the cache is internally locked, all algorithm state is
+// per-call, and every telemetry write is an atomic operation on an
+// obs metric.
 type Engine struct {
 	workers int
 	cache   *lruCache // nil when caching is disabled
 	snap    atomic.Pointer[Snapshot]
 
-	hits, misses atomic.Uint64
+	reg    *obs.Registry
+	met    *engineMetrics
+	tracer *obs.Tracer // nil disables per-query tracing
+}
+
+// engineMetrics holds the engine's metric handles, resolved against the
+// registry once at construction so the per-query hot path never touches
+// the registry's lock or allocates a name string.
+type engineMetrics struct {
+	requests [2]*obs.Counter   // indexed by Problem
+	latency  [2]*obs.Histogram // serve_request_seconds{problem=...}
+	errors   *obs.Counter
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvicts *obs.Counter
+
+	batchSize *obs.Histogram
+	queueWait *obs.Histogram
+
+	// Per-algorithm access-cost histograms, indexed by topk.Algorithm —
+	// the §6.3 / Table 6 quantities, recovered continuously instead of
+	// per-benchmark.
+	sorted [4]*obs.Histogram
+	random [4]*obs.Histogram
+	rounds [4]*obs.Histogram
+
+	// Algorithm 3 random-access counts per comparison (Problem 2).
+	compareAccesses *obs.Histogram
+}
+
+// countBuckets is the bucket layout of access-cost and batch-size
+// histograms: powers of two from 1 to ~1M.
+func countBuckets() []float64 { return obs.ExponentialBuckets(1, 2, 21) }
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	lat := obs.LatencyBuckets()
+	counts := countBuckets()
+	m := &engineMetrics{
+		errors:          reg.Counter("serve_errors_total"),
+		cacheHits:       reg.Counter("serve_cache_hits_total"),
+		cacheMisses:     reg.Counter("serve_cache_misses_total"),
+		cacheEvicts:     reg.Counter("serve_cache_evictions_total"),
+		batchSize:       reg.Histogram("serve_batch_size", counts),
+		queueWait:       reg.Histogram("serve_queue_wait_seconds", lat),
+		compareAccesses: reg.Histogram("compare_accesses", counts),
+	}
+	for _, p := range []Problem{Quantify, Compare} {
+		m.requests[p] = reg.Counter(obs.Name("serve_requests_total", "problem", p.String()))
+		m.latency[p] = reg.Histogram(obs.Name("serve_request_seconds", "problem", p.String()), lat)
+	}
+	for _, a := range topk.Algorithms() {
+		m.sorted[a] = reg.Histogram(obs.Name("topk_sorted_accesses", "algo", a.String()), counts)
+		m.random[a] = reg.Histogram(obs.Name("topk_random_accesses", "algo", a.String()), counts)
+		m.rounds[a] = reg.Histogram(obs.Name("topk_rounds", "algo", a.String()), counts)
+	}
+	return m
 }
 
 // NewEngine builds an engine serving the given snapshot.
@@ -122,7 +196,11 @@ func NewEngine(snap *Snapshot, opts Options) *Engine {
 	if snap == nil {
 		panic("serve: NewEngine with nil snapshot")
 	}
-	e := &Engine{workers: opts.Workers}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{workers: opts.Workers, reg: reg, met: newEngineMetrics(reg), tracer: opts.Tracer}
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newLRU(DefaultCacheSize)
@@ -130,7 +208,35 @@ func NewEngine(snap *Snapshot, opts Options) *Engine {
 		e.cache = newLRU(opts.CacheSize)
 	}
 	e.snap.Store(snap)
+	reg.GaugeFunc("serve_cache_entries", func() float64 {
+		if e.cache == nil {
+			return 0
+		}
+		return float64(e.cache.Len())
+	})
+	reg.GaugeFunc("serve_snapshot_generation", func() float64 {
+		return float64(e.Snapshot().gen)
+	})
+	reg.GaugeFunc("serve_snapshot_age_seconds", func() float64 {
+		return time.Since(e.Snapshot().created).Seconds()
+	})
 	return e
+}
+
+// Registry returns the engine's metrics registry (the one given in
+// Options.Obs, or the private default), for snapshots, summaries and
+// admin-endpoint wiring.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// RecordTopK implements topk.Recorder: every Problem 1 execution feeds
+// its access-cost Stats into the per-algorithm histograms.
+func (e *Engine) RecordTopK(algo topk.Algorithm, _ topk.Direction, st topk.Stats) {
+	if int(algo) < 0 || int(algo) >= len(e.met.sorted) {
+		return
+	}
+	e.met.sorted[algo].Observe(float64(st.SortedAccesses))
+	e.met.random[algo].Observe(float64(st.RandomAccesses))
+	e.met.rounds[algo].Observe(float64(st.Rounds))
 }
 
 // Snapshot returns the snapshot currently being served.
@@ -156,52 +262,107 @@ func (e *Engine) Refresh(apply func(*core.Table)) *Snapshot {
 	return next
 }
 
-// CacheStats returns the number of cache hits and misses served so far.
-func (e *Engine) CacheStats() (hits, misses uint64) {
-	return e.hits.Load(), e.misses.Load()
+// CacheStats reports the engine's result-cache counters: hits and
+// misses served so far (from the obs counters), evictions performed by
+// the LRU, and the number of entries currently cached.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// CacheStats returns the current cache counters. With caching disabled
+// every field is zero except Misses, which still counts executions.
+func (e *Engine) CacheStats() CacheStats {
+	cs := CacheStats{Hits: e.met.cacheHits.Value(), Misses: e.met.cacheMisses.Value()}
+	if e.cache != nil {
+		cs.Evictions = e.cache.Evictions()
+		cs.Entries = e.cache.Len()
+	}
+	return cs
 }
 
 // Do answers one request against the current snapshot.
 func (e *Engine) Do(req Request) Response {
-	return e.doOn(e.Snapshot(), req)
+	tr := e.tracer.Start(req.Problem.String())
+	snap := e.Snapshot()
+	tr.Mark("snapshot-pin")
+	return e.doOn(snap, req, tr)
 }
 
 // DoBatch answers a batch of requests across the bounded worker pool and
 // returns the responses in request order. The snapshot is loaded once for
 // the whole batch, so every response in it carries the same generation
-// even if a Swap lands mid-batch — a batch is a consistent read.
+// even if a Swap lands mid-batch — a batch is a consistent read. The
+// queue-wait histogram records, per request, how long it sat in the
+// batch before a worker picked it up.
 func (e *Engine) DoBatch(reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
+	e.met.batchSize.Observe(float64(len(reqs)))
 	snap := e.Snapshot()
+	queued := time.Now()
 	w := core.BoundedWorkers(e.workers, len(reqs))
 	core.RunIndexed(len(reqs), w, func(i int) {
-		out[i] = e.doOn(snap, reqs[i])
+		wait := time.Since(queued)
+		e.met.queueWait.Observe(wait.Seconds())
+		tr := e.tracer.Start(reqs[i].Problem.String())
+		tr.SetQueueWait(wait)
+		tr.Mark("snapshot-pin")
+		out[i] = e.doOn(snap, reqs[i], tr)
 	})
 	return out
 }
 
-// doOn answers req against a pinned snapshot, consulting the cache.
-func (e *Engine) doOn(snap *Snapshot, req Request) Response {
+// doOn answers req against a pinned snapshot, consulting the cache. tr
+// may be nil (tracing disabled); every response — hit, miss or error —
+// lands in the per-problem latency histogram.
+func (e *Engine) doOn(snap *Snapshot, req Request, tr *obs.Trace) Response {
+	start := time.Now()
+	tr.SetGen(snap.gen)
 	if err := validate(req); err != nil {
+		e.met.errors.Inc()
+		tr.Annotate("err", err.Error())
+		e.tracer.Finish(tr)
 		return Response{Gen: snap.gen, Err: err}
 	}
+	tr.Mark("validate")
+	pi := req.Problem
+	e.met.requests[pi].Inc()
 	var key cacheKey
 	if e.cache != nil {
 		key = req.key(snap.gen)
 		if resp, ok := e.cache.Get(key); ok {
-			e.hits.Add(1)
+			e.met.cacheHits.Inc()
+			tr.Mark("cache-lookup")
+			tr.Annotate("cache", "hit")
 			resp.CacheHit = true
+			e.met.latency[pi].Observe(time.Since(start).Seconds())
+			e.tracer.Finish(tr)
 			return resp
 		}
-		e.misses.Add(1)
+		e.met.cacheMisses.Inc()
 	}
-	resp := execute(snap, req)
-	if e.cache != nil && resp.Err == nil {
-		e.cache.Put(key, resp)
+	tr.Mark("cache-lookup")
+	resp := e.execute(snap, req, tr)
+	tr.Mark("execute")
+	if resp.Err != nil {
+		e.met.errors.Inc()
+		tr.Annotate("err", resp.Err.Error())
+	} else {
+		if req.Problem == Compare && resp.Comparison != nil {
+			e.met.compareAccesses.Observe(float64(resp.Comparison.Accesses))
+		}
+		if e.cache != nil {
+			if e.cache.Put(key, resp) {
+				e.met.cacheEvicts.Inc()
+			}
+		}
 	}
+	tr.Mark("access-accounting")
+	e.met.latency[pi].Observe(time.Since(start).Seconds())
+	e.tracer.Finish(tr)
 	return resp
 }
 
@@ -254,11 +415,14 @@ func validate(req Request) error {
 }
 
 // execute runs the request's algorithm against the snapshot; all mutable
-// state lives inside the callee's per-call structs.
-func execute(snap *Snapshot, req Request) Response {
+// state lives inside the callee's per-call structs. Problem 1 runs
+// through topk.TopKWith with the engine as Recorder, so the access-cost
+// Stats of every execution land in the per-algorithm histograms.
+func (e *Engine) execute(snap *Snapshot, req Request, tr *obs.Trace) Response {
 	resp := Response{Gen: snap.gen}
 	switch req.Problem {
 	case Quantify:
+		tr.Annotate("algo", req.Algorithm.String())
 		src := snap.source(req.Dim)
 		if src == nil {
 			resp.Err = fmt.Errorf("serve: snapshot has no %v lists (empty table?)", req.Dim)
@@ -272,7 +436,7 @@ func execute(snap *Snapshot, req Request) Response {
 			}
 			src = restricted
 		}
-		resp.Results, resp.Stats, resp.Err = topk.TopK(src, req.K, req.Direction, req.Algorithm)
+		resp.Results, resp.Stats, resp.Err = topk.TopKWith(src, req.K, req.Direction, req.Algorithm, e)
 	case Compare:
 		c := snap.comparer(req.DefinedOnly)
 		switch req.Of {

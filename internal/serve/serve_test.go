@@ -167,9 +167,12 @@ func TestCacheHitEqualsCacheMiss(t *testing.T) {
 			t.Fatalf("cache hit diverged from miss for %+v:\nmiss: %s\nhit:  %s", req, fingerprint(miss), fingerprint(hit))
 		}
 	}
-	hits, misses := eng.CacheStats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	cs := eng.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", cs.Hits, cs.Misses)
+	}
+	if cs.Entries == 0 {
+		t.Fatal("cache served hits but reports zero entries")
 	}
 }
 
@@ -298,9 +301,8 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 	// Errors must not be cached.
-	hits, _ := eng.CacheStats()
-	if hits != 0 {
-		t.Fatalf("error responses were cached: %d hits", hits)
+	if cs := eng.CacheStats(); cs.Hits != 0 {
+		t.Fatalf("error responses were cached: %d hits", cs.Hits)
 	}
 }
 

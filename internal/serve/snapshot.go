@@ -29,6 +29,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
@@ -50,8 +51,9 @@ var generation atomic.Uint64
 // snapshot may be shared by any number of goroutines without
 // synchronization.
 type Snapshot struct {
-	gen uint64
-	tbl *core.Table // private clone; never mutated after construction
+	gen     uint64
+	created time.Time   // freeze time, for the snapshot-age gauge
+	tbl     *core.Table // private clone; never mutated after construction
 
 	groupIdx *index.GroupIndex
 	queryIdx *index.QueryIndex
@@ -79,6 +81,7 @@ func newOwnedSnapshot(tbl *core.Table) *Snapshot {
 	gi, qi, li := index.BuildAll(tbl)
 	s := &Snapshot{
 		gen:         generation.Add(1),
+		created:     time.Now(),
 		tbl:         tbl,
 		groupIdx:    gi,
 		queryIdx:    qi,
@@ -117,6 +120,10 @@ func (s *Snapshot) WithUpdates(apply func(*core.Table)) *Snapshot {
 
 // Gen returns the snapshot's process-unique generation number.
 func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// CreatedAt returns when the snapshot was frozen; the engine's
+// snapshot-age gauge reads it.
+func (s *Snapshot) CreatedAt() time.Time { return s.created }
 
 // GroupKeys returns the canonical group keys of the snapshot's group
 // dimension, sorted.

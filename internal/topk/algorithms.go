@@ -87,11 +87,26 @@ func (s Stats) Total() int { return s.SortedAccesses + s.RandomAccesses }
 // safely serves any number of simultaneous TopK calls; the race and
 // concurrency tests pin this contract.
 
+// Recorder receives the access-cost statistics of completed top-k runs.
+// The serve engine implements it to export every execution's Stats into
+// its per-algorithm telemetry histograms (DESIGN.md §9); experiments and
+// ablations can implement it to collect Table-6-style cost series
+// without threading counters through call sites.
+type Recorder interface {
+	RecordTopK(algo Algorithm, dir Direction, st Stats)
+}
+
 // TopK solves fairness quantification over src: the k members with the
 // most/least average value across lists. It returns results in order
 // (most-unfair first for MostUnfair, least-unfair first for LeastUnfair).
 // k larger than the membership returns all members ranked.
 func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats, error) {
+	return TopKWith(src, k, dir, algo, nil)
+}
+
+// TopKWith is TopK with an optional Recorder: a successful run reports
+// its Stats to rec before returning. A nil rec records nothing.
+func TopKWith(src ListSource, k int, dir Direction, algo Algorithm, rec Recorder) ([]Result, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("topk: k must be positive, got %d", k)
 	}
@@ -114,9 +129,15 @@ func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats
 		for i := range results {
 			results[i].Value = -results[i].Value
 		}
+		if rec != nil {
+			rec.RecordTopK(algo, dir, stats)
+		}
 		return results, stats, nil
 	}
 	results, stats := run(src)
+	if rec != nil {
+		rec.RecordTopK(algo, dir, stats)
+	}
 	return results, stats, nil
 }
 

@@ -4,7 +4,12 @@
 # Runs, in order:
 #   1. go vet ./...          static checks
 #   2. go build ./...        everything compiles
-#   3. go test -race ./...   full suite under the race detector — the
+#   3. go test -race ./internal/obs ./internal/serve
+#                            the telemetry gate: the lock-free metric
+#                            and trace paths plus the instrumented
+#                            engine, raced first and uncached so a
+#                            telemetry regression fails fast
+#   4. go test -race ./...   full suite under the race detector — the
 #                            evaluators' sharded worker pools and the
 #                            serve engine's concurrent query paths must
 #                            stay race-clean at any worker count
@@ -30,6 +35,9 @@ go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== go test -race ./internal/obs ./internal/serve (telemetry gate)"
+go test -race -count=1 ./internal/obs/ ./internal/serve/
 
 echo "== go test -race ${short:+$short }./..."
 go test -race $short ./...
