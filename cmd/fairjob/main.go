@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -60,37 +61,52 @@ func main() {
 	mode := os.Args[1]
 	fs := flag.NewFlagSet(mode, flag.ExitOnError)
 	var (
-		data    = fs.String("data", "", "directory with taskers.jsonl and pages.jsonl (empty synthesizes the default marketplace)")
-		seed    = fs.Uint64("seed", experiment.DefaultSeed, "seed when synthesizing")
-		measure = fs.String("measure", "emd", "unfairness measure: emd, exposure, kendall or jaccard")
-		dim     = fs.String("dim", "group", "quantify: dimension to rank (group, query or location)")
-		k       = fs.Int("k", 5, "quantify/batch: how many results")
-		least   = fs.Bool("least", false, "quantify: return the least unfair instead of the most")
-		r1      = fs.String("r1", "", "compare: first value (group key like \"gender=Male\", query, or location)")
-		r2      = fs.String("r2", "", "compare: second value")
-		by      = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
-		workers = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
-		admin   = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /debug/traces, /debug/pprof/")
+		data        = fs.String("data", "", "directory with taskers.jsonl and pages.jsonl (empty synthesizes the default marketplace)")
+		seed        = fs.Uint64("seed", experiment.DefaultSeed, "seed when synthesizing")
+		measure     = fs.String("measure", "emd", "unfairness measure: emd, exposure, kendall or jaccard")
+		dim         = fs.String("dim", "group", "quantify: dimension to rank (group, query or location)")
+		k           = fs.Int("k", 5, "quantify/batch: how many results")
+		least       = fs.Bool("least", false, "quantify: return the least unfair instead of the most")
+		r1          = fs.String("r1", "", "compare: first value (group key like \"gender=Male\", query, or location)")
+		r2          = fs.String("r2", "", "compare: second value")
+		by          = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
+		workers     = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
+		deadline    = fs.Duration("deadline", 0, "per-request deadline for engine queries (0 = none); expired requests report a typed deadline error")
+		maxInflight = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = unlimited; negative sheds all compute, serving only cache hits)")
+		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces, /debug/pprof/")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel ctx: in-flight batch work drains (every
+	// pending request reports a typed cancellation error rather than being
+	// lost), the telemetry summary still flushes, and the admin endpoint
+	// shuts down gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
-	tbl, err := buildTable(*data, *seed, *measure, reg)
+	tbl, err := buildTable(ctx, *data, *seed, *measure, reg)
 	if err != nil {
 		fatal(err)
 	}
-	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{Workers: *workers, Obs: reg, Tracer: tracer})
+	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{
+		Workers:         *workers,
+		Obs:             reg,
+		Tracer:          tracer,
+		DefaultDeadline: *deadline,
+		MaxInflight:     *maxInflight,
+	})
 
 	switch mode {
 	case "quantify":
-		err = quantify(eng, *dim, *k, *least)
+		err = quantify(ctx, eng, *dim, *k, *least)
 	case "compare":
-		err = runCompare(eng, *r1, *r2, *by)
+		err = runCompare(ctx, eng, *r1, *r2, *by)
 	case "batch":
-		err = runBatch(eng, *k)
+		err = runBatch(ctx, eng, *k)
 	default:
 		usage()
 		os.Exit(2)
@@ -98,19 +114,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "fairjob: interrupted — in-flight work drained, partial results above")
+	}
 
 	// With -admin the process stays alive after the mode completes so the
 	// run's metrics, traces and profiles can be inspected over HTTP.
-	if *admin != "" {
-		srv, err := obs.Serve(*admin, reg, tracer)
+	// /readyz tracks the engine's admission gate, so an overloaded replica
+	// reports itself not ready while staying alive.
+	if *admin != "" && ctx.Err() == nil {
+		srv, err := obs.Serve(*admin, reg, tracer, &obs.Health{Ready: eng.Ready})
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /debug/traces, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "fairjob: admin shutdown:", err)
+		}
+		fmt.Fprintln(os.Stderr, telemetrySummary(eng))
 	}
 }
 
@@ -127,8 +151,9 @@ func fatal(err error) {
 // synthetic one. The measure name selects the platform: emd/exposure are
 // marketplace measures, kendall/jaccard are search-engine measures. The
 // evaluators report shard telemetry into reg, so -admin exposes the table
-// build alongside the serving metrics.
-func buildTable(dir string, seed uint64, measure string, reg *obs.Registry) (*core.Table, error) {
+// build alongside the serving metrics. A SIGINT during a long crawl
+// evaluation cancels ctx and aborts the build cleanly.
+func buildTable(ctx context.Context, dir string, seed uint64, measure string, reg *obs.Registry) (*core.Table, error) {
 	switch measure {
 	case "emd", "exposure":
 		m := core.MeasureEMD
@@ -145,7 +170,7 @@ func buildTable(dir string, seed uint64, measure string, reg *obs.Registry) (*co
 			return nil, err
 		}
 		ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: m, Obs: reg}
-		return ev.EvaluateAll(rankings, nil), nil
+		return ev.EvaluateAllCtx(ctx, rankings, nil)
 	case "kendall", "jaccard":
 		m := core.MeasureKendallTau
 		if measure == "jaccard" {
@@ -161,7 +186,7 @@ func buildTable(dir string, seed uint64, measure string, reg *obs.Registry) (*co
 			return nil, err
 		}
 		ev := &core.SearchEvaluator{Schema: core.DefaultSchema(), Measure: m, Obs: reg}
-		return ev.EvaluateAll(results, nil), nil
+		return ev.EvaluateAllCtx(ctx, results, nil)
 	default:
 		return nil, fmt.Errorf("unknown measure %q (want emd, exposure, kendall or jaccard)", measure)
 	}
@@ -233,7 +258,7 @@ func displayName(snap *serve.Snapshot, dim compare.Dimension, key string) string
 
 // quantify solves Problem 1 through the serve engine with the Threshold
 // Algorithm over the snapshot's pre-computed indices.
-func quantify(eng *serve.Engine, dim string, k int, least bool) error {
+func quantify(ctx context.Context, eng *serve.Engine, dim string, k int, least bool) error {
 	d, err := parseDim(dim)
 	if err != nil {
 		return err
@@ -244,7 +269,7 @@ func quantify(eng *serve.Engine, dim string, k int, least bool) error {
 		dir = topk.LeastUnfair
 		label = "least"
 	}
-	resp := eng.Do(serve.Request{
+	resp := eng.DoCtx(ctx, serve.Request{
 		Problem:   serve.Quantify,
 		Dim:       d,
 		K:         k,
@@ -265,7 +290,7 @@ func quantify(eng *serve.Engine, dim string, k int, least bool) error {
 // runCompare solves Problem 2 through the serve engine, inferring the
 // operands' dimension from the snapshot's contents. The CLI keeps the
 // defined-only aggregation semantics it has always used.
-func runCompare(eng *serve.Engine, r1, r2, by string) error {
+func runCompare(ctx context.Context, eng *serve.Engine, r1, r2, by string) error {
 	if r1 == "" || r2 == "" {
 		return fmt.Errorf("compare needs -r1 and -r2")
 	}
@@ -279,7 +304,7 @@ func runCompare(eng *serve.Engine, r1, r2, by string) error {
 	if !ok1 || !ok2 || d1 != d2 {
 		return fmt.Errorf("cannot resolve %q and %q to one dimension (group key, query, or location)", r1, r2)
 	}
-	resp := eng.Do(serve.Request{
+	resp := eng.DoCtx(ctx, serve.Request{
 		Problem:     serve.Compare,
 		Of:          d1,
 		R1:          r1,
@@ -306,7 +331,7 @@ func runCompare(eng *serve.Engine, r1, r2, by string) error {
 // quantification, plus the reversal analysis of the two most unfair
 // groups, queries and locations. It prints one summary row per request
 // and the engine's cache counters.
-func runBatch(eng *serve.Engine, k int) error {
+func runBatch(ctx context.Context, eng *serve.Engine, k int) error {
 	snap := eng.Snapshot()
 	var reqs []serve.Request
 	for _, d := range []compare.Dimension{compare.ByGroup, compare.ByQuery, compare.ByLocation} {
@@ -318,7 +343,7 @@ func runBatch(eng *serve.Engine, k int) error {
 	}
 	// Compare the two most unfair members of each dimension, broken down
 	// by one of the other dimensions.
-	quantified := eng.DoBatch(reqs[:len(reqs):len(reqs)])
+	quantified := eng.DoBatchCtx(ctx, reqs[:len(reqs):len(reqs)])
 	breakdown := map[compare.Dimension]compare.Dimension{
 		compare.ByGroup:    compare.ByQuery,
 		compare.ByQuery:    compare.ByLocation,
@@ -340,7 +365,7 @@ func runBatch(eng *serve.Engine, k int) error {
 
 	out := report.NewTable(fmt.Sprintf("batch of %d fairness queries (one snapshot, generation %d)", len(reqs), snap.Gen()),
 		"#", "problem", "question", "answer", "cached")
-	for i, resp := range eng.DoBatch(reqs) {
+	for i, resp := range eng.DoBatchCtx(ctx, reqs) {
 		req := reqs[i]
 		var question, answer string
 		switch req.Problem {

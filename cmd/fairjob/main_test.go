@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,7 +49,7 @@ func TestBuildTableFromMarketDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
 	for _, measure := range []string{"emd", "exposure"} {
-		tbl, err := buildTable(dir, 1, measure, nil)
+		tbl, err := buildTable(context.Background(), dir, 1, measure, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", measure, err)
 		}
@@ -65,7 +66,7 @@ func TestBuildTableFromGoogleDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
 	for _, measure := range []string{"kendall", "jaccard"} {
-		tbl, err := buildTable(dir, 1, measure, nil)
+		tbl, err := buildTable(context.Background(), dir, 1, measure, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", measure, err)
 		}
@@ -79,13 +80,13 @@ func TestBuildTableFromGoogleDataset(t *testing.T) {
 }
 
 func TestBuildTableErrors(t *testing.T) {
-	if _, err := buildTable("", 1, "cosine", nil); err == nil {
+	if _, err := buildTable(context.Background(), "", 1, "cosine", nil); err == nil {
 		t.Fatal("unknown measure should error")
 	}
-	if _, err := buildTable(t.TempDir(), 1, "emd", nil); err == nil {
+	if _, err := buildTable(context.Background(), t.TempDir(), 1, "emd", nil); err == nil {
 		t.Fatal("missing files should error")
 	}
-	if _, err := buildTable(t.TempDir(), 1, "kendall", nil); err == nil {
+	if _, err := buildTable(context.Background(), t.TempDir(), 1, "kendall", nil); err == nil {
 		t.Fatal("missing google.jsonl should error")
 	}
 }
@@ -93,38 +94,38 @@ func TestBuildTableErrors(t *testing.T) {
 func TestQuantifyAndCompareOnDataset(t *testing.T) {
 	dir := t.TempDir()
 	writeTinyDataset(t, dir)
-	tbl, err := buildTable(dir, 1, "emd", nil)
+	tbl, err := buildTable(context.Background(), dir, 1, "emd", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// These render to stdout; the tests assert they succeed and reject
 	// bad dimensions. All modes run through one serve engine, as main does.
 	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{})
-	if err := quantify(eng, "group", 3, false); err != nil {
+	if err := quantify(context.Background(), eng, "group", 3, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := quantify(eng, "query", 2, true); err != nil {
+	if err := quantify(context.Background(), eng, "query", 2, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := quantify(eng, "nebula", 2, false); err == nil {
+	if err := quantify(context.Background(), eng, "nebula", 2, false); err == nil {
 		t.Fatal("unknown dimension should error")
 	}
-	if err := runCompare(eng, "cleaning", "moving", "group"); err != nil {
+	if err := runCompare(context.Background(), eng, "cleaning", "moving", "group"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(eng, "gender=Male", "gender=Female", "query"); err != nil {
+	if err := runCompare(context.Background(), eng, "gender=Male", "gender=Female", "query"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(eng, "", "x", "group"); err == nil {
+	if err := runCompare(context.Background(), eng, "", "x", "group"); err == nil {
 		t.Fatal("missing r1 should error")
 	}
-	if err := runCompare(eng, "cleaning", "gender=Male", "group"); err == nil {
+	if err := runCompare(context.Background(), eng, "cleaning", "gender=Male", "group"); err == nil {
 		t.Fatal("mixed dimensions should error")
 	}
-	if err := runCompare(eng, "cleaning", "moving", "universe"); err == nil {
+	if err := runCompare(context.Background(), eng, "cleaning", "moving", "universe"); err == nil {
 		t.Fatal("unknown breakdown should error")
 	}
-	if err := runBatch(eng, 2); err != nil {
+	if err := runBatch(context.Background(), eng, 2); err != nil {
 		t.Fatal(err)
 	}
 }

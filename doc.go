@@ -21,4 +21,25 @@
 // figure as a benchmark and adds the design-choice ablations from
 // DESIGN.md. See README.md for a tour and EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// # Panic vs error policy
+//
+// The repository draws one line through failure handling (DESIGN.md §10
+// has the full rationale):
+//
+//   - Construction-time misuse panics. Building an evaluator, engine or
+//     snapshot with impossible configuration — a nil snapshot, an
+//     algorithm or measure enum that does not exist — is a programming
+//     error caught in development, so constructors and config-time
+//     switches fail loudly and immediately.
+//   - Request-time failures return errors. Anything that depends on
+//     runtime data or load — an unknown measure reaching an evaluation,
+//     a malformed query, a canceled context, an overloaded engine, a
+//     failing snapshot refresh — comes back as a typed error the caller
+//     can branch on (see internal/serve's ErrOverloaded,
+//     ErrDeadlineExceeded, ErrCanceled, ErrInternal).
+//   - Panics that escape anyway are contained. The serve engine recovers
+//     any panic raised while executing a request into an *InternalError
+//     response carrying the panic value and stack, so one poisoned query
+//     cannot take down a batch worker or a serving goroutine.
 package fairjob

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -114,7 +115,7 @@ func (e *MarketplaceEvaluator) Unfairness(r *MarketplaceRanking, g Group) (float
 	part := partitionRanking(e.Schema, r)
 	sc := e.newScratch()
 	sc.preparePage(e, r)
-	return e.unfairnessCell(r, part, g.Key(), e.Schema.Comparable(g), nil, sc)
+	return e.unfairnessCell(e.mustCellFunc(), r, part, g.Key(), e.Schema.Comparable(g), nil, sc)
 }
 
 // mktScratch is one worker goroutine's reusable evaluation state: the two
@@ -155,11 +156,40 @@ func (sc *mktScratch) preparePage(e *MarketplaceEvaluator, r *MarketplaceRanking
 	}
 }
 
+// mktCellFunc is a resolved marketplace measure: one of emdCell or
+// exposureCell, bound once per evaluation.
+type mktCellFunc func(part pagePartition, gKey string, compKeys []string, sc *mktScratch) (float64, bool)
+
+// cellFunc resolves the evaluator's measure once per evaluation. An
+// out-of-range Measure is reported here — before any worker goroutine
+// has started — rather than panicking mid-evaluation (see doc.go on the
+// panic-vs-error policy).
+func (e *MarketplaceEvaluator) cellFunc() (mktCellFunc, error) {
+	switch e.Measure {
+	case MeasureEMD:
+		return e.emdCell, nil
+	case MeasureExposure:
+		return e.exposureCell, nil
+	default:
+		return nil, fmt.Errorf("core: unknown marketplace measure %d", int(e.Measure))
+	}
+}
+
+// mustCellFunc backs the legacy (float64, bool) single-cell API, which
+// has no error channel: a misconfigured Measure panics there.
+func (e *MarketplaceEvaluator) mustCellFunc() mktCellFunc {
+	cell, err := e.cellFunc()
+	if err != nil {
+		panic(err)
+	}
+	return cell
+}
+
 // unfairnessCell computes one d<g,q,l> cell from a prebuilt page
-// partition. gKey is g's canonical key, comp its comparable groups, and
-// compKeys their canonical keys (nil lets the cell derive them, for the
-// single-cell Unfairness path).
-func (e *MarketplaceEvaluator) unfairnessCell(r *MarketplaceRanking, part pagePartition, gKey string, comp []Group, compKeys []string, sc *mktScratch) (float64, bool) {
+// partition and a resolved measure. gKey is g's canonical key, comp its
+// comparable groups, and compKeys their canonical keys (nil lets the
+// cell derive them, for the single-cell Unfairness path).
+func (e *MarketplaceEvaluator) unfairnessCell(cell mktCellFunc, r *MarketplaceRanking, part pagePartition, gKey string, comp []Group, compKeys []string, sc *mktScratch) (float64, bool) {
 	if len(r.Workers) == 0 {
 		return 0, false
 	}
@@ -169,14 +199,7 @@ func (e *MarketplaceEvaluator) unfairnessCell(r *MarketplaceRanking, part pagePa
 			compKeys[i] = cg.Key()
 		}
 	}
-	switch e.Measure {
-	case MeasureEMD:
-		return e.emdCell(part, gKey, compKeys, sc)
-	case MeasureExposure:
-		return e.exposureCell(part, gKey, compKeys, sc)
-	default:
-		panic(fmt.Sprintf("core: unknown marketplace measure %d", int(e.Measure)))
-	}
+	return cell(part, gKey, compKeys, sc)
 }
 
 // fillHistogram resets h and adds the relevance of every page member in
@@ -257,11 +280,32 @@ func (e *MarketplaceEvaluator) exposureCell(part pagePartition, gKey string, com
 // producing the unfairness table the indices and problem solvers consume.
 // A nil groups slice evaluates the full schema universe.
 //
+// EvaluateAll is EvaluateAllCtx without a context; it panics on a
+// misconfigured Measure (its only error), keeping the original
+// infallible signature for the experiment and example call sites.
+func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, groups []Group) *Table {
+	t, err := e.EvaluateAllCtx(context.Background(), rankings, groups)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// EvaluateAllCtx computes d<g,q,l> for every ranking and every group,
+// under a context. A nil groups slice evaluates the full schema
+// universe. A misconfigured Measure is returned as an error before any
+// work starts; a context that ends mid-evaluation stops every shard at
+// its next page boundary and returns ctx.Err().
+//
 // The work is sharded across Workers goroutines (see the field doc): each
 // worker partitions its pages once, fills a private table with its
 // contiguous slice of rankings, and the shards are merged in shard order,
 // so the result is byte-identical to a single-threaded evaluation.
-func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, groups []Group) *Table {
+func (e *MarketplaceEvaluator) EvaluateAllCtx(ctx context.Context, rankings []*MarketplaceRanking, groups []Group) (*Table, error) {
+	cell, err := e.cellFunc()
+	if err != nil {
+		return nil, err
+	}
 	if groups == nil {
 		groups = e.Schema.Universe()
 	}
@@ -269,6 +313,8 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 	run := newEvalMetrics(e.Obs, "market").begin()
 	w := BoundedWorkers(e.Workers, len(rankings))
 	shards := make([]*Table, w)
+	errs := make([]error, w)
+	done := ctx.Done()
 	RunSharded(len(rankings), w, func(shard, lo, hi int) {
 		start := time.Now()
 		cells := 0
@@ -276,10 +322,18 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 		sc := e.newScratch()
 		pt := newPartitioner(e.Schema)
 		for _, r := range rankings[lo:hi] {
+			if done != nil {
+				select {
+				case <-done:
+					errs[shard] = ctx.Err()
+					return
+				default:
+				}
+			}
 			part := pt.ranking(r)
 			sc.preparePage(e, r)
 			for i := range plan.groups {
-				if v, ok := e.unfairnessCell(r, part, plan.keys[i], nil, plan.compKeys[i], sc); ok {
+				if v, ok := e.unfairnessCell(cell, r, part, plan.keys[i], nil, plan.compKeys[i], sc); ok {
 					t.setKeyed(plan.keys[i], plan.groups[i], r.Query, r.Location, v)
 					cells++
 				}
@@ -288,10 +342,15 @@ func (e *MarketplaceEvaluator) EvaluateAll(rankings []*MarketplaceRanking, group
 		shards[shard] = t
 		run.shardDone(start, hi-lo, cells)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := shards[0]
 	for _, s := range shards[1:] {
 		out.Merge(s)
 	}
 	run.finish(w)
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -71,15 +72,31 @@ type SearchEvaluator struct {
 	Obs *obs.Registry
 }
 
-func (e *SearchEvaluator) dist(a, b []string) float64 {
+// distFunc resolves the evaluator's measure to its distance function,
+// once per evaluation rather than per pair. An out-of-range Measure is
+// reported as an error here — at the top of the call, before any worker
+// goroutine has started — instead of panicking in the middle of a
+// sharded evaluation (see doc.go on the panic-vs-error policy).
+func (e *SearchEvaluator) distFunc() (func(a, b []string) float64, error) {
 	switch e.Measure {
 	case MeasureKendallTau:
-		return metrics.KendallTauDistance(a, b)
+		return metrics.KendallTauDistance, nil
 	case MeasureJaccard:
-		return metrics.JaccardDistance(a, b)
+		return metrics.JaccardDistance, nil
 	default:
-		panic(fmt.Sprintf("core: unknown search measure %d", int(e.Measure)))
+		return nil, fmt.Errorf("core: unknown search measure %d", int(e.Measure))
 	}
+}
+
+// mustDistFunc backs the legacy (float64, bool) single-cell APIs, which
+// have no error channel: a misconfigured Measure is a programming error
+// there, and panics.
+func (e *SearchEvaluator) mustDistFunc() func(a, b []string) float64 {
+	fn, err := e.distFunc()
+	if err != nil {
+		panic(err)
+	}
+	return fn
 }
 
 func usersOf(sr *SearchResults, g Group) []UserResults {
@@ -103,27 +120,28 @@ func usersOf(sr *SearchResults, g Group) []UserResults {
 // order, so dist(u, v) and dist(v, u) are bitwise-equal. A distCache
 // belongs to one worker goroutine and is not safe for concurrent use.
 type distCache struct {
+	fn           func(a, b []string) float64 // the resolved measure
 	n            int
 	d            []float64 // row-major n×n; NaN marks a pair not yet measured
 	hits, misses int       // memo effectiveness, drained into obs counters
 }
 
-func newDistCache(n int) *distCache {
+func newDistCache(fn func(a, b []string) float64, n int) *distCache {
 	d := make([]float64, n*n)
 	for i := range d {
 		d[i] = math.NaN()
 	}
-	return &distCache{n: n, d: d}
+	return &distCache{fn: fn, n: n, d: d}
 }
 
 // dist returns the memoized distance between users i and j of sr.
-func (c *distCache) dist(e *SearchEvaluator, sr *SearchResults, i, j int) float64 {
+func (c *distCache) dist(sr *SearchResults, i, j int) float64 {
 	if v := c.d[i*c.n+j]; !math.IsNaN(v) {
 		c.hits++
 		return v
 	}
 	c.misses++
-	v := e.dist(sr.Users[i].List, sr.Users[j].List)
+	v := c.fn(sr.Users[i].List, sr.Users[j].List)
 	c.d[i*c.n+j] = v
 	c.d[j*c.n+i] = v
 	return v
@@ -144,7 +162,7 @@ func (e *SearchEvaluator) Unfairness(sr *SearchResults, g Group) (float64, bool)
 	for i, cg := range comp {
 		compKeys[i] = cg.Key()
 	}
-	return e.unfairnessCell(sr, part, newDistCache(len(sr.Users)), g.Key(), compKeys)
+	return e.unfairnessCell(sr, part, newDistCache(e.mustDistFunc(), len(sr.Users)), g.Key(), compKeys)
 }
 
 // unfairnessCell computes one d<g,q,l> cell from a prebuilt user
@@ -164,7 +182,7 @@ func (e *SearchEvaluator) unfairnessCell(sr *SearchResults, part pagePartition, 
 		var pairSum float64
 		for _, u := range gUsers {
 			for _, v := range cUsers {
-				pairSum += dc.dist(e, sr, u, v)
+				pairSum += dc.dist(sr, u, v)
 			}
 		}
 		sum += pairSum / float64(len(gUsers)*len(cUsers))
@@ -185,10 +203,11 @@ func (e *SearchEvaluator) PairwiseUnfairness(sr *SearchResults, g, other Group) 
 	if len(gUsers) == 0 || len(oUsers) == 0 {
 		return 0, false
 	}
+	dist := e.mustDistFunc()
 	var sum float64
 	for _, u := range gUsers {
 		for _, v := range oUsers {
-			sum += e.dist(u.List, v.List)
+			sum += dist(u.List, v.List)
 		}
 	}
 	return sum / float64(len(gUsers)*len(oUsers)), true
@@ -197,12 +216,33 @@ func (e *SearchEvaluator) PairwiseUnfairness(sr *SearchResults, g, other Group) 
 // EvaluateAll computes the full unfairness table over all result sets and
 // groups. A nil groups slice evaluates the schema universe.
 //
+// EvaluateAll is EvaluateAllCtx without a context; it panics on a
+// misconfigured Measure (its only error), keeping the original
+// infallible signature for the experiment and example call sites.
+func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) *Table {
+	t, err := e.EvaluateAllCtx(context.Background(), results, groups)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// EvaluateAllCtx computes the full unfairness table over all result sets
+// and groups, under a context. A nil groups slice evaluates the schema
+// universe. A misconfigured Measure is returned as an error before any
+// work starts; a context that ends mid-evaluation stops every shard at
+// its next result-set boundary and returns ctx.Err().
+//
 // The work is sharded across Workers goroutines (see the field doc): each
 // worker partitions its result sets once, memoizes pairwise distances per
 // result set, fills a private table with its contiguous slice of result
 // sets, and the shards are merged in shard order, so the result is
 // byte-identical to a single-threaded evaluation.
-func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) *Table {
+func (e *SearchEvaluator) EvaluateAllCtx(ctx context.Context, results []*SearchResults, groups []Group) (*Table, error) {
+	dist, err := e.distFunc()
+	if err != nil {
+		return nil, err
+	}
 	if groups == nil {
 		groups = e.Schema.Universe()
 	}
@@ -210,14 +250,24 @@ func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) 
 	run := newEvalMetrics(e.Obs, "search").begin()
 	w := BoundedWorkers(e.Workers, len(results))
 	shards := make([]*Table, w)
+	errs := make([]error, w)
+	done := ctx.Done()
 	RunSharded(len(results), w, func(shard, lo, hi int) {
 		start := time.Now()
 		cells, dcHits, dcMisses := 0, 0, 0
 		t := NewTable()
 		pt := newPartitioner(e.Schema)
 		for _, sr := range results[lo:hi] {
+			if done != nil {
+				select {
+				case <-done:
+					errs[shard] = ctx.Err()
+					return
+				default:
+				}
+			}
 			part := pt.users(sr)
-			dc := newDistCache(len(sr.Users))
+			dc := newDistCache(dist, len(sr.Users))
 			for i := range plan.groups {
 				if v, ok := e.unfairnessCell(sr, part, dc, plan.keys[i], plan.compKeys[i]); ok {
 					t.setKeyed(plan.keys[i], plan.groups[i], sr.Query, sr.Location, v)
@@ -231,10 +281,15 @@ func (e *SearchEvaluator) EvaluateAll(results []*SearchResults, groups []Group) 
 		run.shardDone(start, hi-lo, cells)
 		run.distCacheDone(dcHits, dcMisses)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := shards[0]
 	for _, s := range shards[1:] {
 		out.Merge(s)
 	}
 	run.finish(w)
-	return out
+	return out, nil
 }

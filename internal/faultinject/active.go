@@ -1,0 +1,97 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether failpoints are compiled in. This build has
+// them armed.
+const Enabled = true
+
+// registry is the process-wide failpoint table. Handlers are installed
+// by tests and read by injection sites on arbitrary goroutines; hit
+// counts survive Clear so tests can assert a fault fired even after
+// disarming it.
+var registry struct {
+	mu       sync.RWMutex
+	handlers map[string]func() error
+	hits     map[string]*atomic.Uint64
+}
+
+// Set arms the named failpoint: every subsequent Inject/InjectErr at
+// that site runs fn. fn may sleep, panic, or return an error (Inject
+// discards the error; InjectErr propagates it). It replaces any handler
+// previously installed under the name.
+func Set(name string, fn func() error) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.handlers == nil {
+		registry.handlers = make(map[string]func() error)
+		registry.hits = make(map[string]*atomic.Uint64)
+	}
+	registry.handlers[name] = fn
+	if registry.hits[name] == nil {
+		registry.hits[name] = new(atomic.Uint64)
+	}
+}
+
+// Clear disarms the named failpoint; its hit count is retained.
+func Clear(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.handlers, name)
+}
+
+// Reset disarms every failpoint and zeroes all hit counts — test
+// teardown for a clean next test.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.handlers = nil
+	registry.hits = nil
+}
+
+// Hits returns how many times the named failpoint has fired since the
+// last Reset.
+func Hits(name string) uint64 {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if c := registry.hits[name]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// lookup fetches the armed handler and hit counter for name, or nil.
+func lookup(name string) (func() error, *atomic.Uint64) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.handlers[name], registry.hits[name]
+}
+
+// Inject fires the named failpoint, discarding any error the handler
+// returns — for sites where the interesting faults are delay and panic.
+// Unarmed failpoints are no-ops.
+func Inject(name string) {
+	fn, hits := lookup(name)
+	if fn == nil {
+		return
+	}
+	hits.Add(1)
+	_ = fn()
+}
+
+// InjectErr fires the named failpoint and returns the handler's error —
+// for sites that can propagate a failure. Unarmed failpoints return
+// nil.
+func InjectErr(name string) error {
+	fn, hits := lookup(name)
+	if fn == nil {
+		return nil
+	}
+	hits.Add(1)
+	return fn()
+}

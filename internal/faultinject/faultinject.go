@@ -1,0 +1,56 @@
+// Package faultinject provides named failpoints for deterministic chaos
+// testing of the serving stack. A failpoint is a call site compiled into
+// production code — Inject at a point where a fault could plausibly
+// occur — whose behavior is supplied by tests: sleep to simulate a slow
+// evaluator, panic to simulate a crashing measure, return an error to
+// simulate a failing snapshot build.
+//
+// The package has two implementations selected by the `faultinject`
+// build tag:
+//
+//   - Without the tag (the default, what production and the tier-1 test
+//     suite build), every function is an empty no-op that the compiler
+//     inlines away; Set is inert and Enabled is the constant false, so
+//     dead failpoint plumbing costs nothing on the hot paths.
+//   - With `-tags faultinject` (the chaos gate in scripts/check.sh),
+//     Inject consults a process-wide registry of handlers installed by
+//     Set, counts every trigger, and runs whatever fault the test
+//     registered.
+//
+// Failpoint names are exported constants so injection sites and tests
+// share one catalog (see DESIGN.md §10 for the semantics of each):
+//
+//	SlowEvaluator  delays every top-k round — exercises the cooperative
+//	               cancellation checkpoints and deadline enforcement
+//	PanicMeasure   panics inside the engine's execute path — exercises
+//	               panic isolation (one bad request, not a dead batch)
+//	RefreshFail    fails snapshot builds — exercises the Refresh retry
+//	               helper's backoff loop
+//	QueueDelay     delays a request between its cache probe and the
+//	               admission gate — exercises shed-under-load behavior
+//	               and the cache-hit bypass
+//
+// Handlers run on the goroutine that hits the failpoint and must be safe
+// for concurrent use; the chaos tests run under -race.
+package faultinject
+
+// The failpoint catalog. Every name is "<package>.<site>" of the point
+// it arms.
+const (
+	// SlowEvaluator is hit once per round of every top-k algorithm
+	// (internal/topk); a sleeping handler turns any quantify query into a
+	// slow one.
+	SlowEvaluator = "topk.slow-evaluator"
+	// PanicMeasure is hit at the top of the serve engine's execute path;
+	// a panicking handler simulates an unfairness measure crashing
+	// mid-query.
+	PanicMeasure = "serve.panic-measure"
+	// RefreshFail is hit inside every snapshot build performed by
+	// Engine.RefreshCtx; an erroring handler simulates a failing
+	// copy-on-write table refresh.
+	RefreshFail = "serve.refresh-fail"
+	// QueueDelay is hit between a request's cache probe and its admission
+	// to the compute path; a sleeping handler piles requests up against
+	// the admission gate.
+	QueueDelay = "serve.queue-delay"
+)

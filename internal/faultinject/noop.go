@@ -1,0 +1,26 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether failpoints are compiled in. This build
+// compiles them all to no-ops; every function below is empty and
+// inlines away, so injection sites on hot paths cost nothing.
+const Enabled = false
+
+// Set is inert without the faultinject build tag.
+func Set(string, func() error) {}
+
+// Clear is inert without the faultinject build tag.
+func Clear(string) {}
+
+// Reset is inert without the faultinject build tag.
+func Reset() {}
+
+// Hits always reports zero without the faultinject build tag.
+func Hits(string) uint64 { return 0 }
+
+// Inject is a no-op without the faultinject build tag.
+func Inject(string) {}
+
+// InjectErr always returns nil without the faultinject build tag.
+func InjectErr(string) error { return nil }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -98,17 +99,68 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// Probe is one health predicate: nil means healthy, an error describes
+// why not. Probes must be safe for concurrent use — they run on every
+// scrape.
+type Probe func() error
+
+// Health wires the Kubernetes-style probe pair into the admin endpoint.
+// A nil *Health, or a nil individual probe, reports healthy — a process
+// serving /metrics is, at minimum, alive.
+type Health struct {
+	// Live is the /healthz (liveness) predicate: failing means the
+	// process is wedged and should be restarted.
+	Live Probe
+	// Ready is the /readyz (readiness) predicate: failing means the
+	// process should not receive new traffic right now — e.g. the serve
+	// engine's admission gate is at its shed threshold — but is expected
+	// to recover without a restart.
+	Ready Probe
+}
+
+func (h *Health) live() error {
+	if h == nil || h.Live == nil {
+		return nil
+	}
+	return h.Live()
+}
+
+func (h *Health) ready() error {
+	if h == nil || h.Ready == nil {
+		return nil
+	}
+	return h.Ready()
+}
+
+// probeHandler serves one probe: 200 "ok" when it passes, 503 with the
+// error text when it fails.
+func probeHandler(probe func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := probe(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unavailable: %v\n", err)
+			return
+		}
+		fmt.Fprint(w, "ok\n")
+	}
+}
+
 // Handler returns the admin endpoint's HTTP handler:
 //
 //	/metrics        Prometheus text exposition of reg
+//	/healthz        liveness probe: 200 "ok" or 503 with the reason
+//	/readyz         readiness probe: 200 "ok" or 503 with the reason
 //	/debug/traces   JSON dump of the tracer's recent traces, newest first
 //	/debug/pprof/*  the standard net/http/pprof handlers
 //	/               a plain-text index of the above
 //
-// reg and tz may each be nil, which serves an empty snapshot / trace
-// list.
-func Handler(reg *Registry, tz *Tracer) http.Handler {
+// reg, tz and h may each be nil, which serves an empty snapshot / trace
+// list / always-healthy probes.
+func Handler(reg *Registry, tz *Tracer, h *Health) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", probeHandler(h.live))
+	mux.HandleFunc("/readyz", probeHandler(h.ready))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var s Snapshot
@@ -140,7 +192,7 @@ func Handler(reg *Registry, tz *Tracer) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/debug/traces\n/debug/pprof/\n")
+		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -152,13 +204,14 @@ type Server struct {
 }
 
 // Serve starts the admin endpoint on addr (e.g. ":6060" or
-// "127.0.0.1:0") and serves it on a background goroutine until Close.
-func Serve(addr string, reg *Registry, tz *Tracer) (*Server, error) {
+// "127.0.0.1:0") and serves it on a background goroutine until Close or
+// Shutdown.
+func Serve(addr string, reg *Registry, tz *Tracer, h *Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tz)}
+	srv := &http.Server{Handler: Handler(reg, tz, h)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil
 }
@@ -166,5 +219,11 @@ func Serve(addr string, reg *Registry, tz *Tracer) (*Server, error) {
 // Addr returns the listener's address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and closes the listener.
+// Close stops the server immediately, dropping in-flight scrapes.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline — the graceful half of the
+// CLI's signal handling. It falls back to Close semantics when ctx ends
+// first.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMetricsExposition round-trips a populated registry through the
@@ -24,7 +27,7 @@ func TestMetricsExposition(t *testing.T) {
 	h.Observe(99)
 
 	rec := httptest.NewRecorder()
-	Handler(reg, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	Handler(reg, nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -62,7 +65,7 @@ func TestMetricsExpositionLabeledHistogram(t *testing.T) {
 	reg.Histogram(Name("cost", "algo", "TA"), []float64{10}).Observe(4)
 
 	rec := httptest.NewRecorder()
-	Handler(reg, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	Handler(reg, nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	body := rec.Body.String()
 	for _, want := range []string{
 		`cost_bucket{algo="TA",le="10"} 1`,
@@ -103,7 +106,7 @@ func TestDebugTraces(t *testing.T) {
 	tz.Finish(tr)
 
 	rec := httptest.NewRecorder()
-	Handler(nil, tz).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	Handler(nil, tz, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -136,7 +139,7 @@ func TestDebugTraces(t *testing.T) {
 
 func TestDebugTracesEmpty(t *testing.T) {
 	rec := httptest.NewRecorder()
-	Handler(nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	Handler(nil, nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
 	var out struct {
 		Traces []json.RawMessage `json:"traces"`
 	}
@@ -149,7 +152,7 @@ func TestDebugTracesEmpty(t *testing.T) {
 }
 
 func TestIndexAndNotFound(t *testing.T) {
-	h := Handler(NewRegistry(), NewTracer(1))
+	h := Handler(NewRegistry(), NewTracer(1), nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/metrics") {
@@ -167,13 +170,63 @@ func TestIndexAndNotFound(t *testing.T) {
 	}
 }
 
+// TestHealthProbes covers the probe matrix: nil Health (always ok), a
+// passing probe, and a failing probe surfacing 503 with the reason.
+func TestHealthProbes(t *testing.T) {
+	get := func(h http.Handler, path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	nilHealth := Handler(nil, nil, nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if rec := get(nilHealth, path); rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+			t.Fatalf("%s with nil health: %d %q", path, rec.Code, rec.Body.String())
+		}
+	}
+
+	h := Handler(nil, nil, &Health{
+		Live:  func() error { return nil },
+		Ready: func() error { return errors.New("gate saturated") },
+	})
+	if rec := get(h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	rec := get(h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "gate saturated") {
+		t.Fatalf("/readyz body %q does not carry the probe error", rec.Body.String())
+	}
+}
+
+// TestServerShutdown checks graceful shutdown: a Shutdown with headroom
+// returns nil and further connections are refused.
+func TestServerShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("scrape after shutdown succeeded, want connection error")
+	}
+}
+
 // TestServeLiveEndpoint starts a real listener on a loopback port and
 // scrapes it over TCP — the end-to-end path `fairjob -admin` uses. Skips
 // when the sandbox forbids listening.
 func TestServeLiveEndpoint(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("live_total").Add(5)
-	srv, err := Serve("127.0.0.1:0", reg, NewTracer(4))
+	srv, err := Serve("127.0.0.1:0", reg, NewTracer(4), nil)
 	if err != nil {
 		t.Skipf("cannot listen: %v", err)
 	}

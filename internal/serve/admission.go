@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// gate is the engine's admission controller: a weighted semaphore over
+// the compute path with a bounded FIFO wait queue. Each executing
+// request holds its weight (see requestWeight) against the capacity;
+// when capacity is saturated a request waits in queue order, and when
+// the queue itself is full the request is shed with ErrOverloaded. Cache
+// hits never pass through the gate — the engine probes the LRU first, so
+// cached answers keep flowing even when compute is saturated.
+//
+// The implementation is a plain mutex-guarded intrusive list rather than
+// a channel semaphore because admission needs three things channels make
+// awkward together: weights, FIFO fairness across different weights, and
+// abandoning a queue slot on context cancellation without losing a
+// grant.
+type gate struct {
+	mu       sync.Mutex
+	capacity int64 // maximum concurrently held weight; 0 sheds all compute
+	held     int64 // weight currently admitted
+	maxQueue int   // waiter bound; the shed threshold of Engine.Ready
+	waiting  int
+	// FIFO queue of blocked acquisitions. head is granted first.
+	head, tail *gateWaiter
+}
+
+// gateWaiter is one blocked acquisition. ready is closed — under gate.mu
+// — when the waiter's weight has been charged to the gate.
+type gateWaiter struct {
+	weight int64
+	ready  chan struct{}
+	next   *gateWaiter
+}
+
+func newGate(capacity int64, maxQueue int) *gate {
+	return &gate{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire admits weight units of work, blocking in FIFO order while the
+// gate is saturated. It fails fast with ErrOverloaded when the wait
+// queue is full (or the gate sheds all compute), and with the typed
+// cancellation errors when ctx ends first. Weights above capacity are
+// clamped so one oversized request can still run, alone.
+func (g *gate) acquire(ctx context.Context, weight int64) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
+	if g.capacity <= 0 {
+		return ErrOverloaded
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	// Fast path: capacity free and nobody queued ahead (FIFO: a new
+	// arrival must not overtake waiters).
+	if g.head == nil && g.held+weight <= g.capacity {
+		g.held += weight
+		g.mu.Unlock()
+		return nil
+	}
+	if g.waiting >= g.maxQueue {
+		g.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &gateWaiter{weight: weight, ready: make(chan struct{})}
+	if g.tail == nil {
+		g.head = w
+	} else {
+		g.tail.next = w
+	}
+	g.tail = w
+	g.waiting++
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx.Done and taking the lock: the weight is
+			// already charged, and the caller is abandoning — give it
+			// back so the grant is not leaked.
+			g.mu.Unlock()
+			g.release(weight)
+		default:
+			g.unlink(w)
+			g.mu.Unlock()
+		}
+		return ctxError(ctx.Err())
+	}
+}
+
+// release returns weight units and grants queued waiters, in FIFO order,
+// for as long as they fit. Weights are clamped exactly as acquire
+// clamped them.
+func (g *gate) release(weight int64) {
+	if g.capacity <= 0 {
+		return
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+	g.mu.Lock()
+	g.held -= weight
+	if g.held < 0 {
+		g.held = 0
+	}
+	for g.head != nil && g.held+g.head.weight <= g.capacity {
+		w := g.head
+		g.head = w.next
+		if g.head == nil {
+			g.tail = nil
+		}
+		w.next = nil
+		g.waiting--
+		g.held += w.weight
+		close(w.ready)
+	}
+	g.mu.Unlock()
+}
+
+// unlink removes a canceled waiter from the queue. Caller holds g.mu.
+func (g *gate) unlink(target *gateWaiter) {
+	var prev *gateWaiter
+	for w := g.head; w != nil; w = w.next {
+		if w != target {
+			prev = w
+			continue
+		}
+		if prev == nil {
+			g.head = w.next
+		} else {
+			prev.next = w.next
+		}
+		if g.tail == w {
+			g.tail = prev
+		}
+		w.next = nil
+		g.waiting--
+		return
+	}
+}
+
+// queued returns how many requests are waiting for admission.
+func (g *gate) queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
+
+// saturated reports whether the gate is at its shed threshold — a
+// weight-1 request arriving now would be shed. This is the "not ready"
+// condition of the /readyz probe.
+func (g *gate) saturated() bool {
+	if g.capacity <= 0 {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.head == nil && g.held < g.capacity {
+		return false // it would be admitted immediately
+	}
+	return g.waiting >= g.maxQueue // it would have to queue; is the queue full?
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGateFastPathAndRelease(t *testing.T) {
+	g := newGate(2, 4)
+	ctx := context.Background()
+	if err := g.acquire(ctx, 1); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := g.acquire(ctx, 1); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if g.saturated() {
+		t.Fatal("gate with empty queue reports saturated")
+	}
+	g.release(1)
+	g.release(1)
+	if err := g.acquire(ctx, 2); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestGateZeroCapacityShedsEverything(t *testing.T) {
+	g := newGate(0, 10)
+	if err := g.acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire on zero-capacity gate = %v, want ErrOverloaded", err)
+	}
+	if !g.saturated() {
+		t.Fatal("zero-capacity gate must report saturated")
+	}
+	g.release(1) // must not panic or underflow
+}
+
+func TestGateOversizedWeightClamped(t *testing.T) {
+	g := newGate(2, 4)
+	if err := g.acquire(context.Background(), 10); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	// The clamped weight occupies the whole gate; release with the same
+	// oversized weight must drain it fully.
+	g.release(10)
+	if err := g.acquire(context.Background(), 2); err != nil {
+		t.Fatalf("acquire after clamped release: %v", err)
+	}
+}
+
+func TestGateFIFOGrantOrder(t *testing.T) {
+	g := newGate(1, 8)
+	if err := g.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	var started, wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Enqueue strictly one at a time so arrival order is known.
+			started.Done()
+			if err := g.acquire(context.Background(), 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			g.release(1)
+		}(i)
+		started.Wait()
+		waitForQueued(t, g, i+1)
+	}
+	g.release(1) // grants cascade FIFO as each waiter releases
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order violated: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(context.Background(), 1) }()
+	waitForQueued(t, g, 1)
+	if !g.saturated() {
+		t.Fatal("full queue must report saturated")
+	}
+	if err := g.acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire past queue bound = %v, want ErrOverloaded", err)
+	}
+	g.release(1)
+	if err := <-errc; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.release(1)
+}
+
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx, 1) }()
+	waitForQueued(t, g, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if got := g.queued(); got != 0 {
+		t.Fatalf("queue length after cancel = %d, want 0", got)
+	}
+	// The canceled waiter must not have leaked a grant: after release,
+	// the full capacity is available again.
+	g.release(1)
+	if err := g.acquire(context.Background(), 1); err != nil {
+		t.Fatalf("acquire after canceled waiter: %v", err)
+	}
+}
+
+func TestGateExpiredContextRefusedUpfront(t *testing.T) {
+	g := newGate(4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.acquire(ctx, 1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("acquire with dead ctx = %v, want ErrCanceled", err)
+	}
+}
+
+// TestGateConcurrentStress hammers a small gate from many goroutines
+// under -race: the held weight must never exceed capacity, and every
+// admitted acquisition must be released without deadlock.
+func TestGateConcurrentStress(t *testing.T) {
+	const capacity = 3
+	g := newGate(capacity, 64)
+	var held atomic.Int64
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			weight := int64(1 + i%2)
+			for n := 0; n < 200; n++ {
+				err := g.acquire(context.Background(), weight)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected acquire error: %v", err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				if now := held.Add(weight); now > capacity {
+					t.Errorf("held weight %d exceeds capacity %d", now, capacity)
+				}
+				held.Add(-weight)
+				admitted.Add(1)
+				g.release(weight)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("stress admitted nothing")
+	}
+	if g.queued() != 0 {
+		t.Fatalf("queue not drained: %d", g.queued())
+	}
+}
+
+// waitForQueued spins until the gate reports n waiters (the enqueue runs
+// on another goroutine).
+func waitForQueued(t *testing.T, g *gate, n int) {
+	t.Helper()
+	for i := 0; i < 1e7; i++ {
+		if g.queued() >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("gate never reached %d queued waiters", n)
+}

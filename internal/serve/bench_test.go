@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"testing"
+	"time"
 
 	"fairjob/internal/obs"
 	"fairjob/internal/serve"
@@ -98,6 +99,42 @@ func BenchmarkServeInstrumented(b *testing.B) {
 				Obs:     obs.NewRegistry(),
 				Tracer:  obs.NewTracer(obs.DefaultTraceCapacity),
 			}
+		})
+	})
+}
+
+// BenchmarkServeResilient measures the resilience layer's overhead on
+// the batch serving path at the engine-w4 configuration. "off" is the
+// default engine: no deadline, no admission gate — the context plumbing
+// and algorithm checkpoints are still compiled in, so this pair prices
+// the *enabled* machinery, not the plumbing. "on" turns the full
+// resilience surface on: a generous per-request deadline (so every
+// request pays context.WithTimeout plus the round checkpoints against a
+// live Done channel) and an admission gate wide enough to admit the
+// workload without shedding (so every compute request pays one
+// acquire/release). The acceptance budget for on-vs-off is < 5%
+// (bench.sh computes the delta into the BENCH JSON).
+func BenchmarkServeResilient(b *testing.B) {
+	snap, reqs := benchWorkload()
+	run := func(b *testing.B, opts serve.Options) {
+		for i := 0; i < b.N; i++ {
+			eng := serve.NewEngine(snap, opts)
+			for _, resp := range eng.DoBatch(reqs) {
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, serve.Options{Workers: 4})
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, serve.Options{
+			Workers:         4,
+			DefaultDeadline: time.Minute,
+			MaxInflight:     64,
 		})
 	})
 }

@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
+	"fairjob/internal/faultinject"
 	"fairjob/internal/obs"
 	"fairjob/internal/topk"
 )
@@ -56,6 +60,13 @@ type Request struct {
 	R1, R2      string
 	By          compare.Dimension
 	DefinedOnly bool
+
+	// Deadline bounds this request's execution, overriding the engine's
+	// Options.DefaultDeadline; 0 keeps the default. It composes with any
+	// deadline already on the caller's context — the earlier one wins.
+	// Deadline is not part of the cache key: an answer computed under a
+	// tight deadline is the same answer.
+	Deadline time.Duration
 }
 
 // key derives the cache key of the request against a snapshot generation.
@@ -115,6 +126,29 @@ type Options struct {
 	// ring buffer. Nil disables tracing; the per-query cost is then a
 	// few nil checks.
 	Tracer *obs.Tracer
+
+	// DefaultDeadline bounds every request that does not carry its own
+	// Request.Deadline. 0 means no engine-wide deadline; requests then
+	// run as long as their context allows.
+	DefaultDeadline time.Duration
+	// MaxInflight is the admission gate's compute capacity in weight
+	// units (see requestWeight: naive full scans count double). 0
+	// disables admission control entirely — the default, and the
+	// backward-compatible behavior. Negative sheds all compute: only
+	// cache hits are served, the "drain" configuration. Cache hits never
+	// consume capacity regardless.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for admission before
+	// the gate sheds with ErrOverloaded; it only applies when MaxInflight
+	// is positive. 0 selects 2×MaxInflight; negative means no waiting —
+	// a request that cannot run immediately is shed.
+	MaxQueue int
+	// Retry is the backoff policy wrapped around snapshot builds in
+	// Refresh/RefreshCtx. The zero value selects the package defaults
+	// (3 attempts, 10ms base, 1s cap). The engine chains its
+	// refresh_retries_total counter onto OnRetry, preserving any
+	// callback set here.
+	Retry RetryPolicy
 }
 
 // DefaultCacheSize is the result cache capacity when Options.CacheSize is
@@ -132,6 +166,10 @@ type Engine struct {
 	cache   *lruCache // nil when caching is disabled
 	snap    atomic.Pointer[Snapshot]
 
+	gate            *gate // nil when admission control is disabled
+	defaultDeadline time.Duration
+	retry           RetryPolicy
+
 	reg    *obs.Registry
 	met    *engineMetrics
 	tracer *obs.Tracer // nil disables per-query tracing
@@ -148,6 +186,15 @@ type engineMetrics struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 	cacheEvicts *obs.Counter
+
+	// Resilience counters (DESIGN.md §10): how requests die when they do
+	// not complete, and how often maintenance had to retry.
+	shed           *obs.Counter // serve_shed_total
+	deadlines      *obs.Counter // serve_deadline_exceeded_total
+	canceled       *obs.Counter // serve_canceled_total
+	panics         *obs.Counter // serve_panics_recovered_total
+	refreshRetries *obs.Counter // refresh_retries_total
+	inflight       *obs.Gauge   // serve_inflight
 
 	batchSize *obs.Histogram
 	queueWait *obs.Histogram
@@ -175,6 +222,12 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		cacheHits:       reg.Counter("serve_cache_hits_total"),
 		cacheMisses:     reg.Counter("serve_cache_misses_total"),
 		cacheEvicts:     reg.Counter("serve_cache_evictions_total"),
+		shed:            reg.Counter("serve_shed_total"),
+		deadlines:       reg.Counter("serve_deadline_exceeded_total"),
+		canceled:        reg.Counter("serve_canceled_total"),
+		panics:          reg.Counter("serve_panics_recovered_total"),
+		refreshRetries:  reg.Counter("refresh_retries_total"),
+		inflight:        reg.Gauge("serve_inflight"),
 		batchSize:       reg.Histogram("serve_batch_size", counts),
 		queueWait:       reg.Histogram("serve_queue_wait_seconds", lat),
 		compareAccesses: reg.Histogram("compare_accesses", counts),
@@ -200,12 +253,40 @@ func NewEngine(snap *Snapshot, opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	e := &Engine{workers: opts.Workers, reg: reg, met: newEngineMetrics(reg), tracer: opts.Tracer}
+	e := &Engine{
+		workers:         opts.Workers,
+		reg:             reg,
+		met:             newEngineMetrics(reg),
+		tracer:          opts.Tracer,
+		defaultDeadline: opts.DefaultDeadline,
+		retry:           opts.Retry,
+	}
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newLRU(DefaultCacheSize)
 	case opts.CacheSize > 0:
 		e.cache = newLRU(opts.CacheSize)
+	}
+	if opts.MaxInflight != 0 {
+		capacity := int64(opts.MaxInflight)
+		if capacity < 0 {
+			capacity = 0 // shed all compute; only cache hits are served
+		}
+		maxQueue := opts.MaxQueue
+		switch {
+		case maxQueue == 0:
+			maxQueue = 2 * int(capacity)
+		case maxQueue < 0:
+			maxQueue = 0
+		}
+		e.gate = newGate(capacity, maxQueue)
+	}
+	userRetry := e.retry.OnRetry
+	e.retry.OnRetry = func(retry int, err error, delay time.Duration) {
+		e.met.refreshRetries.Inc()
+		if userRetry != nil {
+			userRetry(retry, err, delay)
+		}
 	}
 	e.snap.Store(snap)
 	reg.GaugeFunc("serve_cache_entries", func() float64 {
@@ -220,6 +301,11 @@ func NewEngine(snap *Snapshot, opts Options) *Engine {
 	reg.GaugeFunc("serve_snapshot_age_seconds", func() float64 {
 		return time.Since(e.Snapshot().created).Seconds()
 	})
+	if e.gate != nil {
+		reg.GaugeFunc("serve_admission_queued", func() float64 {
+			return float64(e.gate.queued())
+		})
+	}
 	return e
 }
 
@@ -255,11 +341,72 @@ func (e *Engine) Swap(snap *Snapshot) {
 
 // Refresh is copy-on-write table maintenance in one step: it derives a
 // new snapshot from the current one via WithUpdates(apply), publishes it,
-// and returns it.
+// and returns it. It is RefreshCtx without a context, and it panics if
+// the build still fails after the retry policy is exhausted — Refresh
+// keeps the original "maintenance cannot fail" contract for callers that
+// treat a broken refresh as a programming error.
 func (e *Engine) Refresh(apply func(*core.Table)) *Snapshot {
-	next := e.Snapshot().WithUpdates(apply)
-	e.Swap(next)
+	next, err := e.RefreshCtx(context.Background(), apply)
+	if err != nil {
+		panic(err)
+	}
 	return next
+}
+
+// RefreshCtx is Refresh with failure handling: each snapshot build is
+// wrapped in the engine's RetryPolicy (exponential backoff with
+// deterministic jitter; refresh_retries_total counts the retries), and a
+// panic inside apply or the index rebuild is recovered into an
+// *InternalError rather than crashing the maintenance goroutine. The
+// serving snapshot is swapped only after a build succeeds — a failed
+// refresh leaves the engine serving the previous generation, which is
+// the property the chaos tests pin. A ctx that ends between attempts
+// aborts with the typed cancellation errors.
+func (e *Engine) RefreshCtx(ctx context.Context, apply func(*core.Table)) (*Snapshot, error) {
+	var next *Snapshot
+	err := e.retry.Do(func() error {
+		if err := ctx.Err(); err != nil {
+			return ctxError(err)
+		}
+		if err := faultinject.InjectErr(faultinject.RefreshFail); err != nil {
+			return err
+		}
+		var buildErr error
+		next, buildErr = buildSnapshot(e.Snapshot(), apply)
+		return buildErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.Swap(next)
+	return next, nil
+}
+
+// buildSnapshot derives the next snapshot, converting a panic in the
+// caller-supplied apply (or the rebuild it triggers) into an error the
+// retry loop and RefreshCtx's caller can handle.
+func buildSnapshot(cur *Snapshot, apply func(*core.Table)) (snap *Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cur.WithUpdates(apply), nil
+}
+
+// Ready reports whether the engine should receive traffic: nil when a
+// snapshot is loaded and the admission gate is below its shed threshold,
+// an error describing the blocked state otherwise. This is the /readyz
+// predicate — a saturated gate means the next compute request would shed,
+// so a load balancer should prefer other replicas until the queue drains.
+func (e *Engine) Ready() error {
+	if e.Snapshot() == nil {
+		return errors.New("serve: no snapshot loaded")
+	}
+	if e.gate != nil && e.gate.saturated() {
+		return fmt.Errorf("serve: admission gate saturated (%d queued): %w", e.gate.queued(), ErrOverloaded)
+	}
+	return nil
 }
 
 // CacheStats reports the engine's result-cache counters: hits and
@@ -281,12 +428,21 @@ func (e *Engine) CacheStats() CacheStats {
 	return cs
 }
 
-// Do answers one request against the current snapshot.
+// Do answers one request against the current snapshot, without a
+// deadline beyond the engine's default.
 func (e *Engine) Do(req Request) Response {
+	return e.DoCtx(context.Background(), req)
+}
+
+// DoCtx answers one request under ctx: cancellation and deadlines are
+// observed at the admission gate and at every algorithm round, and a
+// request cut short reports ErrCanceled or ErrDeadlineExceeded in
+// Response.Err (matching the underlying context error via errors.Is).
+func (e *Engine) DoCtx(ctx context.Context, req Request) Response {
 	tr := e.tracer.Start(req.Problem.String())
 	snap := e.Snapshot()
 	tr.Mark("snapshot-pin")
-	return e.doOn(snap, req, tr)
+	return e.doOn(ctx, snap, req, tr)
 }
 
 // DoBatch answers a batch of requests across the bounded worker pool and
@@ -296,6 +452,14 @@ func (e *Engine) Do(req Request) Response {
 // queue-wait histogram records, per request, how long it sat in the
 // batch before a worker picked it up.
 func (e *Engine) DoBatch(reqs []Request) []Response {
+	return e.DoBatchCtx(context.Background(), reqs)
+}
+
+// DoBatchCtx is DoBatch under a batch-wide context. Cancellation never
+// loses a response: every request gets a Response, with the ones not yet
+// executed reporting the typed cancellation error, so callers can tell
+// exactly which members of the batch completed.
+func (e *Engine) DoBatchCtx(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return out
@@ -310,7 +474,7 @@ func (e *Engine) DoBatch(reqs []Request) []Response {
 		tr := e.tracer.Start(reqs[i].Problem.String())
 		tr.SetQueueWait(wait)
 		tr.Mark("snapshot-pin")
-		out[i] = e.doOn(snap, reqs[i], tr)
+		out[i] = e.doOn(ctx, snap, reqs[i], tr)
 	})
 	return out
 }
@@ -318,7 +482,13 @@ func (e *Engine) DoBatch(reqs []Request) []Response {
 // doOn answers req against a pinned snapshot, consulting the cache. tr
 // may be nil (tracing disabled); every response — hit, miss or error —
 // lands in the per-problem latency histogram.
-func (e *Engine) doOn(snap *Snapshot, req Request, tr *obs.Trace) Response {
+//
+// The resilient path runs in a fixed order (DESIGN.md §10): validate →
+// cache probe → deadline → admission → guarded execute. The cache probe
+// sits BEFORE the deadline and the gate on purpose — a cached answer
+// costs no compute, so it is served even when the gate is shedding
+// everything, which keeps hot queries alive through overload.
+func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.Trace) Response {
 	start := time.Now()
 	tr.SetGen(snap.gen)
 	if err := validate(req); err != nil {
@@ -345,10 +515,36 @@ func (e *Engine) doOn(snap *Snapshot, req Request, tr *obs.Trace) Response {
 		e.met.cacheMisses.Inc()
 	}
 	tr.Mark("cache-lookup")
-	resp := e.execute(snap, req, tr)
+
+	if d := req.Deadline; d > 0 || e.defaultDeadline > 0 {
+		if d <= 0 {
+			d = e.defaultDeadline
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	faultinject.Inject(faultinject.QueueDelay)
+	if e.gate != nil {
+		weight := requestWeight(req)
+		if err := e.gate.acquire(ctx, weight); err != nil {
+			return e.refuse(snap, pi, err, tr, start)
+		}
+		defer e.gate.release(weight)
+	} else if err := ctx.Err(); err != nil {
+		// No gate to observe the context; still refuse dead requests
+		// before spending compute on them.
+		return e.refuse(snap, pi, ctxError(err), tr, start)
+	}
+
+	e.met.inflight.Add(1)
+	resp := e.executeSafe(ctx, snap, req, tr)
+	e.met.inflight.Add(-1)
 	tr.Mark("execute")
+	resp.Err = ctxError(resp.Err)
 	if resp.Err != nil {
 		e.met.errors.Inc()
+		e.countFailure(resp.Err)
 		tr.Annotate("err", resp.Err.Error())
 	} else {
 		if req.Problem == Compare && resp.Comparison != nil {
@@ -364,6 +560,56 @@ func (e *Engine) doOn(snap *Snapshot, req Request, tr *obs.Trace) Response {
 	e.met.latency[pi].Observe(time.Since(start).Seconds())
 	e.tracer.Finish(tr)
 	return resp
+}
+
+// refuse finishes a request that never executed (shed, expired or
+// canceled before admission), keeping the telemetry invariants: the
+// error counters tick, and the request still lands one latency sample.
+func (e *Engine) refuse(snap *Snapshot, pi Problem, err error, tr *obs.Trace, start time.Time) Response {
+	e.met.errors.Inc()
+	e.countFailure(err)
+	tr.Annotate("err", err.Error())
+	e.met.latency[pi].Observe(time.Since(start).Seconds())
+	e.tracer.Finish(tr)
+	return Response{Gen: snap.gen, Err: err}
+}
+
+// countFailure classifies a request failure into the resilience
+// counters. Recovered panics are counted at the recovery site, not here,
+// so a panic is never double-counted.
+func (e *Engine) countFailure(err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		e.met.shed.Inc()
+	case errors.Is(err, ErrDeadlineExceeded):
+		e.met.deadlines.Inc()
+	case errors.Is(err, ErrCanceled):
+		e.met.canceled.Inc()
+	}
+}
+
+// requestWeight is a request's admission cost. The naive full scan reads
+// every posting of every list no matter what, so it charges double —
+// one slow scan should displace two Fagin-style runs, not one.
+func requestWeight(req Request) int64 {
+	if req.Problem == Quantify && req.Algorithm == topk.Naive {
+		return 2
+	}
+	return 1
+}
+
+// executeSafe is execute behind a panic barrier: a panic anywhere in the
+// algorithm stack is recovered into an *InternalError response carrying
+// the panic value and stack, so one poisoned request cannot take down a
+// batch worker or a caller's serving goroutine.
+func (e *Engine) executeSafe(ctx context.Context, snap *Snapshot, req Request, tr *obs.Trace) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.met.panics.Inc()
+			resp = Response{Gen: snap.gen, Err: &InternalError{Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	return e.execute(ctx, snap, req, tr)
 }
 
 // validate rejects malformed requests before they reach the algorithms.
@@ -416,10 +662,13 @@ func validate(req Request) error {
 
 // execute runs the request's algorithm against the snapshot; all mutable
 // state lives inside the callee's per-call structs. Problem 1 runs
-// through topk.TopKWith with the engine as Recorder, so the access-cost
-// Stats of every execution land in the per-algorithm histograms.
-func (e *Engine) execute(snap *Snapshot, req Request, tr *obs.Trace) Response {
+// through topk.TopKCtxWith with the engine as Recorder, so the
+// access-cost Stats of every execution land in the per-algorithm
+// histograms and a dying context stops the run at its next round
+// checkpoint.
+func (e *Engine) execute(ctx context.Context, snap *Snapshot, req Request, tr *obs.Trace) Response {
 	resp := Response{Gen: snap.gen}
+	faultinject.Inject(faultinject.PanicMeasure)
 	switch req.Problem {
 	case Quantify:
 		tr.Annotate("algo", req.Algorithm.String())
@@ -436,8 +685,14 @@ func (e *Engine) execute(snap *Snapshot, req Request, tr *obs.Trace) Response {
 			}
 			src = restricted
 		}
-		resp.Results, resp.Stats, resp.Err = topk.TopKWith(src, req.K, req.Direction, req.Algorithm, e)
+		resp.Results, resp.Stats, resp.Err = topk.TopKCtxWith(ctx, src, req.K, req.Direction, req.Algorithm, e)
 	case Compare:
+		// Comparisons are two-member lookups, far below deadline scale;
+		// one checkpoint on entry bounds their cancellation latency.
+		if err := ctx.Err(); err != nil {
+			resp.Err = err
+			return resp
+		}
 		c := snap.comparer(req.DefinedOnly)
 		switch req.Of {
 		case compare.ByGroup:

@@ -1,6 +1,8 @@
 package serve_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -105,6 +107,27 @@ func FuzzSnapshotQueries(f *testing.F) {
 		// An accepted quantify request returns at most k results.
 		if first.Err == nil && req.Problem == serve.Quantify && len(first.Results) > req.K {
 			t.Fatalf("quantify returned %d results for k=%d", len(first.Results), req.K)
+		}
+		// Contract 3: a dead context never panics either, and yields
+		// either a cache hit (the probe precedes the gate by design), a
+		// validation error, or the typed cancellation error — never an
+		// untyped context error and never a fabricated result.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		dead := fuzzWorld.cached.DoCtx(ctx, req)
+		switch {
+		case dead.CacheHit:
+			if fingerprint(dead) != fingerprint(first) {
+				t.Fatalf("cache hit on dead ctx diverged:\nlive: %s\ndead: %s", fingerprint(first), fingerprint(dead))
+			}
+		case dead.Err == nil:
+			t.Fatalf("dead ctx produced an uncached success: %s", fingerprint(dead))
+		case errors.Is(dead.Err, serve.ErrCanceled):
+		case fingerprint(dead) == fingerprint(first):
+			// Same validation error as the live request — rejected
+			// before the context was ever consulted.
+		default:
+			t.Fatalf("dead ctx yielded untyped error %v", dead.Err)
 		}
 	})
 }

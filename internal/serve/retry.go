@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fairjob/internal/stats"
+)
+
+// Defaults of the zero-value RetryPolicy.
+const (
+	// DefaultRetryAttempts is the total attempt budget (first try
+	// included).
+	DefaultRetryAttempts = 3
+	// DefaultRetryBase is the backoff before the first retry; it doubles
+	// per attempt up to DefaultRetryMaxDelay.
+	DefaultRetryBase = 10 * time.Millisecond
+	// DefaultRetryMaxDelay caps the exponential backoff.
+	DefaultRetryMaxDelay = 1 * time.Second
+)
+
+// RetryPolicy retries a failing operation with exponential backoff and
+// deterministic jitter. The zero value is usable and selects the
+// defaults above. Jitter is drawn from a private RNG seeded with Seed,
+// so two policies with equal fields produce the exact same delay
+// sequence — chaos tests assert backoff timing without sleeping by
+// substituting Sleep (the testable clock).
+//
+// The engine wraps snapshot builds (RefreshCtx) in its policy; the type
+// is exported because callers owning their own maintenance loops (bulk
+// loaders, cron refreshes) need the same discipline.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts; 0 selects
+	// DefaultRetryAttempts, 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (doubles each
+	// attempt); 0 selects DefaultRetryBase.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 selects DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream; equal seeds give equal delays.
+	Seed uint64
+	// Sleep is the clock: nil selects time.Sleep. Tests inject a
+	// recording stub to assert delays without wall-clock waits.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes every retry before its backoff
+	// sleep: the 1-based retry number, the error being retried, and the
+	// jittered delay about to be slept. The engine counts
+	// refresh_retries_total here.
+	OnRetry func(retry int, err error, delay time.Duration)
+}
+
+// Do runs fn until it succeeds or the attempt budget is exhausted,
+// sleeping a jittered exponential backoff between attempts. Typed
+// cancellation errors (ErrCanceled, ErrDeadlineExceeded) abort
+// immediately — a canceled caller must not be held through backoff
+// sleeps. The terminal error wraps fn's last error.
+func (p RetryPolicy) Do(fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetryAttempts
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = DefaultRetryMaxDelay
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := stats.NewRNG(p.Seed)
+
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			backoff := base << (attempt - 2)
+			if backoff > maxDelay || backoff <= 0 { // <= 0 guards shift overflow
+				backoff = maxDelay
+			}
+			// Equal jitter: half the backoff is fixed, half uniform —
+			// bounded below (progress is guaranteed to back off) and
+			// decorrelated across concurrent retriers with distinct seeds.
+			delay := backoff/2 + time.Duration(rng.Float64()*float64(backoff/2))
+			if p.OnRetry != nil {
+				p.OnRetry(attempt-1, err, delay)
+			}
+			sleep(delay)
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) {
+			return err
+		}
+	}
+	return fmt.Errorf("serve: giving up after %d attempts: %w", attempts, err)
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingClock captures the delays a RetryPolicy sleeps without
+// actually sleeping.
+type recordingClock struct{ delays []time.Duration }
+
+func (c *recordingClock) sleep(d time.Duration) { c.delays = append(c.delays, d) }
+
+func TestRetryFirstTrySuccessSleepsNever(t *testing.T) {
+	clk := &recordingClock{}
+	p := RetryPolicy{Sleep: clk.sleep}
+	calls := 0
+	if err := p.Do(func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 || len(clk.delays) != 0 {
+		t.Fatalf("calls=%d sleeps=%d, want 1 and 0", calls, len(clk.delays))
+	}
+}
+
+func TestRetryBacksOffThenSucceeds(t *testing.T) {
+	clk := &recordingClock{}
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 8 * time.Millisecond, Seed: 42, Sleep: clk.sleep}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || len(clk.delays) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 and 2", calls, len(clk.delays))
+	}
+	// Equal jitter keeps each delay in [backoff/2, backoff), with the
+	// backoff doubling per retry.
+	for i, d := range clk.delays {
+		backoff := p.BaseDelay << i
+		if d < backoff/2 || d >= backoff {
+			t.Fatalf("delay[%d] = %v outside [%v, %v)", i, d, backoff/2, backoff)
+		}
+	}
+}
+
+func TestRetryJitterIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		clk := &recordingClock{}
+		p := RetryPolicy{MaxAttempts: 4, Seed: seed, Sleep: clk.sleep}
+		_ = p.Do(func() error { return errors.New("always") })
+		return clk.delays
+	}
+	a, b := run(7), run(7)
+	if len(a) != 3 {
+		t.Fatalf("expected 3 backoffs, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestRetryGivesUpWrappingLastError(t *testing.T) {
+	clk := &recordingClock{}
+	last := errors.New("still broken")
+	p := RetryPolicy{MaxAttempts: 3, Sleep: clk.sleep}
+	retries := 0
+	p.OnRetry = func(n int, err error, d time.Duration) { retries++ }
+	err := p.Do(func() error { return last })
+	if !errors.Is(err, last) {
+		t.Fatalf("terminal error %v does not wrap the last attempt's error", err)
+	}
+	if retries != 2 || len(clk.delays) != 2 {
+		t.Fatalf("retries=%d sleeps=%d, want 2 and 2", retries, len(clk.delays))
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	clk := &recordingClock{}
+	p := RetryPolicy{MaxAttempts: 5, Sleep: clk.sleep}
+	for _, sentinel := range []error{ErrCanceled, ErrDeadlineExceeded} {
+		calls := 0
+		err := p.Do(func() error { calls++; return sentinel })
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("error = %v, want %v", err, sentinel)
+		}
+		if calls != 1 || len(clk.delays) != 0 {
+			t.Fatalf("%v: calls=%d sleeps=%d, want no retries", sentinel, calls, len(clk.delays))
+		}
+	}
+}
+
+func TestRetryMaxDelayCapsBackoff(t *testing.T) {
+	clk := &recordingClock{}
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 150 * time.Millisecond, Sleep: clk.sleep}
+	_ = p.Do(func() error { return errors.New("always") })
+	for i, d := range clk.delays {
+		if d >= p.MaxDelay {
+			t.Fatalf("delay[%d] = %v not capped below %v", i, d, p.MaxDelay)
+		}
+	}
+}

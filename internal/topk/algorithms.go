@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -107,38 +108,19 @@ func TopK(src ListSource, k int, dir Direction, algo Algorithm) ([]Result, Stats
 // TopKWith is TopK with an optional Recorder: a successful run reports
 // its Stats to rec before returning. A nil rec records nothing.
 func TopKWith(src ListSource, k int, dir Direction, algo Algorithm, rec Recorder) ([]Result, Stats, error) {
-	if k <= 0 {
-		return nil, Stats{}, fmt.Errorf("topk: k must be positive, got %d", k)
-	}
-	run := func(s ListSource) ([]Result, Stats) {
-		switch algo {
-		case TA:
-			return newTAState(s, k).run()
-		case FA:
-			return newFAState(s, k).run()
-		case Naive:
-			return newNaiveState(s, k).run()
-		case NRA:
-			return newNRAState(s, k).run()
-		default:
-			panic(fmt.Sprintf("topk: unknown algorithm %d", int(algo)))
-		}
-	}
-	if dir == LeastUnfair {
-		results, stats := run(reversedLists{src})
-		for i := range results {
-			results[i].Value = -results[i].Value
-		}
-		if rec != nil {
-			rec.RecordTopK(algo, dir, stats)
-		}
-		return results, stats, nil
-	}
-	results, stats := run(src)
-	if rec != nil {
-		rec.RecordTopK(algo, dir, stats)
-	}
-	return results, stats, nil
+	return TopKCtxWith(context.Background(), src, k, dir, algo, rec)
+}
+
+func errKNotPositive(k int) error {
+	return fmt.Errorf("topk: k must be positive, got %d", k)
+}
+
+// errUnknownAlgorithm is a misconfiguration (the Algorithm enum is
+// closed), so dispatch panics with it rather than returning it — the
+// config-time half of the panic-vs-error policy in the repository
+// doc.go.
+func errUnknownAlgorithm(algo Algorithm) string {
+	return fmt.Sprintf("topk: unknown algorithm %d", int(algo))
 }
 
 // taState owns the query-time state of one Threshold Algorithm execution
@@ -151,6 +133,7 @@ type taState struct {
 	cursor int             // round-robin sorted-access position, shared by all lists
 	seen   map[string]bool // members already completed via random access
 	heap   minHeap         // current top-k candidates
+	cancel canceler
 	stats  Stats
 }
 
@@ -165,18 +148,21 @@ func newTAState(src ListSource, k int) *taState {
 // member's aggregate because lists are sorted descending and membership is
 // identical. It stops when the heap holds k members with min value ≥ τ,
 // or when the lists are exhausted.
-func (st *taState) run() ([]Result, Stats) {
+func (st *taState) run() ([]Result, Stats, error) {
 	n := st.src.NumLists()
 	listLen := st.src.ListLen()
 	denom := float64(n)
 	for ; st.cursor < listLen; st.cursor++ {
+		if err := st.cancel.check(); err != nil {
+			return nil, st.stats, err
+		}
 		st.stats.Rounds++
 		var frontierSum float64
 		for i := 0; i < n; i++ {
 			e, ok := st.src.At(i, st.cursor)
 			st.stats.SortedAccesses++
 			if !ok {
-				return st.heap.Drain(), st.stats
+				return st.heap.Drain(), st.stats, nil
 			}
 			frontierSum += e.Value
 			if st.seen[e.Key] {
@@ -199,18 +185,19 @@ func (st *taState) run() ([]Result, Stats) {
 			break
 		}
 	}
-	return st.heap.Drain(), st.stats
+	return st.heap.Drain(), st.stats, nil
 }
 
 // faState owns the query-time state of one run of Fagin's original
 // algorithm: the per-member list-coverage counts from the sorted-access
 // phase, and the result heap of the random-access completion phase.
 type faState struct {
-	src   ListSource
-	k     int
-	count map[string]int // lists each member has been seen on
-	full  int            // members seen on every list
-	stats Stats
+	src    ListSource
+	k      int
+	count  map[string]int // lists each member has been seen on
+	full   int            // members seen on every list
+	cancel canceler
+	stats  Stats
 }
 
 func newFAState(src ListSource, k int) *faState {
@@ -220,10 +207,13 @@ func newFAState(src ListSource, k int) *faState {
 // run performs sorted access in parallel until at least k members have
 // been encountered on every list, then completes every member seen with
 // random accesses.
-func (st *faState) run() ([]Result, Stats) {
+func (st *faState) run() ([]Result, Stats, error) {
 	n := st.src.NumLists()
 	listLen := st.src.ListLen()
 	for pos := 0; pos < listLen && st.full < st.k; pos++ {
+		if err := st.cancel.check(); err != nil {
+			return nil, st.stats, err
+		}
 		st.stats.Rounds++
 		for i := 0; i < n; i++ {
 			e, ok := st.src.At(i, pos)
@@ -238,7 +228,14 @@ func (st *faState) run() ([]Result, Stats) {
 		}
 	}
 	var heap minHeap
+	completed := 0
 	for key := range st.count {
+		if completed&(checkpointStride-1) == 0 {
+			if err := st.cancel.check(); err != nil {
+				return nil, st.stats, err
+			}
+		}
+		completed++
 		var total float64
 		for i := 0; i < n; i++ {
 			v, _ := st.src.Find(i, key)
@@ -247,7 +244,7 @@ func (st *faState) run() ([]Result, Stats) {
 		}
 		heap.Offer(Result{Key: key, Value: total / float64(n)}, st.k)
 	}
-	return heap.Drain(), st.stats
+	return heap.Drain(), st.stats, nil
 }
 
 // naiveState owns the query-time state of the naive full scan: the
@@ -256,6 +253,7 @@ type naiveState struct {
 	src    ListSource
 	k      int
 	totals map[string]float64
+	cancel canceler
 	stats  Stats
 }
 
@@ -263,12 +261,19 @@ func newNaiveState(src ListSource, k int) *naiveState {
 	return &naiveState{src: src, k: k, totals: make(map[string]float64, src.ListLen())}
 }
 
-// run reads every posting of every list.
-func (st *naiveState) run() ([]Result, Stats) {
+// run reads every posting of every list, checking for cancellation
+// every checkpointStride postings — the full scan has no natural round
+// boundary, so the stride is what bounds cancellation latency here.
+func (st *naiveState) run() ([]Result, Stats, error) {
 	n := st.src.NumLists()
 	listLen := st.src.ListLen()
 	for i := 0; i < n; i++ {
 		for pos := 0; pos < listLen; pos++ {
+			if pos&(checkpointStride-1) == 0 {
+				if err := st.cancel.check(); err != nil {
+					return nil, st.stats, err
+				}
+			}
 			e, ok := st.src.At(i, pos)
 			st.stats.SortedAccesses++
 			if !ok {
@@ -282,7 +287,7 @@ func (st *naiveState) run() ([]Result, Stats) {
 	for key, total := range st.totals {
 		heap.Offer(Result{Key: key, Value: total / float64(n)}, st.k)
 	}
-	return heap.Drain(), st.stats
+	return heap.Drain(), st.stats, nil
 }
 
 // sortResults orders results descending by value with deterministic key

@@ -20,6 +20,7 @@ type nraState struct {
 	k        int
 	cands    map[string]*nraCand
 	frontier []float64
+	cancel   canceler
 	stats    Stats
 }
 
@@ -39,11 +40,14 @@ func newNRAState(src ListSource, k int) *nraState {
 	}
 }
 
-func (st *nraState) run() ([]Result, Stats) {
+func (st *nraState) run() ([]Result, Stats, error) {
 	n := st.src.NumLists()
 	listLen := st.src.ListLen()
 	denom := float64(n)
 	for pos := 0; pos < listLen; pos++ {
+		if err := st.cancel.check(); err != nil {
+			return nil, st.stats, err
+		}
 		st.stats.Rounds++
 		for i := 0; i < n; i++ {
 			e, ok := st.src.At(i, pos)
@@ -92,7 +96,7 @@ func (st *nraState) run() ([]Result, Stats) {
 			bestOpenUpper = unseenUpper
 		}
 		if exact.Len() >= st.k && exact.MinValue() >= bestOpenUpper {
-			return exact.Drain(), st.stats
+			return exact.Drain(), st.stats, nil
 		}
 	}
 
@@ -101,5 +105,5 @@ func (st *nraState) run() ([]Result, Stats) {
 	for key, c := range st.cands {
 		heap.Offer(Result{Key: key, Value: c.sum / denom}, st.k)
 	}
-	return heap.Drain(), st.stats
+	return heap.Drain(), st.stats, nil
 }

@@ -5,27 +5,32 @@
 # parallel sharded pipeline of PR 1 optimizes, plus the two dataset
 # generators), the query-serving benchmarks of PR 2 (batch engine
 # throughput vs a sequential query loop, snapshot freeze cost, cache-hit
-# latency), and the telemetry-overhead benchmark of PR 3 (batch serving
+# latency), the telemetry-overhead benchmark of PR 3 (batch serving
 # with the full obs surface — shared registry + trace ring — vs the
-# default engine), and writes the results to a JSON file so successive
-# PRs can be compared number-to-number.
+# default engine), and the resilience-overhead benchmark of PR 4 (batch
+# serving with deadlines and the admission gate enabled vs the default
+# engine), and writes the results to a JSON file so successive PRs can
+# be compared number-to-number.
 #
-# Two derived records are appended:
-#   telemetry_overhead   on-vs-off delta of BenchmarkServeInstrumented,
-#                        with the PR 3 acceptance budget (< 5%)
-#   engine_w4_vs_PR2     this run's engine-w4 ns/op against the stored
-#                        BENCH_PR2.json baseline, when present
+# Three derived records are appended:
+#   telemetry_overhead    on-vs-off delta of BenchmarkServeInstrumented,
+#                         with the PR 3 acceptance budget (< 5%)
+#   resilience_overhead   on-vs-off delta of BenchmarkServeResilient,
+#                         with the PR 4 acceptance budget (< 5%)
+#   engine_w4_vs_PR3      this run's engine-w4 ns/op against the stored
+#                         BENCH_PR3.json baseline, when present
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR4.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$'
 raw="$(mktemp)"
 raw2="$(mktemp)"
-trap 'rm -f "$raw" "$raw2"' EXIT
+raw3="$(mktemp)"
+trap 'rm -f "$raw" "$raw2" "$raw3"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
@@ -35,6 +40,9 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve |
 # compares medians.
 echo "== go test -bench BenchmarkServeInstrumented -count=5 (overhead pair)"
 go test -run '^$' -bench 'BenchmarkServeInstrumented' -benchmem -benchtime=2s -count=5 ./internal/serve | tee "$raw2"
+
+echo "== go test -bench BenchmarkServeResilient -count=5 (resilience overhead pair)"
+go test -run '^$' -bench 'BenchmarkServeResilient' -benchmem -benchtime=2s -count=5 ./internal/serve | tee "$raw3"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records
@@ -58,13 +66,13 @@ END { print "" }
 
 # Derived record 1: telemetry overhead, instrumented vs default engine —
 # median ns/op of the 5 runs per variant. The median raw lines also join
-# the benchmark array so BENCH_PR3.json stays self-contained.
+# the benchmark array so the BENCH JSON stays self-contained.
 median() {
-    awk -v want="$1" '$1 ~ "^BenchmarkServeInstrumented/" want {print $3}' "$raw2" \
+    awk -v bench="$1" -v want="$2" '$1 ~ "^" bench "/" want {print $3}' "$3" \
         | sort -n | awk '{v[NR] = $1} END { if (NR) print v[int((NR + 1) / 2)] }'
 }
-off="$(median off)"
-on="$(median on)"
+off="$(median BenchmarkServeInstrumented off "$raw2")"
+on="$(median BenchmarkServeInstrumented on "$raw2")"
 if [ -n "$off" ] && [ -n "$on" ]; then
     awk -v off="$off" -v on="$on" '
     /^BenchmarkServeInstrumented/ {
@@ -88,16 +96,44 @@ if [ -n "$off" ] && [ -n "$on" ]; then
     echo "bench.sh: telemetry overhead on-vs-off (median of 5): $(awk -v off="$off" -v on="$on" 'BEGIN { printf "%.2f%%", (on-off)/off*100 }')"
 fi
 
-# Derived record 2: this run's engine-w4 against the PR 2 baseline.
+# Derived record: resilience overhead, deadline + admission gate vs the
+# default engine — median ns/op of the 5 runs per variant, same protocol
+# as the telemetry pair. The PR 4 acceptance budget is < 5%.
+roff="$(median BenchmarkServeResilient off "$raw3")"
+ron="$(median BenchmarkServeResilient on "$raw3")"
+if [ -n "$roff" ] && [ -n "$ron" ]; then
+    awk -v off="$roff" -v on="$ron" '
+    /^BenchmarkServeResilient/ {
+        key = index($1, "/off") ? "off" : "on"
+        if (seen[key]++) next
+        ns = (key == "off" ? off : on)
+        bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        printf ",\n  {\"name\": \"%s\", \"runs\": 5, \"median_ns_per_op\": %s", $1, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }' "$raw3" >> "$out"
+    awk -v off="$roff" -v on="$ron" 'BEGIN {
+        pct = (on - off) / off * 100
+        printf ",\n  {\"name\": \"resilience_overhead\", \"runs\": 5, \"off_median_ns_per_op\": %s, \"on_median_ns_per_op\": %s, \"delta_pct\": %.2f, \"budget_pct\": 5, \"within_budget\": %s}", off, on, pct, (pct < 5 ? "true" : "false")
+    }' >> "$out"
+    echo "bench.sh: resilience overhead on-vs-off (median of 5): $(awk -v off="$roff" -v on="$ron" 'BEGIN { printf "%.2f%%", (on-off)/off*100 }')"
+fi
+
+# Derived record: this run's engine-w4 against the PR 3 baseline.
 cur="$(awk '$1 ~ /^BenchmarkServeConcurrent\/engine-w4/ {print $3; exit}' "$raw")"
 base="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
     s = substr($0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s; exit
-}' BENCH_PR2.json 2>/dev/null || true)"
+}' BENCH_PR3.json 2>/dev/null || true)"
 if [ -n "$cur" ] && [ -n "$base" ]; then
     awk -v base="$base" -v cur="$cur" 'BEGIN {
-        printf ",\n  {\"name\": \"engine_w4_vs_PR2\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
+        printf ",\n  {\"name\": \"engine_w4_vs_PR3\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
     }' >> "$out"
-    echo "bench.sh: engine-w4 vs BENCH_PR2 baseline: $(awk -v base="$base" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
+    echo "bench.sh: engine-w4 vs BENCH_PR3 baseline: $(awk -v base="$base" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
 fi
 
 printf '\n]\n' >> "$out"

@@ -9,7 +9,14 @@
 #                            and trace paths plus the instrumented
 #                            engine, raced first and uncached so a
 #                            telemetry regression fails fast
-#   4. go test -race ./...   full suite under the race detector — the
+#   4. chaos gate            go test -race -tags faultinject over the
+#                            serving stack and the failpoint registry —
+#                            the chaos suite arms every failpoint
+#                            (slow evaluator, panicking measure, failing
+#                            refresh, queue delay) and asserts the
+#                            engine converges back to correct answers
+#                            once faults clear
+#   5. go test -race ./...   full suite under the race detector — the
 #                            evaluators' sharded worker pools and the
 #                            serve engine's concurrent query paths must
 #                            stay race-clean at any worker count
@@ -38,6 +45,9 @@ go build ./...
 
 echo "== go test -race ./internal/obs ./internal/serve (telemetry gate)"
 go test -race -count=1 ./internal/obs/ ./internal/serve/
+
+echo "== go test -race -tags faultinject ./internal/serve/... ./internal/faultinject/... (chaos gate)"
+go test -race -tags faultinject -count=1 ./internal/serve/... ./internal/faultinject/... ./internal/topk/...
 
 echo "== go test -race ${short:+$short }./..."
 go test -race $short ./...
