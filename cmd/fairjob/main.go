@@ -40,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,7 +74,10 @@ func main() {
 		workers     = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
 		deadline    = fs.Duration("deadline", 0, "per-request deadline for engine queries (0 = none); expired requests report a typed deadline error")
 		maxInflight = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = unlimited; negative sheds all compute, serving only cache hits)")
-		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces, /debug/pprof/")
+		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/pprof/")
+		logDest     = fs.String("log", "", "write one wide JSON event per request to this file (\"stderr\" or \"-\" for stderr); recent events are always retained in memory for /debug/events")
+		logSample   = fs.Uint64("log-sample", 1, "keep one in N successful wide events and retain one in N fast-ok traces; failures, sheds and slow traces are always kept (0 or 1 keeps everything)")
+		sloBound    = fs.Duration("slo", 0, "enable the SLO monitor: 99% of requests must answer within this bound and 99.9% must succeed; burn-rate alerts gate /readyz and the batch summary reports the verdicts (0 disables)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -87,7 +91,46 @@ func main() {
 	defer stop()
 
 	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+	// The tracer tail-samples with the same knobs as the logger: -slo
+	// sets the slow threshold (a request over its latency bound is worth
+	// keeping) and -log-sample the fast-ok retention rate, so heavy
+	// traffic cannot flush the one interesting trace out of the ring.
+	tracer := obs.NewTracerTailSampled(obs.DefaultTraceCapacity, obs.TailSamplingPolicy{
+		SlowThreshold: *sloBound,
+		KeepOneInN:    *logSample,
+	})
+
+	// Wide events always land in an in-memory ring (the /debug/events
+	// view); -log additionally streams them as JSONL to a file or stderr.
+	events := obs.NewRingSink(obs.DefaultEventCapacity)
+	sinks := []obs.Sink{events}
+	if *logDest != "" {
+		w := os.Stderr
+		if *logDest != "stderr" && *logDest != "-" {
+			f, err := os.Create(*logDest)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		sinks = append(sinks, obs.NewWriterSink(w))
+	}
+	logger := obs.NewLogger(obs.LoggerOptions{
+		Component: "serve",
+		Measure:   *measure,
+		Sink:      obs.MultiSink(sinks...),
+		SampleN:   *logSample,
+	})
+
+	var slo *obs.SLOMonitor
+	if *sloBound > 0 {
+		slo = obs.NewSLOMonitor([]obs.Objective{
+			{Name: "latency", Target: 0.99, LatencyBound: *sloBound},
+			{Name: "errors", Target: 0.999},
+		}, obs.SLOOptions{})
+	}
+
 	tbl, err := buildTable(ctx, *data, *seed, *measure, reg)
 	if err != nil {
 		fatal(err)
@@ -96,6 +139,8 @@ func main() {
 		Workers:         *workers,
 		Obs:             reg,
 		Tracer:          tracer,
+		Log:             logger,
+		SLO:             slo,
 		DefaultDeadline: *deadline,
 		MaxInflight:     *maxInflight,
 	})
@@ -106,7 +151,7 @@ func main() {
 	case "compare":
 		err = runCompare(ctx, eng, *r1, *r2, *by)
 	case "batch":
-		err = runBatch(ctx, eng, *k)
+		err = runBatch(ctx, eng, *k, slo)
 	default:
 		usage()
 		os.Exit(2)
@@ -123,11 +168,17 @@ func main() {
 	// /readyz tracks the engine's admission gate, so an overloaded replica
 	// reports itself not ready while staying alive.
 	if *admin != "" && ctx.Err() == nil {
-		srv, err := obs.Serve(*admin, reg, tracer, &obs.Health{Ready: eng.Ready})
+		srv, err := obs.ServeAdmin(*admin, obs.AdminOptions{
+			Registry: reg,
+			Tracer:   tracer,
+			Health:   &obs.Health{Ready: eng.Ready},
+			SLO:      slo,
+			Events:   events,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -331,7 +382,7 @@ func runCompare(ctx context.Context, eng *serve.Engine, r1, r2, by string) error
 // quantification, plus the reversal analysis of the two most unfair
 // groups, queries and locations. It prints one summary row per request
 // and the engine's cache counters.
-func runBatch(ctx context.Context, eng *serve.Engine, k int) error {
+func runBatch(ctx context.Context, eng *serve.Engine, k int, slo *obs.SLOMonitor) error {
 	snap := eng.Snapshot()
 	var reqs []serve.Request
 	for _, d := range []compare.Dimension{compare.ByGroup, compare.ByQuery, compare.ByLocation} {
@@ -389,7 +440,30 @@ func runBatch(ctx context.Context, eng *serve.Engine, k int) error {
 		return err
 	}
 	fmt.Println(telemetrySummary(eng))
+	if slo != nil {
+		fmt.Print(sloSummary(slo))
+	}
 	return nil
+}
+
+// sloSummary renders one verdict line per objective for the batch
+// summary: the -slo run answers "did this workload meet its objectives"
+// without scraping /debug/slo.
+func sloSummary(m *obs.SLOMonitor) string {
+	var b strings.Builder
+	for _, o := range m.Status().Objectives {
+		verdict := "met"
+		if o.Burning {
+			verdict = "BURNING"
+		}
+		bound := ""
+		if o.LatencyBoundNS > 0 {
+			bound = fmt.Sprintf(" within %s", time.Duration(o.LatencyBoundNS))
+		}
+		fmt.Fprintf(&b, "slo %s: %.3g%% good%s — %d good / %d bad, %.1f%% budget remaining — %s\n",
+			o.Name, 100*o.Target, bound, o.Good, o.Bad, 100*o.BudgetRemaining, verdict)
+	}
+	return b.String()
 }
 
 // telemetrySummary digests the engine's registry into the batch mode's

@@ -125,7 +125,7 @@ func TestQuantifyAndCompareOnDataset(t *testing.T) {
 	if err := runCompare(context.Background(), eng, "cleaning", "moving", "universe"); err == nil {
 		t.Fatal("unknown breakdown should error")
 	}
-	if err := runBatch(context.Background(), eng, 2); err != nil {
+	if err := runBatch(context.Background(), eng, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 }

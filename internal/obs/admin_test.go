@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adminFixture builds a handler with every view populated: metrics with
+// an exemplared histogram, a tracer with mixed outcomes, an SLO monitor
+// mid-burn and a wide-event ring.
+func adminFixture(t *testing.T) http.Handler {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter(Name("serve_requests_total", "problem", "quantify")).Add(3)
+	reg.Gauge("serve_inflight").Set(1)
+	h := reg.Histogram("serve_request_seconds", LatencyBuckets())
+	h.ObserveWithExemplar(0.004, 7)
+	h.Observe(0.1)
+
+	tz := NewTracerTailSampled(16, TailSamplingPolicy{SlowThreshold: 50 * time.Millisecond})
+	for i, outcome := range []string{"ok", "ok", "deadline", "error", "ok"} {
+		tr := tz.Start("q")
+		tr.SetOutcome(outcome)
+		if i == 4 {
+			tr.Begin = tr.Begin.Add(-time.Second) // a slow success
+			tr.SetOutcome("ok")
+		}
+		tz.Finish(tr)
+	}
+
+	clock := newFakeClock()
+	slo := latencySLO(clock)
+	slo.Observe(time.Millisecond, nil)
+
+	events := NewRingSink(8)
+	for i := 0; i < 5; i++ {
+		events.Emit(&Event{Component: "serve", Level: "info", Outcome: "ok", LatencyNS: int64(i)})
+	}
+	return NewHandler(AdminOptions{
+		Registry: reg,
+		Tracer:   tz,
+		Health:   &Health{},
+		SLO:      slo,
+		Events:   events,
+	})
+}
+
+func TestMetricsContentTypeAndHead(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("GET /metrics Content-Type = %q, want %q", ct, MetricsContentType)
+	}
+
+	resp, err = http.Head(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("HEAD /metrics Content-Type = %q, want %q", ct, MetricsContentType)
+	}
+	if resp.ContentLength > 0 {
+		t.Fatalf("HEAD carried a %d-byte body", resp.ContentLength)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/metrics", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("405 Allow = %q", allow)
+	}
+}
+
+// TestMetricsScrapeReparses is the exposition-format regression gate: it
+// scrapes /metrics and re-parses every line as version 0.0.4 text —
+// `# TYPE name counter|gauge|histogram` headers, `name[{labels}] value`
+// samples, and optional ` # {trace_id="…"} value` exemplar suffixes on
+// bucket lines. Any malformed line a format change introduces fails here.
+func TestMetricsScrapeReparses(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+	body, err := httpGet(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]string{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		sample := line
+		if i := strings.Index(line, " # "); i >= 0 {
+			// Exemplar suffix: only legal on bucket lines, and its own
+			// value must parse.
+			exemplar := line[i+3:]
+			sample = line[:i]
+			if !strings.Contains(sample, "_bucket{") {
+				t.Fatalf("exemplar on a non-bucket line: %q", line)
+			}
+			parts := strings.Fields(exemplar)
+			if len(parts) != 2 || !strings.HasPrefix(parts[0], `{trace_id="`) {
+				t.Fatalf("malformed exemplar %q", exemplar)
+			}
+			if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+				t.Fatalf("exemplar value in %q: %v", line, err)
+			}
+		}
+		sp := strings.LastIndex(sample, " ")
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, value := sample[:sp], sample[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("unbalanced label block in %q", line)
+			}
+			base = base[:i]
+		}
+		root := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		if _, ok := types[root]; !ok && types[base] == "" {
+			t.Fatalf("sample %q precedes its # TYPE header", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples scraped")
+	}
+}
+
+func TestDebugTracesLimitAndOutcomeFilter(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+
+	var dump struct {
+		Finished  uint64                    `json:"finished"`
+		Retention map[string]TraceRetention `json:"retention"`
+		Traces    []*Trace                  `json:"traces"`
+	}
+	get := func(q string) {
+		t.Helper()
+		body, err := httpGet(srv.URL + "/debug/traces" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump = struct {
+			Finished  uint64                    `json:"finished"`
+			Retention map[string]TraceRetention `json:"retention"`
+			Traces    []*Trace                  `json:"traces"`
+		}{}
+		if err := json.Unmarshal([]byte(body), &dump); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get("")
+	if dump.Finished != 5 || len(dump.Traces) != 5 {
+		t.Fatalf("unfiltered dump: finished %d, %d traces", dump.Finished, len(dump.Traces))
+	}
+	get("?limit=2")
+	if len(dump.Traces) != 2 {
+		t.Fatalf("?limit=2 returned %d traces", len(dump.Traces))
+	}
+	get("?outcome=error")
+	if len(dump.Traces) != 2 {
+		t.Fatalf("?outcome=error returned %d traces, want 2 (deadline + error)", len(dump.Traces))
+	}
+	for _, tr := range dump.Traces {
+		if tr.Class() != "error" {
+			t.Fatalf("filter leaked a %q trace", tr.Class())
+		}
+	}
+	get("?outcome=slow")
+	if len(dump.Traces) != 1 || !dump.Traces[0].Slow {
+		t.Fatalf("?outcome=slow returned %+v", dump.Traces)
+	}
+	get("?outcome=ok&limit=1")
+	if len(dump.Traces) != 1 || dump.Traces[0].Class() != "ok" {
+		t.Fatalf("combined filters returned %+v", dump.Traces)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/traces?outcome=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus outcome = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDebugSLOView(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+	body, err := httpGet(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SLOStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Objectives) != 1 || st.Objectives[0].Name != "latency" {
+		t.Fatalf("slo status = %+v", st)
+	}
+	if st.Burning {
+		t.Fatal("one good observation should not burn")
+	}
+}
+
+func TestDebugEventsView(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+	body, err := httpGet(srv.URL + "/debug/events?limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Events []*Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 3 {
+		t.Fatalf("?limit=3 returned %d events", len(dump.Events))
+	}
+	if dump.Events[0].LatencyNS != 4 {
+		t.Fatalf("events not newest-first: %+v", dump.Events[0])
+	}
+}
+
+func TestAdminViewsWithNilSources(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(AdminOptions{}))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/traces", "/debug/slo", "/debug/events", "/healthz", "/readyz"} {
+		if _, err := httpGet(srv.URL + path); err != nil {
+			t.Errorf("nil-source %s: %v", path, err)
+		}
+	}
+}

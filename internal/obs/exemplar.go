@@ -1,0 +1,105 @@
+package obs
+
+// Exemplars tie histogram buckets back to traces: each bucket remembers
+// the trace ID of the most recent observation that landed in it, and the
+// histogram as a whole remembers its maximum observation. An operator
+// reading a bad p99 off /metrics can jump straight to a concrete trace
+// in /debug/traces (and from there, via the shared trace ID, to the
+// request's wide event) instead of guessing which query was slow.
+//
+// Storage is one atomic.Pointer per bucket plus one for the maximum —
+// recording stays lock-free, and a torn read is impossible because the
+// {value, trace ID} pair is published as one immutable struct.
+
+// Exemplar is one observation worth linking: its value and the trace
+// that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID uint64  `json:"trace_id"`
+}
+
+// ObserveWithExemplar records one value like Observe and additionally
+// retains {v, traceID} as the bucket's exemplar (most recent wins) and
+// as the histogram's max exemplar when v is the largest value seen. A
+// zero traceID records the value without touching the exemplars, so
+// callers with tracing disabled can use one call site unconditionally.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	ex := &Exemplar{Value: v, TraceID: traceID}
+	i := bucketIndex(h.bounds, v)
+	h.exemplars[i].Store(ex)
+	for {
+		cur := h.max.Load()
+		if cur != nil && cur.Value >= v {
+			return
+		}
+		if h.max.CompareAndSwap(cur, ex) {
+			return
+		}
+	}
+}
+
+// Exemplar returns bucket i's exemplar (i == len(Bounds) is the +Inf
+// bucket), or nil when no exemplar landed there yet.
+func (h *Histogram) Exemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// MaxExemplar returns the exemplar of the largest observation recorded
+// with a trace ID, or nil.
+func (h *Histogram) MaxExemplar() *Exemplar { return h.max.Load() }
+
+// snapshotExemplars copies the current exemplar pointers for a
+// HistogramSnapshot. The exemplars themselves are immutable and shared.
+func (h *Histogram) snapshotExemplars() []*Exemplar {
+	any := false
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		if out[i] = h.exemplars[i].Load(); out[i] != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil // keep exemplar-free snapshots allocation-light and JSON-quiet
+	}
+	return out
+}
+
+// mergeExemplars combines two per-bucket exemplar slices of equal
+// bucket layout, preferring a's entries (the receiver of Merge) and
+// filling gaps from b.
+func mergeExemplars(a, b []*Exemplar, buckets int) []*Exemplar {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]*Exemplar, buckets)
+	for i := range out {
+		if a != nil && a[i] != nil {
+			out[i] = a[i]
+		} else if b != nil {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// maxExemplar returns the exemplar with the larger value, tolerating
+// nils.
+func maxExemplar(a, b *Exemplar) *Exemplar {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case b.Value > a.Value:
+		return b
+	default:
+		return a
+	}
+}

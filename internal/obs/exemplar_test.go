@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExemplarPerBucketMostRecentWins(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.ObserveWithExemplar(0.5, 11)
+	h.ObserveWithExemplar(0.7, 12) // same bucket, newer
+	h.ObserveWithExemplar(3, 13)
+	h.ObserveWithExemplar(100, 14) // +Inf bucket
+	if ex := h.Exemplar(0); ex == nil || ex.TraceID != 12 || ex.Value != 0.7 {
+		t.Fatalf("bucket 0 exemplar = %+v, want trace 12 value 0.7", ex)
+	}
+	if ex := h.Exemplar(1); ex != nil {
+		t.Fatalf("empty bucket carries exemplar %+v", ex)
+	}
+	if ex := h.Exemplar(2); ex == nil || ex.TraceID != 13 {
+		t.Fatalf("bucket 2 exemplar = %+v, want trace 13", ex)
+	}
+	if ex := h.Exemplar(3); ex == nil || ex.TraceID != 14 {
+		t.Fatalf("+Inf exemplar = %+v, want trace 14", ex)
+	}
+	if ex := h.Exemplar(99); ex != nil {
+		t.Fatal("out-of-range index should return nil")
+	}
+}
+
+func TestExemplarMaxTracksLargestObservation(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveWithExemplar(5, 1)
+	h.ObserveWithExemplar(2, 2) // smaller: max unchanged
+	if ex := h.MaxExemplar(); ex == nil || ex.TraceID != 1 || ex.Value != 5 {
+		t.Fatalf("max exemplar = %+v, want trace 1 value 5", ex)
+	}
+	h.ObserveWithExemplar(9, 3)
+	if ex := h.MaxExemplar(); ex == nil || ex.TraceID != 3 {
+		t.Fatalf("max exemplar = %+v, want trace 3", ex)
+	}
+}
+
+func TestExemplarZeroTraceIDRecordsValueOnly(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveWithExemplar(0.5, 0)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatal("observation lost")
+	}
+	if s.Exemplars != nil || s.MaxExemplar != nil {
+		t.Fatalf("trace ID 0 must not create exemplars: %+v", s)
+	}
+}
+
+func TestExemplarSnapshotAndMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.ObserveWithExemplar(0.5, 1)
+	b.ObserveWithExemplar(1.5, 2)
+	b.ObserveWithExemplar(0.6, 3) // bucket 0 collides with a's: a wins in a.Merge(b)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m, ok := sa.Merge(sb)
+	if !ok {
+		t.Fatal("same-layout histograms failed to merge")
+	}
+	if ex := m.Exemplars[0]; ex == nil || ex.TraceID != 1 {
+		t.Fatalf("merge bucket 0 = %+v, want the receiver's trace 1", ex)
+	}
+	if ex := m.Exemplars[1]; ex == nil || ex.TraceID != 2 {
+		t.Fatalf("merge bucket 1 = %+v, want trace 2 filled from the other side", ex)
+	}
+	if ex := m.MaxExemplar; ex == nil || ex.TraceID != 2 {
+		t.Fatalf("merged max = %+v, want trace 2 (value 1.5)", ex)
+	}
+}
+
+func TestExemplarExpositionSuffix(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, 42)
+	var b strings.Builder
+	if err := WriteMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `lat_seconds_bucket{le="0.1"} 1 # {trace_id="42"} 0.05`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar suffix %q:\n%s", want, out)
+	}
+	// Buckets without an exemplar keep the plain format.
+	if !strings.Contains(out, "lat_seconds_bucket{le=\"1\"} 1\n") {
+		t.Fatalf("exemplar-free bucket line malformed:\n%s", out)
+	}
+}

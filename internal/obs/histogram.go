@@ -17,6 +17,12 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// Exemplar storage (see exemplar.go): per-bucket most-recent
+	// observation plus the overall maximum, recorded only through
+	// ObserveWithExemplar.
+	exemplars []atomic.Pointer[Exemplar]
+	max       atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram with the given bucket upper bounds
@@ -35,15 +41,21 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: uniq,
-		counts: make([]atomic.Uint64, len(uniq)+1),
+		bounds:    uniq,
+		counts:    make([]atomic.Uint64, len(uniq)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uniq)+1),
 	}
+}
+
+// bucketIndex returns the bucket covering v: the first bucket whose
+// upper bound is ≥ v, with len(bounds) the +Inf overflow bucket.
+func bucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	// First bucket whose upper bound is ≥ v; len(bounds) is +Inf.
-	i := sort.SearchFloat64s(h.bounds, v)
+	i := bucketIndex(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -66,9 +78,11 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // internally coherent.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Bounds: h.bounds, // immutable, shared
-		Counts: make([]uint64, len(h.counts)),
-		Sum:    h.Sum(),
+		Bounds:      h.bounds, // immutable, shared
+		Counts:      make([]uint64, len(h.counts)),
+		Sum:         h.Sum(),
+		Exemplars:   h.snapshotExemplars(),
+		MaxExemplar: h.max.Load(),
 	}
 	for i := range h.counts {
 		c := h.counts[i].Load()
@@ -80,12 +94,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
 // counts (Counts[len(Bounds)] is the +Inf overflow bucket), the total
-// count and the value sum.
+// count and the value sum, plus the exemplars recorded so far —
+// Exemplars is nil when none were recorded, else indexed like Counts
+// with nil gaps.
 type HistogramSnapshot struct {
-	Bounds []float64
-	Counts []uint64
-	Count  uint64
-	Sum    float64
+	Bounds      []float64
+	Counts      []uint64
+	Count       uint64
+	Sum         float64
+	Exemplars   []*Exemplar
+	MaxExemplar *Exemplar
 }
 
 // Mean returns the average observed value, or NaN when empty.
@@ -157,10 +175,12 @@ func (s HistogramSnapshot) Merge(other HistogramSnapshot) (HistogramSnapshot, bo
 		}
 	}
 	out := HistogramSnapshot{
-		Bounds: s.Bounds,
-		Counts: make([]uint64, len(s.Counts)),
-		Count:  s.Count + other.Count,
-		Sum:    s.Sum + other.Sum,
+		Bounds:      s.Bounds,
+		Counts:      make([]uint64, len(s.Counts)),
+		Count:       s.Count + other.Count,
+		Sum:         s.Sum + other.Sum,
+		Exemplars:   mergeExemplars(s.Exemplars, other.Exemplars, len(s.Counts)),
+		MaxExemplar: maxExemplar(s.MaxExemplar, other.MaxExemplar),
 	}
 	for i := range s.Counts {
 		out.Counts[i] = s.Counts[i] + other.Counts[i]

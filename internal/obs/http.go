@@ -51,7 +51,17 @@ func WriteMetrics(w io.Writer, s Snapshot) error {
 			if i < len(h.Bounds) {
 				le = formatFloat(h.Bounds[i])
 			}
-			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, joinLabels(labels), le, cum)
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d", base, joinLabels(labels), le, cum)
+			// OpenMetrics-style exemplar suffix: the trace behind the
+			// bucket's most recent observation, the /metrics →
+			// /debug/traces join key. Parsers that treat ` # ` as a
+			// trailing comment (including the repo's own scrape test)
+			// stay compatible.
+			if h.Exemplars != nil && i < len(h.Exemplars) && h.Exemplars[i] != nil {
+				ex := h.Exemplars[i]
+				fmt.Fprintf(&b, " # {trace_id=\"%d\"} %s", ex.TraceID, formatFloat(ex.Value))
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "%s_sum%s %s\n", base, braced(labels), formatFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count%s %d\n", base, braced(labels), h.Count)
@@ -146,42 +156,114 @@ func probeHandler(probe func() error) http.HandlerFunc {
 	}
 }
 
-// Handler returns the admin endpoint's HTTP handler:
+// MetricsContentType is the Content-Type of every /metrics response:
+// the Prometheus text exposition format, version 0.0.4.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DefaultTraceDumpLimit bounds how many traces /debug/traces returns
+// when the request carries no ?limit.
+const DefaultTraceDumpLimit = 64
+
+// AdminOptions wires the admin endpoint's data sources. Every field may
+// be nil; the corresponding view serves an empty document or an
+// always-healthy probe.
+type AdminOptions struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Health   *Health
+	// SLO, when set, serves /debug/slo.
+	SLO *SLOMonitor
+	// Events, when set, serves the wide-event ring at /debug/events.
+	Events *RingSink
+}
+
+// Handler is the two-source compatibility constructor predating
+// AdminOptions; it serves no SLO or event views.
+func Handler(reg *Registry, tz *Tracer, h *Health) http.Handler {
+	return NewHandler(AdminOptions{Registry: reg, Tracer: tz, Health: h})
+}
+
+// readOnly guards a GET/HEAD endpoint: it answers HEAD with the headers
+// alone (the probe a scraper's liveness check sends), rejects other
+// methods with 405, and delegates GET to fn.
+func readOnly(contentType string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		switch r.Method {
+		case http.MethodGet:
+			fn(w, r)
+		case http.MethodHead:
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	}
+}
+
+// NewHandler returns the admin endpoint's HTTP handler:
 //
-//	/metrics        Prometheus text exposition of reg
+//	/metrics        Prometheus text exposition of the registry, with
+//	                exemplar suffixes on histogram buckets; GET and HEAD
 //	/healthz        liveness probe: 200 "ok" or 503 with the reason
 //	/readyz         readiness probe: 200 "ok" or 503 with the reason
-//	/debug/traces   JSON dump of the tracer's recent traces, newest first
+//	/debug/traces   JSON dump of retained traces, newest first;
+//	                ?limit=N (default 64) and ?outcome=ok|slow|error
+//	/debug/slo      JSON SLO status: burn rates, alerts, budget
+//	/debug/events   JSON dump of recent wide events, newest first;
+//	                ?limit=N (default 64)
 //	/debug/pprof/*  the standard net/http/pprof handlers
 //	/               a plain-text index of the above
-//
-// reg, tz and h may each be nil, which serves an empty snapshot / trace
-// list / always-healthy probes.
-func Handler(reg *Registry, tz *Tracer, h *Health) http.Handler {
+func NewHandler(o AdminOptions) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", probeHandler(h.live))
-	mux.HandleFunc("/readyz", probeHandler(h.ready))
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	mux.HandleFunc("/healthz", probeHandler(o.Health.live))
+	mux.HandleFunc("/readyz", probeHandler(o.Health.ready))
+	mux.HandleFunc("/metrics", readOnly(MetricsContentType, func(w http.ResponseWriter, _ *http.Request) {
 		var s Snapshot
-		if reg != nil {
-			s = reg.Snapshot()
+		if o.Registry != nil {
+			s = o.Registry.Snapshot()
 		}
 		_ = WriteMetrics(w, s)
-	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		traces := tz.Recent()
-		if traces == nil {
-			traces = []*Trace{}
+	}))
+	mux.HandleFunc("/debug/traces", readOnly("application/json", func(w http.ResponseWriter, r *http.Request) {
+		limit := parseLimit(r, DefaultTraceDumpLimit)
+		outcome := r.URL.Query().Get("outcome")
+		if outcome != "" && outcome != "ok" && outcome != "slow" && outcome != "error" {
+			http.Error(w, `outcome must be "ok", "slow" or "error"`, http.StatusBadRequest)
+			return
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Finished uint64   `json:"finished"`
-			Traces   []*Trace `json:"traces"`
-		}{tz.Finished(), traces})
-	})
+		traces := []*Trace{}
+		for _, t := range o.Tracer.Recent() {
+			if outcome != "" && t.Class() != outcome {
+				continue
+			}
+			traces = append(traces, t)
+			if len(traces) == limit {
+				break
+			}
+		}
+		writeJSON(w, struct {
+			Finished  uint64                    `json:"finished"`
+			Retention map[string]TraceRetention `json:"retention,omitempty"`
+			Traces    []*Trace                  `json:"traces"`
+		}{o.Tracer.Finished(), o.Tracer.Retention(), traces})
+	}))
+	mux.HandleFunc("/debug/slo", readOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, o.SLO.Status())
+	}))
+	mux.HandleFunc("/debug/events", readOnly("application/json", func(w http.ResponseWriter, r *http.Request) {
+		limit := parseLimit(r, DefaultTraceDumpLimit)
+		events := o.Events.Recent()
+		if events == nil {
+			events = []*Event{}
+		}
+		if len(events) > limit {
+			events = events[:limit]
+		}
+		writeJSON(w, struct {
+			Events []*Event `json:"events"`
+		}{events})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -192,9 +274,30 @@ func Handler(reg *Registry, tz *Tracer, h *Health) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/pprof/\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/slo\n/debug/events\n/debug/pprof/\n")
 	})
 	return mux
+}
+
+// parseLimit reads ?limit=N, falling back to def for missing or
+// malformed values and clamping to ≥ 1.
+func parseLimit(r *http.Request, def int) int {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		return def
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // Server is a running admin endpoint; Close shuts it down.
@@ -203,15 +306,21 @@ type Server struct {
 	ln  net.Listener
 }
 
-// Serve starts the admin endpoint on addr (e.g. ":6060" or
+// Serve is the compatibility wrapper over ServeAdmin without SLO or
+// event views.
+func Serve(addr string, reg *Registry, tz *Tracer, h *Health) (*Server, error) {
+	return ServeAdmin(addr, AdminOptions{Registry: reg, Tracer: tz, Health: h})
+}
+
+// ServeAdmin starts the admin endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0") and serves it on a background goroutine until Close or
 // Shutdown.
-func Serve(addr string, reg *Registry, tz *Tracer, h *Health) (*Server, error) {
+func ServeAdmin(addr string, o AdminOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, tz, h)}
+	srv := &http.Server{Handler: NewHandler(o)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil
 }

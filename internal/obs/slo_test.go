@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable time source the SLO tests drive: hours of
+// window arithmetic without sleeping.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 2, 3, 12, 0, 0, 0, time.UTC)}
+}
+
+func latencySLO(clock *fakeClock) *SLOMonitor {
+	return NewSLOMonitor([]Objective{
+		{Name: "latency", Target: 0.99, LatencyBound: 50 * time.Millisecond},
+	}, SLOOptions{Clock: clock.Now})
+}
+
+func TestNilSLOMonitorIsFullyInert(t *testing.T) {
+	var m *SLOMonitor
+	m.Observe(time.Second, errors.New("boom"))
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("nil monitor unhealthy: %v", err)
+	}
+	if st := m.Status(); st.Burning || len(st.Objectives) != 0 {
+		t.Fatalf("nil monitor status = %+v", st)
+	}
+	m.Register(NewRegistry())
+}
+
+func TestSLOMalformedConfigPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"target 0": func() { NewSLOMonitor([]Objective{{Name: "x", Target: 0}}, SLOOptions{}) },
+		"target 1": func() { NewSLOMonitor([]Objective{{Name: "x", Target: 1}}, SLOOptions{}) },
+		"bad alert": func() {
+			NewSLOMonitor([]Objective{{Name: "x", Target: 0.9}}, SLOOptions{
+				Alerts: []BurnAlert{{Name: "a", Short: time.Hour, Long: time.Minute, Threshold: 1}},
+			})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	clock := newFakeClock()
+	m := latencySLO(clock)
+	// 90 good + 10 bad in the current bucket: bad fraction 0.1, budget
+	// 0.01 → burn rate 10 over every window that sees the bucket.
+	for i := 0; i < 90; i++ {
+		m.Observe(time.Millisecond, nil)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(time.Second, nil) // slow success is bad for a latency objective
+	}
+	st := m.Status()
+	o := st.Objectives[0]
+	if o.Good != 90 || o.Bad != 10 {
+		t.Fatalf("good/bad = %d/%d, want 90/10", o.Good, o.Bad)
+	}
+	for _, w := range o.Windows {
+		if w.BurnRate < 9.99 || w.BurnRate > 10.01 {
+			t.Fatalf("window %s burn rate %g, want 10", w.Window, w.BurnRate)
+		}
+	}
+	if got := 1 - o.BudgetRemaining; got < 9.99 || got > 10.01 {
+		t.Fatalf("budget remaining %g, want 1-10 = -9", o.BudgetRemaining)
+	}
+}
+
+func TestSLOEmptyWindowBurnsNothing(t *testing.T) {
+	m := latencySLO(newFakeClock())
+	st := m.Status()
+	if st.Burning {
+		t.Fatal("empty monitor is burning")
+	}
+	if br := st.Objectives[0].BudgetRemaining; br != 1 {
+		t.Fatalf("empty budget remaining %g, want 1", br)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLOMultiWindowAlertNeedsBothWindows(t *testing.T) {
+	clock := newFakeClock()
+	m := latencySLO(clock)
+	// Seed an hour of pure success so the long (1h) window dilutes the
+	// burst: the fast alert's short window burns hard but its long
+	// window stays under threshold → no firing.
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 100; j++ {
+			m.Observe(time.Millisecond, nil)
+		}
+		clock.advance(time.Minute)
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(time.Second, errors.New("boom"))
+	}
+	st := m.Status()
+	fast := st.Objectives[0].Alerts[0]
+	if fast.ShortBurn <= fast.Threshold {
+		t.Fatalf("short window should burn: %+v", fast)
+	}
+	if fast.Firing {
+		t.Fatalf("diluted long window must hold the alert back: %+v", fast)
+	}
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("healthy while long window is clean: %v", err)
+	}
+}
+
+func TestSLOBurnFiresAndRecovers(t *testing.T) {
+	clock := newFakeClock()
+	m := latencySLO(clock)
+	// A sustained total outage: every request bad for over an hour, so
+	// both the 5m and 1h windows burn at 100× budget.
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 20; j++ {
+			m.Observe(time.Second, errors.New("boom"))
+		}
+		clock.advance(time.Minute)
+	}
+	err := m.Healthy()
+	if err == nil {
+		t.Fatal("sustained outage did not trip Healthy")
+	}
+	if !errors.Is(err, ErrSLOBurning) {
+		t.Fatalf("err %v does not match ErrSLOBurning", err)
+	}
+	if !strings.Contains(err.Error(), "latency") {
+		t.Fatalf("err %v does not name the objective", err)
+	}
+	if !m.Status().Burning {
+		t.Fatal("Status disagrees with Healthy")
+	}
+
+	// The outage ends; once the windows slide past it, readiness
+	// recovers without a restart (and without new traffic).
+	clock.advance(7 * time.Hour)
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("still unhealthy after the windows slid: %v", err)
+	}
+	if m.Status().Burning {
+		t.Fatal("still burning after the windows slid")
+	}
+}
+
+func TestSLOErrorObjectiveIgnoresLatency(t *testing.T) {
+	clock := newFakeClock()
+	m := NewSLOMonitor([]Objective{
+		{Name: "errors", Target: 0.999},
+	}, SLOOptions{Clock: clock.Now})
+	m.Observe(time.Hour, nil) // slow but successful: good for an error-rate objective
+	st := m.Status()
+	if st.Objectives[0].Good != 1 || st.Objectives[0].Bad != 0 {
+		t.Fatalf("slow success misclassified: %+v", st.Objectives[0])
+	}
+}
+
+func TestSLORegisterGauges(t *testing.T) {
+	clock := newFakeClock()
+	m := latencySLO(clock)
+	reg := NewRegistry()
+	m.Register(reg)
+	for i := 0; i < 100; i++ {
+		m.Observe(time.Second, errors.New("boom"))
+	}
+	s := reg.Snapshot()
+	burn, ok := s.Gauges[Name("slo_burn_rate", "slo", "latency", "window", "5m0s")]
+	if !ok {
+		t.Fatalf("slo_burn_rate gauge missing; have %v", s.Gauges)
+	}
+	if burn < 99 {
+		t.Fatalf("burn rate gauge %g, want ~100", burn)
+	}
+	if _, ok := s.Gauges[Name("slo_budget_remaining", "slo", "latency")]; !ok {
+		t.Fatal("slo_budget_remaining gauge missing")
+	}
+	// With no diluting traffic, the all-bad bucket dominates the short
+	// AND long windows, so the burning flag trips.
+	if flag := s.Gauges[Name("slo_burning", "slo", "latency")]; flag != 1 {
+		t.Fatalf("slo_burning = %g, want 1", flag)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func finishWith(tz *Tracer, outcome string, total time.Duration) *Trace {
+	t := tz.Start("q")
+	t.Begin = time.Now().Add(-total) // backdate so Finish computes ≈ total
+	t.SetOutcome(outcome)
+	tz.Finish(t)
+	return t
+}
+
+func TestTailSamplingDropsFastOKKeepsOneInN(t *testing.T) {
+	tz := NewTracerTailSampled(64, TailSamplingPolicy{KeepOneInN: 4})
+	for i := 0; i < 16; i++ {
+		finishWith(tz, "ok", 0)
+	}
+	if got := len(tz.Recent()); got != 4 {
+		t.Fatalf("1-in-4 over 16 fast-OK traces kept %d, want 4", got)
+	}
+	if tz.Finished() != 16 {
+		t.Fatalf("Finished() = %d, want 16 — dropped traces still count", tz.Finished())
+	}
+	ret := tz.Retention()
+	if ret["ok"] != (TraceRetention{Kept: 4, Dropped: 12}) {
+		t.Fatalf("ok retention = %+v", ret["ok"])
+	}
+}
+
+func TestTailSamplingAlwaysKeepsErrorsAndSlow(t *testing.T) {
+	tz := NewTracerTailSampled(64, TailSamplingPolicy{
+		SlowThreshold: 50 * time.Millisecond,
+		KeepOneInN:    1 << 60, // effectively drop every fast-OK trace after the first
+	})
+	finishWith(tz, "ok", 0) // the 1st fast-OK survives (deterministic sampling)
+	for i := 0; i < 10; i++ {
+		finishWith(tz, "ok", 0) // dropped
+	}
+	for _, outcome := range []string{"deadline", "shed", "error", "panic", "canceled"} {
+		finishWith(tz, outcome, 0)
+	}
+	finishWith(tz, "ok", time.Second) // slow success
+
+	byClass := map[string]int{}
+	for _, tr := range tz.Recent() {
+		byClass[tr.Class()]++
+	}
+	if byClass["error"] != 5 {
+		t.Fatalf("kept %d error traces, want all 5", byClass["error"])
+	}
+	if byClass["slow"] != 1 {
+		t.Fatalf("kept %d slow traces, want 1", byClass["slow"])
+	}
+	if byClass["ok"] != 1 {
+		t.Fatalf("kept %d fast-OK traces, want just the first", byClass["ok"])
+	}
+	ret := tz.Retention()
+	if ret["error"].Dropped != 0 || ret["slow"].Dropped != 0 {
+		t.Fatalf("errors/slow must never drop: %+v", ret)
+	}
+	if ret["ok"].Dropped != 10 {
+		t.Fatalf("ok dropped = %d, want 10", ret["ok"].Dropped)
+	}
+}
+
+func TestTailSamplingSlowStampFromThreshold(t *testing.T) {
+	tz := NewTracerTailSampled(8, TailSamplingPolicy{SlowThreshold: 10 * time.Millisecond})
+	fast := finishWith(tz, "", time.Millisecond)
+	slow := finishWith(tz, "", 20*time.Millisecond)
+	if fast.Slow || fast.Class() != "ok" {
+		t.Fatalf("fast trace stamped slow: %+v", fast)
+	}
+	if !slow.Slow || slow.Class() != "slow" {
+		t.Fatalf("slow trace not stamped: total=%v class=%s", slow.Total, slow.Class())
+	}
+}
+
+func TestTraceClassErrorBeatsSlow(t *testing.T) {
+	tr := &Trace{Outcome: "deadline", Slow: true}
+	if got := tr.Class(); got != "error" {
+		t.Fatalf("class = %s, want error (outcome dominates)", got)
+	}
+	if got := (&Trace{Outcome: "ok", Slow: true}).Class(); got != "slow" {
+		t.Fatalf("explicit ok outcome with slow stamp = %s, want slow", got)
+	}
+}
+
+func TestDefaultTracerKeepsEverything(t *testing.T) {
+	tz := NewTracer(32)
+	for i := 0; i < 20; i++ {
+		finishWith(tz, "ok", 0)
+	}
+	if got := len(tz.Recent()); got != 20 {
+		t.Fatalf("no-policy tracer kept %d of 20", got)
+	}
+	ret := tz.Retention()
+	if ret["ok"] != (TraceRetention{Kept: 20}) {
+		t.Fatalf("retention = %+v", ret["ok"])
+	}
+}

@@ -40,8 +40,14 @@ type Trace struct {
 	// instead of formatting a string per query.
 	Gen       uint64        `json:"gen,omitempty"`
 	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
-	Spans     []Span        `json:"spans"`
-	Annots    []Annotation  `json:"annotations,omitempty"`
+	// Outcome is how the traced request ended (ok, shed, deadline,
+	// canceled, panic, error); empty is treated as ok. Slow is stamped
+	// at Finish when Total reaches the tracer's tail-sampling threshold.
+	// Together they drive tail sampling and the /debug/traces filters.
+	Outcome string       `json:"outcome,omitempty"`
+	Slow    bool         `json:"slow,omitempty"`
+	Spans   []Span       `json:"spans"`
+	Annots  []Annotation `json:"annotations,omitempty"`
 
 	spanBuf  [5]Span       // inline storage: the serve pipeline has ≤ 5 phases
 	annotBuf [2]Annotation // typical traces carry ≤ 2 string tags
@@ -62,6 +68,38 @@ func (t *Trace) SetQueueWait(d time.Duration) {
 		return
 	}
 	t.QueueWait = d
+}
+
+// SetOutcome records how the traced request ended; the tail sampler
+// reads it at Finish.
+func (t *Trace) SetOutcome(outcome string) {
+	if t == nil {
+		return
+	}
+	t.Outcome = outcome
+}
+
+// TraceID returns the trace's ID, or 0 on a nil trace — the join key
+// histogram exemplars and wide events carry.
+func (t *Trace) TraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ID
+}
+
+// Class buckets a trace for retention accounting and the /debug/traces
+// outcome filter: "error" for any non-ok outcome, else "slow" when the
+// Slow stamp is set, else "ok".
+func (t *Trace) Class() string {
+	switch {
+	case t.Outcome != "" && t.Outcome != "ok":
+		return "error"
+	case t.Slow:
+		return "slow"
+	default:
+		return "ok"
+	}
 }
 
 // Mark closes the current span under the given name: it covers the time
@@ -101,18 +139,74 @@ type Tracer struct {
 	// exact.
 	next atomic.Uint64
 	ring []atomic.Pointer[Trace]
+
+	// Tail sampling (zero value: keep everything). The ring is small and
+	// a busy engine finishes thousands of traces per second, so without
+	// tail sampling the one trace an operator needs — the slow or failed
+	// request behind a latency spike — is evicted by a flood of
+	// uninteresting fast successes within milliseconds. The policy keeps
+	// every error and slow trace and probabilistically drops fast-OK
+	// traces before they enter the ring.
+	policy  TailSamplingPolicy
+	okSeen  atomic.Uint64 // fast-OK traces seen, drives 1-in-N retention
+	kept    [3]atomic.Uint64
+	dropped [3]atomic.Uint64
 }
+
+// TailSamplingPolicy decides, at Finish time, whether a completed trace
+// enters the ring.
+type TailSamplingPolicy struct {
+	// SlowThreshold classifies a trace as slow when its total duration
+	// reaches it; slow traces are always retained. 0 disables the slow
+	// class.
+	SlowThreshold time.Duration
+	// KeepOneInN retains one in N fast-OK traces (deterministic counter
+	// sampling); 0 or 1 retains all. Error and slow traces are always
+	// retained regardless.
+	KeepOneInN uint64
+}
+
+// enabled reports whether the policy can drop anything.
+func (p TailSamplingPolicy) enabled() bool { return p.KeepOneInN > 1 }
+
+// classIndex maps a trace class to its retention-counter slot.
+func classIndex(class string) int {
+	switch class {
+	case "error":
+		return 2
+	case "slow":
+		return 1
+	default:
+		return 0
+	}
+}
+
+var traceClasses = [3]string{"ok", "slow", "error"}
 
 // DefaultTraceCapacity is the ring size used when NewTracer is given a
 // non-positive capacity.
 const DefaultTraceCapacity = 256
 
-// NewTracer builds a tracer retaining the last capacity traces.
+// NewTracer builds a tracer retaining the last capacity traces, with no
+// tail sampling: every finished trace enters the ring.
 func NewTracer(capacity int) *Tracer {
+	return NewTracerTailSampled(capacity, TailSamplingPolicy{})
+}
+
+// NewTracerTailSampled builds a tracer that applies policy at Finish.
+func NewTracerTailSampled(capacity int, policy TailSamplingPolicy) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{capacity: capacity, ring: make([]atomic.Pointer[Trace], capacity)}
+	return &Tracer{capacity: capacity, ring: make([]atomic.Pointer[Trace], capacity), policy: policy}
+}
+
+// Policy returns the tracer's tail-sampling policy.
+func (tz *Tracer) Policy() TailSamplingPolicy {
+	if tz == nil {
+		return TailSamplingPolicy{}
+	}
+	return tz.policy
 }
 
 // Start begins a new trace. On a nil tracer it returns nil, which every
@@ -131,17 +225,49 @@ func (tz *Tracer) Start(label string) *Trace {
 	return t
 }
 
-// Finish stamps the trace's total duration and publishes it into the
-// ring, evicting the oldest trace once the ring is full. Nil tracer or
-// nil trace are no-ops.
+// Finish stamps the trace's total duration and slow classification,
+// consults the tail-sampling policy, and — when the trace is retained —
+// publishes it into the ring, evicting the oldest trace once the ring
+// is full. Dropped traces still count in Finished and the retention
+// counters, so the drop rate is observable. Nil tracer or nil trace are
+// no-ops.
 func (tz *Tracer) Finish(t *Trace) {
 	if tz == nil || t == nil {
 		return
 	}
 	t.Total = time.Since(t.Begin)
+	if tz.policy.SlowThreshold > 0 && t.Total >= tz.policy.SlowThreshold {
+		t.Slow = true
+	}
+	tz.finished.Add(1)
+	ci := classIndex(t.Class())
+	if ci == 0 && tz.policy.enabled() && (tz.okSeen.Add(1)-1)%tz.policy.KeepOneInN != 0 {
+		tz.dropped[ci].Add(1)
+		return
+	}
+	tz.kept[ci].Add(1)
 	slot := tz.next.Add(1) - 1
 	tz.ring[slot%uint64(tz.capacity)].Store(t)
-	tz.finished.Add(1)
+}
+
+// TraceRetention reports how many finished traces of one class the tail
+// sampler kept and dropped.
+type TraceRetention struct {
+	Kept    uint64 `json:"kept"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Retention returns the per-class (ok, slow, error) retention counters
+// accumulated since the tracer was built.
+func (tz *Tracer) Retention() map[string]TraceRetention {
+	if tz == nil {
+		return nil
+	}
+	out := make(map[string]TraceRetention, len(traceClasses))
+	for i, class := range traceClasses {
+		out[class] = TraceRetention{Kept: tz.kept[i].Load(), Dropped: tz.dropped[i].Load()}
+	}
+	return out
 }
 
 // Finished returns the number of traces completed so far (including

@@ -139,6 +139,55 @@ func BenchmarkServeResilient(b *testing.B) {
 	})
 }
 
+// BenchmarkServeLogging measures the wide-event logging layer's overhead
+// on the batch serving path at the engine-w4 configuration. "off" is the
+// instrumented engine without a logger (the nil-logger branch). "on"
+// wires the full observability-v2 surface as cmd/fairjob does: a
+// wide-event logger at 1-in-128 success sampling into a ring sink, a
+// tail-sampled tracer keeping 1-in-128 fast-OK traces, and an SLO
+// monitor observing every request. The acceptance budget for on-vs-off
+// is < 5% (bench.sh computes the delta into the BENCH JSON).
+func BenchmarkServeLogging(b *testing.B) {
+	snap, reqs := benchWorkload()
+	run := func(b *testing.B, opts func() serve.Options) {
+		for i := 0; i < b.N; i++ {
+			eng := serve.NewEngine(snap, opts())
+			for _, resp := range eng.DoBatch(reqs) {
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() serve.Options {
+			return serve.Options{
+				Workers: 4,
+				Obs:     obs.NewRegistry(),
+				Tracer:  obs.NewTracer(obs.DefaultTraceCapacity),
+			}
+		})
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, func() serve.Options {
+			return serve.Options{
+				Workers: 4,
+				Obs:     obs.NewRegistry(),
+				Tracer: obs.NewTracerTailSampled(obs.DefaultTraceCapacity, obs.TailSamplingPolicy{
+					SlowThreshold: 50 * time.Millisecond,
+					KeepOneInN:    128,
+				}),
+				Log: obs.NewLogger(obs.LoggerOptions{Component: "serve", SampleN: 128}),
+				SLO: obs.NewSLOMonitor([]obs.Objective{
+					{Name: "latency", Target: 0.99, LatencyBound: 50 * time.Millisecond},
+					{Name: "errors", Target: 0.999},
+				}, obs.SLOOptions{}),
+			}
+		})
+	})
+}
+
 // BenchmarkServeSnapshotBuild measures the cost of freezing a table into
 // a snapshot (clone + three index builds), the price of one
 // copy-on-write refresh.

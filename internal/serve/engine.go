@@ -124,8 +124,22 @@ type Options struct {
 	// Tracer, when non-nil, records a per-query trace (snapshot pin →
 	// validate → cache lookup → execute → access accounting) into its
 	// ring buffer. Nil disables tracing; the per-query cost is then a
-	// few nil checks.
+	// few nil checks. A tail-sampled tracer
+	// (obs.NewTracerTailSampled) keeps error and slow traces while
+	// dropping most fast successes, so the interesting trace survives
+	// heavy traffic.
 	Tracer *obs.Tracer
+	// Log, when non-nil, emits one wide event per request — every
+	// outcome path, including validation rejects and shed requests —
+	// carrying the request shape, snapshot generation, cache behavior,
+	// queue wait, access costs and outcome (DESIGN.md §11). Nil
+	// disables wide-event logging at the cost of one branch.
+	Log *obs.Logger
+	// SLO, when non-nil, receives one observation per admitted request
+	// and contributes its burn-rate health to Engine.Ready: a sustained
+	// hard burn makes the engine report unready until the alert windows
+	// slide past the burst.
+	SLO *obs.SLOMonitor
 
 	// DefaultDeadline bounds every request that does not carry its own
 	// Request.Deadline. 0 means no engine-wide deadline; requests then
@@ -172,7 +186,9 @@ type Engine struct {
 
 	reg    *obs.Registry
 	met    *engineMetrics
-	tracer *obs.Tracer // nil disables per-query tracing
+	tracer *obs.Tracer     // nil disables per-query tracing
+	log    *obs.Logger     // nil disables wide-event logging
+	slo    *obs.SLOMonitor // nil disables SLO accounting
 }
 
 // engineMetrics holds the engine's metric handles, resolved against the
@@ -258,9 +274,12 @@ func NewEngine(snap *Snapshot, opts Options) *Engine {
 		reg:             reg,
 		met:             newEngineMetrics(reg),
 		tracer:          opts.Tracer,
+		log:             opts.Log,
+		slo:             opts.SLO,
 		defaultDeadline: opts.DefaultDeadline,
 		retry:           opts.Retry,
 	}
+	opts.SLO.Register(reg)
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newLRU(DefaultCacheSize)
@@ -406,6 +425,13 @@ func (e *Engine) Ready() error {
 	if e.gate != nil && e.gate.saturated() {
 		return fmt.Errorf("serve: admission gate saturated (%d queued): %w", e.gate.queued(), ErrOverloaded)
 	}
+	// A sustained SLO burn also drains the replica: the engine is up, but
+	// it is failing its objectives, and a load balancer should prefer
+	// replicas that are not. Healthy clears once the alert windows slide
+	// past the burst, so readiness recovers without a restart.
+	if err := e.slo.Healthy(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -494,8 +520,15 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 	if err := validate(req); err != nil {
 		e.met.errors.Inc()
 		tr.Annotate("err", err.Error())
+		tr.SetOutcome("error")
 		e.tracer.Finish(tr)
-		return Response{Gen: snap.gen, Err: err}
+		// A validation reject is the caller's bug, not the engine's
+		// unavailability: no latency sample, no request count, no SLO
+		// observation — but it does get a wide event, because "who sends
+		// malformed queries" is an operational question.
+		resp := Response{Gen: snap.gen, Err: err}
+		e.emit(req, resp, tr, "error", time.Since(start), "")
+		return resp
 	}
 	tr.Mark("validate")
 	pi := req.Problem
@@ -508,8 +541,12 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 			tr.Mark("cache-lookup")
 			tr.Annotate("cache", "hit")
 			resp.CacheHit = true
-			e.met.latency[pi].Observe(time.Since(start).Seconds())
+			lat := time.Since(start)
+			e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
+			tr.SetOutcome("ok")
 			e.tracer.Finish(tr)
+			e.slo.Observe(lat, nil)
+			e.emit(req, resp, tr, "ok", lat, "hit")
 			return resp
 		}
 		e.met.cacheMisses.Inc()
@@ -528,13 +565,13 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 	if e.gate != nil {
 		weight := requestWeight(req)
 		if err := e.gate.acquire(ctx, weight); err != nil {
-			return e.refuse(snap, pi, err, tr, start)
+			return e.refuse(snap, req, err, tr, start)
 		}
 		defer e.gate.release(weight)
 	} else if err := ctx.Err(); err != nil {
 		// No gate to observe the context; still refuse dead requests
 		// before spending compute on them.
-		return e.refuse(snap, pi, ctxError(err), tr, start)
+		return e.refuse(snap, req, ctxError(err), tr, start)
 	}
 
 	e.met.inflight.Add(1)
@@ -557,21 +594,106 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 		}
 	}
 	tr.Mark("access-accounting")
-	e.met.latency[pi].Observe(time.Since(start).Seconds())
+	lat := time.Since(start)
+	e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
+	outcome := outcomeOf(resp.Err)
+	tr.SetOutcome(outcome)
 	e.tracer.Finish(tr)
+	e.slo.Observe(lat, resp.Err)
+	e.emit(req, resp, tr, outcome, lat, e.cacheState())
 	return resp
 }
 
 // refuse finishes a request that never executed (shed, expired or
 // canceled before admission), keeping the telemetry invariants: the
-// error counters tick, and the request still lands one latency sample.
-func (e *Engine) refuse(snap *Snapshot, pi Problem, err error, tr *obs.Trace, start time.Time) Response {
+// error counters tick, and the request still lands one latency sample,
+// one SLO observation and one wide event.
+func (e *Engine) refuse(snap *Snapshot, req Request, err error, tr *obs.Trace, start time.Time) Response {
 	e.met.errors.Inc()
 	e.countFailure(err)
 	tr.Annotate("err", err.Error())
-	e.met.latency[pi].Observe(time.Since(start).Seconds())
+	lat := time.Since(start)
+	e.met.latency[req.Problem].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
+	outcome := outcomeOf(err)
+	tr.SetOutcome(outcome)
 	e.tracer.Finish(tr)
-	return Response{Gen: snap.gen, Err: err}
+	e.slo.Observe(lat, err)
+	resp := Response{Gen: snap.gen, Err: err}
+	e.emit(req, resp, tr, outcome, lat, e.cacheState())
+	return resp
+}
+
+// outcomeOf classifies a request error into the wide-event outcome
+// vocabulary: ok | shed | deadline | canceled | panic | error.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrInternal):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// cacheState is the wide-event cache field for a request that got past
+// the cache probe without a hit.
+func (e *Engine) cacheState() string {
+	if e.cache == nil {
+		return "off"
+	}
+	return "miss"
+}
+
+// emit assembles and logs the request's wide event. It runs after the
+// trace finishes, so the event carries the final outcome and the same
+// trace ID the latency exemplar published — the three telemetry views
+// join on it. Access-cost counters are only attributed to requests that
+// actually computed (a cache hit spends none).
+func (e *Engine) emit(req Request, resp Response, tr *obs.Trace, outcome string, lat time.Duration, cache string) {
+	if e.log == nil {
+		return
+	}
+	ev := obs.Event{
+		Outcome:   outcome,
+		LatencyNS: lat.Nanoseconds(),
+		TraceID:   tr.TraceID(),
+		Gen:       resp.Gen,
+		Problem:   req.Problem.String(),
+		Cache:     cache,
+	}
+	if tr != nil {
+		ev.QueueWaitNS = int64(tr.QueueWait)
+	}
+	if resp.Err != nil {
+		ev.Err = resp.Err.Error()
+	}
+	switch req.Problem {
+	case Quantify:
+		ev.Dim = req.Dim.String()
+		ev.K = req.K
+		ev.Direction = req.Direction.String()
+		ev.Algo = req.Algorithm.String()
+		if !resp.CacheHit {
+			ev.SortedAccesses = resp.Stats.SortedAccesses
+			ev.RandomAccesses = resp.Stats.RandomAccesses
+			ev.Rounds = resp.Stats.Rounds
+		}
+	case Compare:
+		ev.Dim = req.Of.String()
+		ev.R1, ev.R2 = req.R1, req.R2
+		ev.By = req.By.String()
+		if resp.Comparison != nil && !resp.CacheHit {
+			ev.CompareAccesses = resp.Comparison.Accesses
+		}
+	}
+	e.log.Log(ev)
 }
 
 // countFailure classifies a request failure into the resilience

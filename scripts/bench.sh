@@ -7,30 +7,37 @@
 # throughput vs a sequential query loop, snapshot freeze cost, cache-hit
 # latency), the telemetry-overhead benchmark of PR 3 (batch serving
 # with the full obs surface — shared registry + trace ring — vs the
-# default engine), and the resilience-overhead benchmark of PR 4 (batch
+# default engine), the resilience-overhead benchmark of PR 4 (batch
 # serving with deadlines and the admission gate enabled vs the default
-# engine), and writes the results to a JSON file so successive PRs can
-# be compared number-to-number.
+# engine), and the logging-overhead benchmark of PR 5 (batch serving
+# with the wide-event logger at 1/128 success sampling, the tail-sampled
+# tracer and the SLO monitor vs the instrumented-but-unlogged engine),
+# and writes the results to a JSON file so successive PRs can be
+# compared number-to-number.
 #
-# Three derived records are appended:
+# Derived records appended:
 #   telemetry_overhead    on-vs-off delta of BenchmarkServeInstrumented,
 #                         with the PR 3 acceptance budget (< 5%)
 #   resilience_overhead   on-vs-off delta of BenchmarkServeResilient,
 #                         with the PR 4 acceptance budget (< 5%)
+#   logging_overhead      on-vs-off delta of BenchmarkServeLogging,
+#                         with the PR 5 acceptance budget (< 5%)
 #   engine_w4_vs_PR3      this run's engine-w4 ns/op against the stored
 #                         BENCH_PR3.json baseline, when present
+#   engine_w4_vs_PR4      same, against the BENCH_PR4.json baseline
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR4.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR5.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$'
 raw="$(mktemp)"
 raw2="$(mktemp)"
 raw3="$(mktemp)"
-trap 'rm -f "$raw" "$raw2" "$raw3"' EXIT
+raw4="$(mktemp)"
+trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
@@ -43,6 +50,9 @@ go test -run '^$' -bench 'BenchmarkServeInstrumented' -benchmem -benchtime=2s -c
 
 echo "== go test -bench BenchmarkServeResilient -count=5 (resilience overhead pair)"
 go test -run '^$' -bench 'BenchmarkServeResilient' -benchmem -benchtime=2s -count=5 ./internal/serve | tee "$raw3"
+
+echo "== go test -bench BenchmarkServeLogging -count=5 (logging overhead pair)"
+go test -run '^$' -bench 'BenchmarkServeLogging' -benchmem -benchtime=2s -count=5 ./internal/serve | tee "$raw4"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records
@@ -124,6 +134,35 @@ if [ -n "$roff" ] && [ -n "$ron" ]; then
     echo "bench.sh: resilience overhead on-vs-off (median of 5): $(awk -v off="$roff" -v on="$ron" 'BEGIN { printf "%.2f%%", (on-off)/off*100 }')"
 fi
 
+# Derived record: logging overhead — wide-event logger at 1/128 success
+# sampling + tail-sampled tracer + SLO monitor vs the instrumented
+# engine without them — median ns/op of the 5 runs per variant, same
+# protocol as the other pairs. The PR 5 acceptance budget is < 5%.
+loff="$(median BenchmarkServeLogging off "$raw4")"
+lon="$(median BenchmarkServeLogging on "$raw4")"
+if [ -n "$loff" ] && [ -n "$lon" ]; then
+    awk -v off="$loff" -v on="$lon" '
+    /^BenchmarkServeLogging/ {
+        key = index($1, "/off") ? "off" : "on"
+        if (seen[key]++) next
+        ns = (key == "off" ? off : on)
+        bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        printf ",\n  {\"name\": \"%s\", \"runs\": 5, \"median_ns_per_op\": %s", $1, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }' "$raw4" >> "$out"
+    awk -v off="$loff" -v on="$lon" 'BEGIN {
+        pct = (on - off) / off * 100
+        printf ",\n  {\"name\": \"logging_overhead\", \"runs\": 5, \"off_median_ns_per_op\": %s, \"on_median_ns_per_op\": %s, \"delta_pct\": %.2f, \"budget_pct\": 5, \"within_budget\": %s}", off, on, pct, (pct < 5 ? "true" : "false")
+    }' >> "$out"
+    echo "bench.sh: logging overhead on-vs-off (median of 5): $(awk -v off="$loff" -v on="$lon" 'BEGIN { printf "%.2f%%", (on-off)/off*100 }')"
+fi
+
 # Derived record: this run's engine-w4 against the PR 3 baseline.
 cur="$(awk '$1 ~ /^BenchmarkServeConcurrent\/engine-w4/ {print $3; exit}' "$raw")"
 base="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
@@ -134,6 +173,17 @@ if [ -n "$cur" ] && [ -n "$base" ]; then
         printf ",\n  {\"name\": \"engine_w4_vs_PR3\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
     }' >> "$out"
     echo "bench.sh: engine-w4 vs BENCH_PR3 baseline: $(awk -v base="$base" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
+fi
+
+# Derived record: this run's engine-w4 against the PR 4 baseline.
+base4="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
+    s = substr($0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s; exit
+}' BENCH_PR4.json 2>/dev/null || true)"
+if [ -n "$cur" ] && [ -n "$base4" ]; then
+    awk -v base="$base4" -v cur="$cur" 'BEGIN {
+        printf ",\n  {\"name\": \"engine_w4_vs_PR4\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
+    }' >> "$out"
+    echo "bench.sh: engine-w4 vs BENCH_PR4 baseline: $(awk -v base="$base4" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
 fi
 
 printf '\n]\n' >> "$out"

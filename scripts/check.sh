@@ -9,14 +9,21 @@
 #                            and trace paths plus the instrumented
 #                            engine, raced first and uncached so a
 #                            telemetry regression fails fast
-#   4. chaos gate            go test -race -tags faultinject over the
+#   4. observability gate    go test -race over the PR 5 stress suite
+#                            (histogram exemplars, tail-sampled trace
+#                            ring and event ring under concurrent
+#                            scrapes) plus the jq-free schema gate: a Go
+#                            test that drives a mixed workload through
+#                            the engine and validates every emitted wide
+#                            event against the documented closed schema
+#   5. chaos gate            go test -race -tags faultinject over the
 #                            serving stack and the failpoint registry —
 #                            the chaos suite arms every failpoint
 #                            (slow evaluator, panicking measure, failing
 #                            refresh, queue delay) and asserts the
 #                            engine converges back to correct answers
 #                            once faults clear
-#   5. go test -race ./...   full suite under the race detector — the
+#   6. go test -race ./...   full suite under the race detector — the
 #                            evaluators' sharded worker pools and the
 #                            serve engine's concurrent query paths must
 #                            stay race-clean at any worker count
@@ -45,6 +52,10 @@ go build ./...
 
 echo "== go test -race ./internal/obs ./internal/serve (telemetry gate)"
 go test -race -count=1 ./internal/obs/ ./internal/serve/
+
+echo "== go test -race -run 'TestStress|TestWideEventSchemaGate' (observability gate)"
+go test -race -count=1 -run 'TestStress' ./internal/obs/
+go test -race -count=1 -run 'TestWideEventSchemaGate' ./internal/serve/
 
 echo "== go test -race -tags faultinject ./internal/serve/... ./internal/faultinject/... (chaos gate)"
 go test -race -tags faultinject -count=1 ./internal/serve/... ./internal/faultinject/... ./internal/topk/...
