@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -92,23 +93,20 @@ func TestMetricsContentTypeAndHead(t *testing.T) {
 	}
 }
 
-// TestMetricsScrapeReparses is the exposition-format regression gate: it
-// scrapes /metrics and re-parses every line as version 0.0.4 text —
-// `# TYPE name counter|gauge|histogram` headers, `name[{labels}] value`
-// samples, and optional ` # {trace_id="…"} value` exemplar suffixes on
-// bucket lines. Any malformed line a format change introduces fails here.
-func TestMetricsScrapeReparses(t *testing.T) {
-	srv := httptest.NewServer(adminFixture(t))
-	defer srv.Close()
-	body, err := httpGet(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
+// reparseExposition re-parses one exposition body line by line:
+// `# TYPE name <type>` headers, `name[{labels}] value` samples, and —
+// only when exemplars is true (the OpenMetrics rendering) — optional
+// ` # {trace_id="…"} value` exemplar suffixes on bucket lines. It
+// returns the number of sample lines and whether an exemplar was seen.
+func reparseExposition(t *testing.T, body string, exemplars bool) (samples int, sawExemplar bool) {
+	t.Helper()
 	types := map[string]string{}
-	samples := 0
 	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
 		if line == "" {
 			t.Fatal("blank line in exposition")
+		}
+		if line == "# EOF" {
+			continue // terminator legality is checked by the callers
 		}
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
@@ -116,7 +114,7 @@ func TestMetricsScrapeReparses(t *testing.T) {
 				t.Fatalf("malformed comment line %q", line)
 			}
 			switch fields[3] {
-			case "counter", "gauge", "histogram":
+			case "counter", "gauge", "histogram", "unknown":
 			default:
 				t.Fatalf("unknown metric type in %q", line)
 			}
@@ -125,6 +123,11 @@ func TestMetricsScrapeReparses(t *testing.T) {
 		}
 		sample := line
 		if i := strings.Index(line, " # "); i >= 0 {
+			if !exemplars {
+				// The classic 0.0.4 parser has no exemplar concept: a
+				// bucket line carrying one fails the whole scrape.
+				t.Fatalf("exemplar suffix in a 0.0.4 exposition: %q", line)
+			}
 			// Exemplar suffix: only legal on bucket lines, and its own
 			// value must parse.
 			exemplar := line[i+3:]
@@ -139,6 +142,7 @@ func TestMetricsScrapeReparses(t *testing.T) {
 			if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
 				t.Fatalf("exemplar value in %q: %v", line, err)
 			}
+			sawExemplar = true
 		}
 		sp := strings.LastIndex(sample, " ")
 		if sp < 0 {
@@ -156,13 +160,101 @@ func TestMetricsScrapeReparses(t *testing.T) {
 			base = base[:i]
 		}
 		root := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
-		if _, ok := types[root]; !ok && types[base] == "" {
+		// OpenMetrics counter families drop the _total suffix from the
+		// header, so a sample may also resolve through its trimmed root.
+		counterRoot := strings.TrimSuffix(base, "_total")
+		if _, ok := types[root]; !ok && types[base] == "" && types[counterRoot] == "" {
 			t.Fatalf("sample %q precedes its # TYPE header", line)
 		}
 		samples++
 	}
+	return samples, sawExemplar
+}
+
+// TestMetricsScrapeReparses is the exposition-format regression gate: it
+// scrapes /metrics without Accept negotiation and re-parses every line
+// as strict version 0.0.4 text. Exemplar suffixes are an OpenMetrics
+// construct and fail the classic parser, so their absence is part of
+// what this test pins.
+func TestMetricsScrapeReparses(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+	body, err := httpGet(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Fatal("0.0.4 scrape carries the OpenMetrics terminator")
+	}
+	samples, _ := reparseExposition(t, body, false)
 	if samples == 0 {
 		t.Fatal("no samples scraped")
+	}
+}
+
+// TestMetricsOpenMetricsNegotiation covers the Accept-negotiated
+// OpenMetrics rendering: the openmetrics content type, the # EOF
+// terminator, exemplar suffixes on exemplared buckets, and a body that
+// still re-parses line by line.
+func TestMetricsOpenMetricsNegotiation(t *testing.T) {
+	srv := httptest.NewServer(adminFixture(t))
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8, text/plain;q=0.5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Fatalf("negotiated Content-Type = %q, want %q", ct, OpenMetricsContentType)
+	}
+	body := string(raw)
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics body lacks the # EOF terminator:\n%s", body)
+	}
+	samples, sawExemplar := reparseExposition(t, body, true)
+	if samples == 0 {
+		t.Fatal("no samples scraped")
+	}
+	if !sawExemplar {
+		t.Fatal("exemplared fixture produced no exemplar suffix in the OpenMetrics rendering")
+	}
+
+	// HEAD negotiates the same content type.
+	req, _ = http.NewRequest(http.MethodHead, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Fatalf("HEAD negotiated Content-Type = %q, want %q", ct, OpenMetricsContentType)
+	}
+
+	// An Accept header not asking for OpenMetrics keeps the 0.0.4 format.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("text/plain Accept negotiated %q, want %q", ct, MetricsContentType)
+	}
+	if strings.Contains(string(raw), " # ") {
+		t.Fatal("0.0.4 body carries an exemplar suffix")
 	}
 }
 

@@ -22,7 +22,10 @@ type Exemplar struct {
 // retains {v, traceID} as the bucket's exemplar (most recent wins) and
 // as the histogram's max exemplar when v is the largest value seen. A
 // zero traceID records the value without touching the exemplars, so
-// callers with tracing disabled can use one call site unconditionally.
+// callers with tracing disabled can use one call site unconditionally —
+// and callers under a tail-sampled tracer pass Trace.JoinID (zero for
+// dropped traces), so an exemplar never references a trace that is
+// absent from /debug/traces.
 func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
 	h.Observe(v)
 	if traceID == 0 {

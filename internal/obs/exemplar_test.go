@@ -79,17 +79,64 @@ func TestExemplarExpositionSuffix(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("lat_seconds", []float64{0.1, 1})
 	h.ObserveWithExemplar(0.05, 42)
+
+	// OpenMetrics rendering: exemplar suffix on the bucket line, # EOF
+	// terminator.
 	var b strings.Builder
-	if err := WriteMetrics(&b, reg.Snapshot()); err != nil {
+	if err := WriteOpenMetrics(&b, reg.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	want := `lat_seconds_bucket{le="0.1"} 1 # {trace_id="42"} 0.05`
 	if !strings.Contains(out, want) {
-		t.Fatalf("exposition missing exemplar suffix %q:\n%s", want, out)
+		t.Fatalf("OpenMetrics exposition missing exemplar suffix %q:\n%s", want, out)
 	}
 	// Buckets without an exemplar keep the plain format.
 	if !strings.Contains(out, "lat_seconds_bucket{le=\"1\"} 1\n") {
 		t.Fatalf("exemplar-free bucket line malformed:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition lacks the # EOF terminator:\n%s", out)
+	}
+
+	// The classic 0.0.4 rendering must NOT carry exemplars: the text
+	// parser a real Prometheus scraper uses rejects the suffix and loses
+	// the whole scrape.
+	b.Reset()
+	if err := WriteMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	plain := b.String()
+	if strings.Contains(plain, " # ") || strings.Contains(plain, "trace_id") {
+		t.Fatalf("0.0.4 exposition carries an exemplar suffix:\n%s", plain)
+	}
+	if strings.Contains(plain, "# EOF") {
+		t.Fatalf("0.0.4 exposition carries the OpenMetrics terminator:\n%s", plain)
+	}
+	if !strings.Contains(plain, "lat_seconds_bucket{le=\"0.1\"} 1\n") {
+		t.Fatalf("0.0.4 bucket line malformed:\n%s", plain)
+	}
+}
+
+// TestOpenMetricsCounterFamilyNaming pins the counter-family rule: the
+// TYPE header drops the `_total` sample suffix, and counters outside
+// that convention degrade to type unknown.
+func TestOpenMetricsCounterFamilyNaming(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Name("req_total", "problem", "quantify")).Add(3)
+	reg.Counter("oddball").Add(1)
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE req counter\n") {
+		t.Fatalf("counter family not trimmed of _total:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{problem="quantify"} 3`+"\n") {
+		t.Fatalf("counter sample line changed:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE oddball unknown\n") {
+		t.Fatalf("non-_total counter not degraded to unknown:\n%s", out)
 	}
 }

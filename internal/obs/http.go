@@ -18,8 +18,25 @@ import (
 // one line per counter/gauge and the cumulative `_bucket`/`_sum`/`_count`
 // series per histogram. Label blocks embedded in metric names (see Name)
 // are passed through; histogram bucket lines merge the `le` label into
-// them.
+// them. Exemplars are NOT written — they are an OpenMetrics construct,
+// and a classic text-format parser rejects a bucket line carrying one,
+// losing the whole scrape. Clients that want exemplars negotiate
+// WriteOpenMetrics through the /metrics Accept header.
 func WriteMetrics(w io.Writer, s Snapshot) error {
+	return writeExposition(w, s, false)
+}
+
+// WriteOpenMetrics renders a snapshot in the OpenMetrics text format:
+// histogram bucket lines carry ` # {trace_id="…"} value` exemplar
+// suffixes (the /metrics → /debug/traces join key), counter families are
+// named without their `_total` suffix as the spec requires (counters not
+// following the `_total` convention are exposed as type `unknown`), and
+// the exposition ends with the mandatory `# EOF` terminator.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	return writeExposition(w, s, true)
+}
+
+func writeExposition(w io.Writer, s Snapshot, openMetrics bool) error {
 	type line struct {
 		name string
 		text string
@@ -52,12 +69,10 @@ func WriteMetrics(w io.Writer, s Snapshot) error {
 				le = formatFloat(h.Bounds[i])
 			}
 			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d", base, joinLabels(labels), le, cum)
-			// OpenMetrics-style exemplar suffix: the trace behind the
-			// bucket's most recent observation, the /metrics →
-			// /debug/traces join key. Parsers that treat ` # ` as a
-			// trailing comment (including the repo's own scrape test)
-			// stay compatible.
-			if h.Exemplars != nil && i < len(h.Exemplars) && h.Exemplars[i] != nil {
+			// Exemplar suffix: the trace behind the bucket's most recent
+			// observation, the /metrics → /debug/traces join key. Legal in
+			// OpenMetrics only.
+			if openMetrics && h.Exemplars != nil && i < len(h.Exemplars) && h.Exemplars[i] != nil {
 				ex := h.Exemplars[i]
 				fmt.Fprintf(&b, " # {trace_id=\"%d\"} %s", ex.TraceID, formatFloat(ex.Value))
 			}
@@ -74,7 +89,18 @@ func WriteMetrics(w io.Writer, s Snapshot) error {
 	}
 	sort.Strings(bases)
 	for _, base := range bases {
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, types[base]); err != nil {
+		family, typ := base, types[base]
+		if openMetrics && typ == "counter" {
+			// OpenMetrics names the counter family without the `_total`
+			// sample suffix; counters outside that convention cannot be
+			// expressed as counters and degrade to `unknown`.
+			if trimmed := strings.TrimSuffix(base, "_total"); trimmed != base {
+				family = trimmed
+			} else {
+				typ = "unknown"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ); err != nil {
 			return err
 		}
 		lines := byBase[base]
@@ -83,6 +109,11 @@ func WriteMetrics(w io.Writer, s Snapshot) error {
 			if _, err := io.WriteString(w, l.text); err != nil {
 				return err
 			}
+		}
+	}
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -156,9 +187,63 @@ func probeHandler(probe func() error) http.HandlerFunc {
 	}
 }
 
-// MetricsContentType is the Content-Type of every /metrics response:
-// the Prometheus text exposition format, version 0.0.4.
+// MetricsContentType is the default /metrics Content-Type: the
+// Prometheus text exposition format, version 0.0.4, with no exemplars.
 const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the /metrics Content-Type when the client
+// negotiates OpenMetrics via `Accept: application/openmetrics-text`; the
+// body then carries exemplar suffixes and ends with `# EOF`.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format. Each media range is matched on its type alone
+// (parameters like version= and q= are ignored) — the same lenient
+// matching Prometheus servers apply.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := part
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = mt[:i]
+		}
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// metricsHandler serves /metrics with content negotiation: the classic
+// 0.0.4 text format (no exemplars) by default, the OpenMetrics text
+// format (exemplars, `# EOF`) when the Accept header asks for it. HEAD
+// answers with the negotiated headers alone; other methods get 405.
+func metricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		openMetrics := acceptsOpenMetrics(r.Header.Get("Accept"))
+		ct := MetricsContentType
+		if openMetrics {
+			ct = OpenMetricsContentType
+		}
+		w.Header().Set("Content-Type", ct)
+		switch r.Method {
+		case http.MethodGet:
+			var s Snapshot
+			if reg != nil {
+				s = reg.Snapshot()
+			}
+			if openMetrics {
+				_ = WriteOpenMetrics(w, s)
+			} else {
+				_ = WriteMetrics(w, s)
+			}
+		case http.MethodHead:
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	}
+}
 
 // DefaultTraceDumpLimit bounds how many traces /debug/traces returns
 // when the request carries no ?limit.
@@ -203,8 +288,10 @@ func readOnly(contentType string, fn http.HandlerFunc) http.HandlerFunc {
 
 // NewHandler returns the admin endpoint's HTTP handler:
 //
-//	/metrics        Prometheus text exposition of the registry, with
-//	                exemplar suffixes on histogram buckets; GET and HEAD
+//	/metrics        Prometheus text exposition of the registry (0.0.4,
+//	                no exemplars); `Accept: application/openmetrics-text`
+//	                negotiates OpenMetrics with exemplar suffixes on
+//	                histogram buckets; GET and HEAD
 //	/healthz        liveness probe: 200 "ok" or 503 with the reason
 //	/readyz         readiness probe: 200 "ok" or 503 with the reason
 //	/debug/traces   JSON dump of retained traces, newest first;
@@ -218,13 +305,7 @@ func NewHandler(o AdminOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", probeHandler(o.Health.live))
 	mux.HandleFunc("/readyz", probeHandler(o.Health.ready))
-	mux.HandleFunc("/metrics", readOnly(MetricsContentType, func(w http.ResponseWriter, _ *http.Request) {
-		var s Snapshot
-		if o.Registry != nil {
-			s = o.Registry.Snapshot()
-		}
-		_ = WriteMetrics(w, s)
-	}))
+	mux.HandleFunc("/metrics", metricsHandler(o.Registry))
 	mux.HandleFunc("/debug/traces", readOnly("application/json", func(w http.ResponseWriter, r *http.Request) {
 		limit := parseLimit(r, DefaultTraceDumpLimit)
 		outcome := r.URL.Query().Get("outcome")

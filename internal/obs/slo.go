@@ -21,7 +21,9 @@ import (
 // it at the window's end; 14.4 over 5m/1h means a day's budget burns in
 // 100 minutes. An alert fires when BOTH of its windows exceed the
 // threshold — the short window for responsiveness, the long one to keep
-// a brief blip from paging.
+// a brief blip from paging — and both windows hold at least
+// MinWindowRequests observations, so low-traffic noise (one failure on
+// an otherwise idle replica) cannot fire.
 
 // Objective declares one service-level objective.
 type Objective struct {
@@ -55,6 +57,10 @@ func DefaultBurnAlerts() []BurnAlert {
 	}
 }
 
+// DefaultSLOMinWindowRequests is the minimum-volume floor applied when
+// SLOOptions.MinWindowRequests is zero.
+const DefaultSLOMinWindowRequests = 10
+
 // SLOOptions configures NewSLOMonitor.
 type SLOOptions struct {
 	// Clock supplies the current time; nil selects time.Now. Tests
@@ -62,15 +68,26 @@ type SLOOptions struct {
 	Clock func() time.Time
 	// Alerts is the burn-rate rule set; nil selects DefaultBurnAlerts.
 	Alerts []BurnAlert
+	// MinWindowRequests is the minimum number of observations each of an
+	// alert's windows must contain before that alert may fire — the
+	// standard low-traffic guard on multi-window burn alerts. Without it
+	// a single failed request on an idle replica makes the bad fraction
+	// 1.0 in every window, trips every threshold, and drains the replica
+	// through /readyz for the length of the long window. Burn rates are
+	// still reported below the floor; only the firing decision (Status,
+	// Healthy, the slo_burning gauge) is gated. 0 selects
+	// DefaultSLOMinWindowRequests; negative disables the guard.
+	MinWindowRequests int
 }
 
 // SLOMonitor evaluates a set of objectives over sliding windows. All
 // methods are safe for concurrent use and nil-receiver-safe, so an
 // engine can call Observe/Healthy unconditionally.
 type SLOMonitor struct {
-	clock  func() time.Time
-	alerts []BurnAlert
-	objs   []*sloObjective
+	clock     func() time.Time
+	alerts    []BurnAlert
+	minEvents uint64 // per-window volume floor for alert firing
+	objs      []*sloObjective
 }
 
 // sloObjective is one objective's sliding-window state: a ring of
@@ -121,8 +138,15 @@ func NewSLOMonitor(objectives []Objective, opts SLOOptions) *SLOMonitor {
 	if bucketD <= 0 {
 		bucketD = time.Second
 	}
+	minEvents := uint64(DefaultSLOMinWindowRequests)
+	switch {
+	case opts.MinWindowRequests > 0:
+		minEvents = uint64(opts.MinWindowRequests)
+	case opts.MinWindowRequests < 0:
+		minEvents = 0
+	}
 	n := int(longest/bucketD) + 2 // +1 partial bucket at each end
-	m := &SLOMonitor{clock: clock, alerts: alerts}
+	m := &SLOMonitor{clock: clock, alerts: alerts, minEvents: minEvents}
 	for _, o := range objectives {
 		if o.Target <= 0 || o.Target >= 1 {
 			panic(fmt.Sprintf("obs: SLO target %g for %q outside (0, 1)", o.Target, o.Name))
@@ -199,6 +223,24 @@ func (o *sloObjective) burnRate(now time.Time, w time.Duration) float64 {
 	return (float64(bad) / float64(total)) / (1 - o.Target)
 }
 
+// firing reports whether alert a fires for objective o at now: the burn
+// rate over BOTH windows exceeds the threshold, and both windows hold at
+// least the monitor's minimum request volume — a lone failure in a quiet
+// window cannot page or drain the replica.
+func (m *SLOMonitor) firing(o *sloObjective, a BurnAlert, now time.Time) bool {
+	for _, w := range []time.Duration{a.Short, a.Long} {
+		good, bad := o.window(now, w)
+		total := good + bad
+		if total == 0 || total < m.minEvents {
+			return false
+		}
+		if (float64(bad)/float64(total))/(1-o.Target) <= a.Threshold {
+			return false
+		}
+	}
+	return true
+}
+
 // WindowBurn is one window's burn rate in an objective's status.
 type WindowBurn struct {
 	Window   string  `json:"window"`
@@ -231,9 +273,12 @@ type ObjectiveStatus struct {
 
 // SLOStatus is the /debug/slo document.
 type SLOStatus struct {
-	Time       time.Time         `json:"time"`
-	Objectives []ObjectiveStatus `json:"objectives"`
-	Burning    bool              `json:"burning"`
+	Time time.Time `json:"time"`
+	// MinWindowRequests is the volume floor below which a window cannot
+	// contribute to alert firing.
+	MinWindowRequests uint64            `json:"min_window_requests"`
+	Objectives        []ObjectiveStatus `json:"objectives"`
+	Burning           bool              `json:"burning"`
 }
 
 // longestWindow returns the longest alert window — the budget horizon.
@@ -254,7 +299,7 @@ func (m *SLOMonitor) Status() SLOStatus {
 		return SLOStatus{}
 	}
 	now := m.clock()
-	st := SLOStatus{Time: now, Objectives: make([]ObjectiveStatus, 0, len(m.objs))}
+	st := SLOStatus{Time: now, MinWindowRequests: m.minEvents, Objectives: make([]ObjectiveStatus, 0, len(m.objs))}
 	budgetW := m.longestWindow()
 	for _, o := range m.objs {
 		os := ObjectiveStatus{
@@ -278,7 +323,7 @@ func (m *SLOMonitor) Status() SLOStatus {
 			as := AlertStatus{
 				Name: a.Name, Short: a.Short.String(), Long: a.Long.String(),
 				Threshold: a.Threshold, ShortBurn: short, LongBurn: long,
-				Firing: short > a.Threshold && long > a.Threshold,
+				Firing: m.firing(o, a, now),
 			}
 			if as.Firing {
 				os.Burning = true
@@ -310,7 +355,7 @@ func (m *SLOMonitor) Healthy() error {
 	now := m.clock()
 	for _, o := range m.objs {
 		for _, a := range m.alerts {
-			if o.burnRate(now, a.Short) > a.Threshold && o.burnRate(now, a.Long) > a.Threshold {
+			if m.firing(o, a, now) {
 				return fmt.Errorf("slo %q burning: %s alert over %s/%s exceeds %gx: %w",
 					o.Name, a.Name, a.Short, a.Long, a.Threshold, ErrSLOBurning)
 			}
@@ -349,7 +394,7 @@ func (m *SLOMonitor) Register(reg *Registry) {
 		reg.GaugeFunc(Name("slo_burning", "slo", o.Name), func() float64 {
 			now := m.clock()
 			for _, a := range m.alerts {
-				if o.burnRate(now, a.Short) > a.Threshold && o.burnRate(now, a.Long) > a.Threshold {
+				if m.firing(o, a, now) {
 					return 1
 				}
 			}

@@ -160,6 +160,48 @@ func TestSLOBurnFiresAndRecovers(t *testing.T) {
 	}
 }
 
+// TestSLOMinVolumeGuard pins the low-traffic guard: a lone failure on an
+// idle replica has bad fraction 1.0 in every window, but must not fire
+// an alert, flip Healthy, or set Burning — only sustained volume above
+// the floor may. Disabling the guard restores the raw behavior.
+func TestSLOMinVolumeGuard(t *testing.T) {
+	clock := newFakeClock()
+	m := latencySLO(clock)
+	m.Observe(time.Second, errors.New("boom"))
+	if err := m.Healthy(); err != nil {
+		t.Fatalf("one failure on an idle replica tripped Healthy: %v", err)
+	}
+	st := m.Status()
+	if st.Burning || st.Objectives[0].Burning {
+		t.Fatal("one failure on an idle replica set Burning")
+	}
+	if st.MinWindowRequests != DefaultSLOMinWindowRequests {
+		t.Fatalf("status floor = %d, want default %d", st.MinWindowRequests, DefaultSLOMinWindowRequests)
+	}
+	// The burn rate itself is still reported honestly — only firing is
+	// gated.
+	if fast := st.Objectives[0].Alerts[0]; fast.ShortBurn <= fast.Threshold {
+		t.Fatalf("burn rate under-reported below the floor: %+v", fast)
+	}
+
+	// The same all-bad traffic above the floor fires.
+	for i := 0; i < DefaultSLOMinWindowRequests; i++ {
+		m.Observe(time.Second, errors.New("boom"))
+	}
+	if err := m.Healthy(); err == nil {
+		t.Fatal("all-bad traffic above the volume floor did not fire")
+	}
+
+	// MinWindowRequests < 0 disables the guard: one failure fires.
+	raw := NewSLOMonitor([]Objective{
+		{Name: "latency", Target: 0.99, LatencyBound: 50 * time.Millisecond},
+	}, SLOOptions{Clock: clock.Now, MinWindowRequests: -1})
+	raw.Observe(time.Second, errors.New("boom"))
+	if err := raw.Healthy(); err == nil {
+		t.Fatal("guard-disabled monitor did not fire on one bad request")
+	}
+}
+
 func TestSLOErrorObjectiveIgnoresLatency(t *testing.T) {
 	clock := newFakeClock()
 	m := NewSLOMonitor([]Objective{

@@ -88,6 +88,38 @@ func TestTraceClassErrorBeatsSlow(t *testing.T) {
 	}
 }
 
+// TestJoinIDOnlyForRetainedTraces pins the join-key discipline: JoinID
+// resolves only for traces the tail sampler actually kept, so exemplars
+// and wide events built from it never point at a trace that is absent
+// from /debug/traces.
+func TestJoinIDOnlyForRetainedTraces(t *testing.T) {
+	tz := NewTracerTailSampled(8, TailSamplingPolicy{KeepOneInN: 1 << 60})
+	kept := finishWith(tz, "ok", 0)    // first fast-OK survives
+	dropped := finishWith(tz, "ok", 0) // sampled out
+	if kept.JoinID() != kept.ID || kept.JoinID() == 0 {
+		t.Fatalf("retained trace JoinID = %d, want its ID %d", kept.JoinID(), kept.ID)
+	}
+	if dropped.JoinID() != 0 {
+		t.Fatalf("dropped trace JoinID = %d, want 0", dropped.JoinID())
+	}
+	if dropped.TraceID() == 0 {
+		t.Fatal("TraceID must stay the raw accessor even for dropped traces")
+	}
+	err := finishWith(tz, "error", 0) // errors are always retained
+	if err.JoinID() != err.ID {
+		t.Fatalf("error trace JoinID = %d, want %d", err.JoinID(), err.ID)
+	}
+
+	unfinished := tz.Start("q")
+	if unfinished.JoinID() != 0 {
+		t.Fatalf("unfinished trace JoinID = %d, want 0", unfinished.JoinID())
+	}
+	var nilTrace *Trace
+	if nilTrace.JoinID() != 0 {
+		t.Fatal("nil trace JoinID must be 0")
+	}
+}
+
 func TestDefaultTracerKeepsEverything(t *testing.T) {
 	tz := NewTracer(32)
 	for i := 0; i < 20; i++ {

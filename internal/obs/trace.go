@@ -52,6 +52,7 @@ type Trace struct {
 	spanBuf  [5]Span       // inline storage: the serve pipeline has ≤ 5 phases
 	annotBuf [2]Annotation // typical traces carry ≤ 2 string tags
 	last     time.Duration
+	retained bool // set by Finish when the trace entered the ring
 }
 
 // SetGen records the snapshot generation serving the traced query.
@@ -79,10 +80,22 @@ func (t *Trace) SetOutcome(outcome string) {
 	t.Outcome = outcome
 }
 
-// TraceID returns the trace's ID, or 0 on a nil trace — the join key
-// histogram exemplars and wide events carry.
+// TraceID returns the trace's ID, or 0 on a nil trace.
 func (t *Trace) TraceID() uint64 {
 	if t == nil {
+		return 0
+	}
+	return t.ID
+}
+
+// JoinID is the join key histogram exemplars and wide events publish:
+// the trace's ID when Finish retained it in the tracer's ring — the only
+// case the ID resolves in /debug/traces — and 0 otherwise (nil trace,
+// not yet finished, or dropped by tail sampling). Publishing JoinID
+// instead of TraceID keeps the metric → trace → event join from dangling
+// on fast-OK traces the sampler discards.
+func (t *Trace) JoinID() uint64 {
+	if t == nil || !t.retained {
 		return 0
 	}
 	return t.ID
@@ -227,10 +240,12 @@ func (tz *Tracer) Start(label string) *Trace {
 
 // Finish stamps the trace's total duration and slow classification,
 // consults the tail-sampling policy, and — when the trace is retained —
-// publishes it into the ring, evicting the oldest trace once the ring
-// is full. Dropped traces still count in Finished and the retention
-// counters, so the drop rate is observable. Nil tracer or nil trace are
-// no-ops.
+// marks it (see JoinID) and publishes it into the ring, evicting the
+// oldest trace once the ring is full. Dropped traces still count in
+// Finished and the retention counters, so the drop rate is observable.
+// Nil tracer or nil trace are no-ops. The retention decision lands
+// before the trace becomes visible, so callers publish the trace ID
+// elsewhere (exemplars, wide events) only after Finish, via JoinID.
 func (tz *Tracer) Finish(t *Trace) {
 	if tz == nil || t == nil {
 		return
@@ -246,6 +261,7 @@ func (tz *Tracer) Finish(t *Trace) {
 		return
 	}
 	tz.kept[ci].Add(1)
+	t.retained = true // before Store: readers must never see it unset
 	slot := tz.next.Add(1) - 1
 	tz.ring[slot%uint64(tz.capacity)].Store(t)
 }

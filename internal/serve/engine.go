@@ -542,9 +542,9 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 			tr.Annotate("cache", "hit")
 			resp.CacheHit = true
 			lat := time.Since(start)
-			e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
 			tr.SetOutcome("ok")
 			e.tracer.Finish(tr)
+			e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.JoinID())
 			e.slo.Observe(lat, nil)
 			e.emit(req, resp, tr, "ok", lat, "hit")
 			return resp
@@ -595,10 +595,14 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 	}
 	tr.Mark("access-accounting")
 	lat := time.Since(start)
-	e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
 	outcome := outcomeOf(resp.Err)
 	tr.SetOutcome(outcome)
+	// Finish before publishing the trace ID anywhere: the tail sampler
+	// decides retention there, and only a retained trace's ID (JoinID)
+	// may land in the latency exemplar and the wide event — otherwise
+	// the metric → trace join would dangle for sampled-out successes.
 	e.tracer.Finish(tr)
+	e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.JoinID())
 	e.slo.Observe(lat, resp.Err)
 	e.emit(req, resp, tr, outcome, lat, e.cacheState())
 	return resp
@@ -613,10 +617,10 @@ func (e *Engine) refuse(snap *Snapshot, req Request, err error, tr *obs.Trace, s
 	e.countFailure(err)
 	tr.Annotate("err", err.Error())
 	lat := time.Since(start)
-	e.met.latency[req.Problem].ObserveWithExemplar(lat.Seconds(), tr.TraceID())
 	outcome := outcomeOf(err)
 	tr.SetOutcome(outcome)
 	e.tracer.Finish(tr)
+	e.met.latency[req.Problem].ObserveWithExemplar(lat.Seconds(), tr.JoinID())
 	e.slo.Observe(lat, err)
 	resp := Response{Gen: snap.gen, Err: err}
 	e.emit(req, resp, tr, outcome, lat, e.cacheState())
@@ -653,9 +657,11 @@ func (e *Engine) cacheState() string {
 
 // emit assembles and logs the request's wide event. It runs after the
 // trace finishes, so the event carries the final outcome and the same
-// trace ID the latency exemplar published — the three telemetry views
-// join on it. Access-cost counters are only attributed to requests that
-// actually computed (a cache hit spends none).
+// join ID the latency exemplar published — the three telemetry views
+// join on it, and a trace the tail sampler dropped contributes no ID at
+// all (the join never dangles). Access-cost counters are only
+// attributed to requests that actually computed (a cache hit spends
+// none).
 func (e *Engine) emit(req Request, resp Response, tr *obs.Trace, outcome string, lat time.Duration, cache string) {
 	if e.log == nil {
 		return
@@ -663,7 +669,7 @@ func (e *Engine) emit(req Request, resp Response, tr *obs.Trace, outcome string,
 	ev := obs.Event{
 		Outcome:   outcome,
 		LatencyNS: lat.Nanoseconds(),
-		TraceID:   tr.TraceID(),
+		TraceID:   tr.JoinID(),
 		Gen:       resp.Gen,
 		Problem:   req.Problem.String(),
 		Cache:     cache,

@@ -150,8 +150,21 @@ func TestDeadlineTraceableEndToEnd(t *testing.T) {
 
 	// View 3: /metrics — a serve latency bucket carries the trace ID as
 	// its exemplar (the request was issued last, so its bucket's
-	// most-recent exemplar is this trace).
-	code, metrics := getBody(t, srv.URL+"/metrics")
+	// most-recent exemplar is this trace). Exemplars are an OpenMetrics
+	// construct, so the scrape negotiates that format; the classic 0.0.4
+	// rendering must stay exemplar-free.
+	mreq, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawMetrics, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, metrics := mresp.StatusCode, string(rawMetrics)
 	if code != http.StatusOK {
 		t.Fatalf("/metrics = %d", code)
 	}
@@ -165,6 +178,80 @@ func TestDeadlineTraceableEndToEnd(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no serve_request_seconds bucket carries exemplar %s", needle)
+	}
+
+	// The default 0.0.4 scrape carries no exemplars at all — a classic
+	// Prometheus parser would reject the whole scrape otherwise.
+	code, plain := getBody(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics (0.0.4) = %d", code)
+	}
+	if strings.Contains(plain, " # ") {
+		t.Fatal("0.0.4 /metrics body carries an exemplar suffix")
+	}
+}
+
+// TestDroppedTraceLeavesNoDanglingJoin pins the other half of the join
+// contract: a fast-OK trace the tail sampler drops must contribute no
+// trace ID anywhere — not to the latency histogram's exemplars and not
+// to its wide event — because that ID would resolve to nothing in
+// /debug/traces.
+func TestDroppedTraceLeavesNoDanglingJoin(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracerTailSampled(16, obs.TailSamplingPolicy{
+		SlowThreshold: time.Hour,
+		KeepOneInN:    1 << 40, // keep the first fast-OK trace, drop the rest
+	})
+	logger := obs.NewLogger(obs.LoggerOptions{Component: "serve"})
+	eng := serve.NewEngine(anchoredSnapshot(67), serve.Options{
+		Obs:       reg,
+		Tracer:    tracer,
+		Log:       logger,
+		CacheSize: -1,
+	})
+
+	okReq := serve.Request{Problem: serve.Quantify, Dim: compare.ByGroup, K: 2, Algorithm: topk.TA}
+	for i := 0; i < 4; i++ {
+		if resp := eng.Do(okReq); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+
+	retained := map[uint64]bool{}
+	for _, tr := range tracer.Recent() {
+		retained[tr.ID] = true
+	}
+	if len(retained) != 1 {
+		t.Fatalf("sampler retained %d traces, want 1", len(retained))
+	}
+
+	// Wide events: the retained request carries its trace ID, the dropped
+	// ones carry none.
+	withID := 0
+	for _, ev := range logger.Ring().Recent() {
+		if ev.TraceID == 0 {
+			continue
+		}
+		withID++
+		if !retained[ev.TraceID] {
+			t.Fatalf("event trace_id %d does not resolve in the trace ring", ev.TraceID)
+		}
+	}
+	if withID != 1 {
+		t.Fatalf("%d events carry a trace ID, want exactly the retained one", withID)
+	}
+
+	// Exemplars: every published trace ID must resolve in the ring.
+	s := reg.Snapshot()
+	for name, h := range s.Histograms {
+		for i, ex := range h.Exemplars {
+			if ex != nil && !retained[ex.TraceID] {
+				t.Fatalf("%s bucket %d exemplar trace %d does not resolve in the trace ring", name, i, ex.TraceID)
+			}
+		}
+		if ex := h.MaxExemplar; ex != nil && !retained[ex.TraceID] {
+			t.Fatalf("%s max exemplar trace %d does not resolve in the trace ring", name, ex.TraceID)
+		}
 	}
 }
 
