@@ -1,20 +1,25 @@
-// Command fairjob answers the paper's two generic fairness questions
+// Command fairjob answers the paper's generic fairness questions
 // against a marketplace or search-engine crawl: quantification ("which k groups / queries /
 // locations is the site most or least unfair for?", solved with the
-// Threshold Algorithm of §4.2) and comparison ("where does the comparison
-// of two groups / queries / locations reverse?", Algorithm 2).
+// Threshold Algorithm of §4.2), comparison ("where does the comparison
+// of two groups / queries / locations reverse?", Algorithm 2), and
+// mitigation ("re-rank one result page so a group's measured Exposure
+// deviation drops", internal/mitigate).
 //
 // Usage:
 //
 //	fairjob quantify -dim group|query|location [-k 5] [-least] [-measure emd|exposure|kendall|jaccard] [-platform market|google] [-data DIR]
 //	fairjob compare  -by group|query|location  -r1 A -r2 B [-measure ...] [-platform ...] [-data DIR]
 //	fairjob batch    [-k 5] [-workers 0] [-measure ...] [-data DIR]
+//	fairjob mitigate -group KEY-or-NAME [-mitigator fair|greedy|exposure|all] [-query Q -location L] [-p 0] [-alpha 0] [-budget 0] [-data DIR]
 //
 // With -data it loads a crawl written by datagen (taskers.jsonl +
 // pages.jsonl for the marketplace, google.jsonl for the search study);
 // otherwise it synthesizes the default platform in memory. The emd and
 // exposure measures imply -platform market; kendall and jaccard imply
-// -platform google.
+// -platform google. Mitigation always works on the marketplace crawl
+// with the exposure measure — the paper's §3.3.2 quantity — and
+// defaults to the crawl's first page when -query/-location are omitted.
 //
 // All modes execute through the internal/serve query engine: the table is
 // frozen into an immutable IndexSnapshot and queries run against it, so
@@ -30,6 +35,8 @@
 //	fairjob compare -r1 "gender=Male" -r2 "gender=Female" -by location -measure exposure
 //	fairjob compare -r1 "Lawn Mowing" -r2 "Event Decorating" -by group
 //	fairjob batch -k 3 -workers 8
+//	fairjob mitigate -group "Asian Female" -mitigator all
+//	fairjob mitigate -group "ethnicity=Black&gender=Female" -mitigator exposure -budget 5
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
 	"fairjob/internal/experiment"
+	"fairjob/internal/mitigate"
 	"fairjob/internal/obs"
 	"fairjob/internal/report"
 	"fairjob/internal/serve"
@@ -72,6 +80,13 @@ func main() {
 		r2          = fs.String("r2", "", "compare: second value")
 		by          = fs.String("by", "location", "compare: breakdown dimension (group, query or location)")
 		workers     = fs.Int("workers", 0, "batch: worker goroutines (0 = GOMAXPROCS)")
+		mitigator   = fs.String("mitigator", "all", "mitigate: re-ranker to apply (fair, greedy, exposure, or all)")
+		group       = fs.String("group", "", "mitigate: target group, as a key (\"ethnicity=Asian&gender=Female\") or a name (\"Asian Female\")")
+		query       = fs.String("query", "", "mitigate: page query (empty selects the crawl's first page)")
+		location    = fs.String("location", "", "mitigate: page location (empty selects the crawl's first page)")
+		minProp     = fs.Float64("p", 0, "mitigate: FA*IR minimum protected proportion (0 = the page's own share)")
+		alpha       = fs.Float64("alpha", 0, "mitigate: FA*IR significance level (0 = the package default)")
+		budget      = fs.Int("budget", 0, "mitigate: exposure-parity adjacent-swap budget (0 = unbounded)")
 		deadline    = fs.Duration("deadline", 0, "per-request deadline for engine queries (0 = none); expired requests report a typed deadline error")
 		maxInflight = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = unlimited; negative sheds all compute, serving only cache hits)")
 		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/pprof/")
@@ -131,11 +146,29 @@ func main() {
 		}, obs.SLOOptions{})
 	}
 
-	tbl, err := buildTable(ctx, *data, *seed, *measure, reg)
-	if err != nil {
-		fatal(err)
+	// The mitigate mode needs the marketplace pages themselves, not just
+	// the table evaluated from them: its snapshot carries both, so the
+	// before/after measurements and the re-ranking all pin one generation.
+	var snap *serve.Snapshot
+	if mode == "mitigate" {
+		rankings, err := buildRankings(*data, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		ev := &core.MarketplaceEvaluator{Schema: core.DefaultSchema(), Measure: core.MeasureExposure, UseScores: true, Obs: reg}
+		tbl, err := ev.EvaluateAllCtx(ctx, rankings, nil)
+		if err != nil {
+			fatal(err)
+		}
+		snap = serve.NewSnapshotWithRankings(tbl, nil, rankings)
+	} else {
+		tbl, err := buildTable(ctx, *data, *seed, *measure, reg)
+		if err != nil {
+			fatal(err)
+		}
+		snap = serve.NewSnapshot(tbl)
 	}
-	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{
+	eng := serve.NewEngine(snap, serve.Options{
 		Workers:         *workers,
 		Obs:             reg,
 		Tracer:          tracer,
@@ -145,6 +178,7 @@ func main() {
 		MaxInflight:     *maxInflight,
 	})
 
+	var err error
 	switch mode {
 	case "quantify":
 		err = quantify(ctx, eng, *dim, *k, *least)
@@ -152,6 +186,8 @@ func main() {
 		err = runCompare(ctx, eng, *r1, *r2, *by)
 	case "batch":
 		err = runBatch(ctx, eng, *k, slo)
+	case "mitigate":
+		err = runMitigate(ctx, eng, *mitigator, *group, *query, *location, *minProp, *alpha, *budget)
 	default:
 		usage()
 		os.Exit(2)
@@ -190,7 +226,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare|batch [flags] (see -h of each mode)")
+	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare|batch|mitigate [flags] (see -h of each mode)")
 }
 
 func fatal(err error) {
@@ -241,6 +277,16 @@ func buildTable(ctx context.Context, dir string, seed uint64, measure string, re
 	default:
 		return nil, fmt.Errorf("unknown measure %q (want emd, exposure, kendall or jaccard)", measure)
 	}
+}
+
+// buildRankings produces the marketplace crawl the mitigate mode
+// re-ranks: a stored datagen crawl when -data is set, the synthetic
+// default otherwise.
+func buildRankings(dir string, seed uint64) ([]*core.MarketplaceRanking, error) {
+	if dir == "" {
+		return experiment.NewEnv(seed).MarketCrawl(), nil
+	}
+	return loadMarketRankings(dir)
 }
 
 // loadMarketRankings reads a datagen marketplace crawl from dir.
@@ -444,6 +490,92 @@ func runBatch(ctx context.Context, eng *serve.Engine, k int, slo *obs.SLOMonitor
 		fmt.Print(sloSummary(slo))
 	}
 	return nil
+}
+
+// runMitigate solves Problem 3 through the serve engine: measure the
+// target group's exposure deviation on one page, re-rank with the
+// requested mitigator(s), re-measure, and report the before/after pair
+// with the permuted page.
+func runMitigate(ctx context.Context, eng *serve.Engine, mitigatorName, group, query, location string, p, alpha float64, budget int) error {
+	if group == "" {
+		return fmt.Errorf("mitigate needs -group (a key like \"ethnicity=Asian&gender=Female\" or a name like \"Asian Female\")")
+	}
+	snap := eng.Snapshot()
+	var gkey string
+	if strings.Contains(group, "=") {
+		g, err := core.ParseGroupKey(group)
+		if err != nil {
+			return err
+		}
+		gkey = g.Key()
+	} else {
+		g, ok := core.DefaultSchema().GroupByName(group)
+		if !ok {
+			return fmt.Errorf("unknown group name %q (want e.g. \"Asian Female\", or a key like \"ethnicity=Asian&gender=Female\")", group)
+		}
+		gkey = g.Key()
+	}
+	var kinds []mitigate.Kind
+	if mitigatorName == "all" {
+		kinds = mitigate.Kinds()
+	} else {
+		kind, err := mitigate.ParseKind(mitigatorName)
+		if err != nil {
+			return err
+		}
+		kinds = []mitigate.Kind{kind}
+	}
+
+	// With -query/-location the page is pinned; otherwise scan the crawl
+	// for the first page where the target's measurement is defined (the
+	// measure needs the target and at least one comparable group on the
+	// page, which sparse pages may not have).
+	pages := [][2]string{{query, location}}
+	if query == "" && location == "" {
+		pages = snap.Pages()
+		if len(pages) == 0 {
+			return fmt.Errorf("the crawl has no marketplace pages to mitigate")
+		}
+	}
+	do := func(kind mitigate.Kind, q, l string) serve.Response {
+		return eng.DoCtx(ctx, serve.Request{
+			Problem:       serve.Mitigate,
+			Mitigator:     kind,
+			Group:         gkey,
+			Query:         q,
+			Location:      l,
+			MinProportion: p,
+			Alpha:         alpha,
+			SwapBudget:    budget,
+		})
+	}
+	var lastErr error
+	for _, pg := range pages {
+		q, l := pg[0], pg[1]
+		first := do(kinds[0], q, l)
+		if first.Err != nil {
+			lastErr = first.Err
+			continue
+		}
+		out := report.NewTable(
+			fmt.Sprintf("mitigating exposure unfairness of %s on %q @ %q",
+				displayName(snap, compare.ByGroup, gkey), q, l),
+			"mitigator", "before", "after", "delta", "moved", "re-ranked page")
+		responses := []serve.Response{first}
+		for _, kind := range kinds[1:] {
+			resp := do(kind, q, l)
+			if resp.Err != nil {
+				return resp.Err
+			}
+			responses = append(responses, resp)
+		}
+		for i, resp := range responses {
+			m := resp.Mitigation
+			out.AddRow(kinds[i].String(), m.Before, m.After, m.Delta(), m.Moved, strings.Join(m.IDs, " "))
+		}
+		return out.WriteText(os.Stdout)
+	}
+	return lastErr
 }
 
 // sloSummary renders one verdict line per objective for the batch

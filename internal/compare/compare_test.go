@@ -9,9 +9,8 @@ import (
 	"fairjob/internal/core"
 	"fairjob/internal/index"
 	"fairjob/internal/stats"
+	"fairjob/internal/testutil"
 )
-
-func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 // tableForCompare builds a table shaped like the paper's Table 4 scenario:
 // overall, Females are treated less fairly than Males, but the order
@@ -45,7 +44,7 @@ func TestGroupComparisonByLocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Overall: male avg = (0.3+0.2+0.85)/3 = 0.45; female = (0.7+0.6+0.73)/3 ≈ 0.6767.
-	if !approx(cmp.Overall1, 0.45, 1e-9) || !approx(cmp.Overall2, 0.676667, 1e-5) {
+	if !testutil.Near(cmp.Overall1, 0.45, 1e-9) || !testutil.Near(cmp.Overall2, 0.676667, 1e-5) {
 		t.Fatalf("overall = %v / %v", cmp.Overall1, cmp.Overall2)
 	}
 	if len(cmp.All) != 3 {
@@ -54,7 +53,7 @@ func TestGroupComparisonByLocation(t *testing.T) {
 	if len(cmp.Reversed) != 1 || cmp.Reversed[0].B != "OKC" {
 		t.Fatalf("Reversed = %+v", cmp.Reversed)
 	}
-	if !approx(cmp.Reversed[0].V1, 0.85, 1e-9) || !approx(cmp.Reversed[0].V2, 0.73, 1e-9) {
+	if !testutil.Near(cmp.Reversed[0].V1, 0.85, 1e-9) || !testutil.Near(cmp.Reversed[0].V2, 0.73, 1e-9) {
 		t.Fatalf("reversal values = %+v", cmp.Reversed[0])
 	}
 }
@@ -96,7 +95,7 @@ func TestQueryComparisonByGroup(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Overall: cleaning = 0.4, handyman = 0.7.
-	if !approx(cmp.Overall1, 0.4, 1e-9) || !approx(cmp.Overall2, 0.7, 1e-9) {
+	if !testutil.Near(cmp.Overall1, 0.4, 1e-9) || !testutil.Near(cmp.Overall2, 0.7, 1e-9) {
 		t.Fatalf("overall = %v / %v", cmp.Overall1, cmp.Overall2)
 	}
 	if len(cmp.Reversed) != 1 || cmp.Reversed[0].B != female.Key() {
@@ -180,7 +179,7 @@ func TestScopeRestriction(t *testing.T) {
 	if len(cmp.All) != 1 || len(cmp.Reversed) != 0 {
 		t.Fatalf("scoped comparison = %+v", cmp)
 	}
-	if !approx(cmp.Overall1, 0.85, 1e-9) {
+	if !testutil.Near(cmp.Overall1, 0.85, 1e-9) {
 		t.Fatalf("scoped overall = %v", cmp.Overall1)
 	}
 }
@@ -259,7 +258,7 @@ func TestQuerySetsComparison(t *testing.T) {
 		t.Fatalf("labels = %s/%s", cmp.R1, cmp.R2)
 	}
 	// Overall: A = (0.8+0.9+0.3+0.4)/4 = 0.6; B = (0.1+0.6)/2 = 0.35.
-	if !approx(cmp.Overall1, 0.6, 1e-9) || !approx(cmp.Overall2, 0.35, 1e-9) {
+	if !testutil.Near(cmp.Overall1, 0.6, 1e-9) || !testutil.Near(cmp.Overall2, 0.35, 1e-9) {
 		t.Fatalf("overall = %v / %v", cmp.Overall1, cmp.Overall2)
 	}
 	if len(cmp.Reversed) != 1 || cmp.Reversed[0].B != female.Key() {

@@ -5,6 +5,7 @@ import (
 
 	"fairjob/internal/core"
 	"fairjob/internal/index"
+	"fairjob/internal/testutil"
 )
 
 // This file is the Problem 2 golden test: a small fixture whose every
@@ -59,9 +60,7 @@ const goldenEps = 1e-12
 
 func requireVal(t *testing.T, name string, got, want float64) {
 	t.Helper()
-	if !approx(got, want, goldenEps) {
-		t.Fatalf("%s = %.17g, want %.17g", name, got, want)
-	}
+	testutil.Approx(t, name, got, want, goldenEps)
 }
 
 func reversedSet(cmp *Comparison) []string {

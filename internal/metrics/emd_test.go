@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"fairjob/internal/stats"
+	"fairjob/internal/testutil"
 )
 
 func histFrom(vals []float64, bins int) *stats.Histogram {
@@ -26,9 +27,7 @@ func TestEMDIdenticalHistograms(t *testing.T) {
 func TestEMDExtremes(t *testing.T) {
 	lo := histFrom([]float64{0.0, 0.0}, 10)
 	hi := histFrom([]float64{1.0, 1.0}, 10)
-	if got := EMDHistograms(lo, hi); !approx(got, 1, 1e-12) {
-		t.Fatalf("EMD extremes = %v, want 1", got)
-	}
+	testutil.Approx(t, "EMD extremes", EMDHistograms(lo, hi), 1, 1e-12)
 }
 
 func TestEMDAdjacentBins(t *testing.T) {
@@ -37,18 +36,14 @@ func TestEMDAdjacentBins(t *testing.T) {
 	a.AddWeighted(0.05, 1) // bin 0
 	b.AddWeighted(0.15, 1) // bin 1
 	// Moving all mass one bin over: CDF differs in exactly one position.
-	if got := EMDHistograms(a, b); !approx(got, 1.0/9, 1e-12) {
-		t.Fatalf("EMD adjacent = %v, want 1/9", got)
-	}
+	testutil.Approx(t, "EMD adjacent bins", EMDHistograms(a, b), 1.0/9, 1e-12)
 }
 
 func TestEMDScaleInvariance(t *testing.T) {
 	// EMD normalizes mass, so doubling all counts changes nothing.
 	a := histFrom([]float64{0.1, 0.2, 0.9}, 8)
 	b := histFrom([]float64{0.1, 0.1, 0.2, 0.2, 0.9, 0.9}, 8)
-	if got := EMDHistograms(a, b); !approx(got, 0, 1e-12) {
-		t.Fatalf("EMD scaled = %v, want 0", got)
-	}
+	testutil.Approx(t, "EMD of scaled counts", EMDHistograms(a, b), 0, 1e-12)
 }
 
 func TestEMDGeometryMismatchPanics(t *testing.T) {
@@ -81,18 +76,14 @@ func TestEMDSamplesIdentical(t *testing.T) {
 
 func TestEMDSamplesPointMasses(t *testing.T) {
 	// Point mass at 0.2 vs point mass at 0.7: W1 = 0.5, range 1.
-	if got := EMDSamples([]float64{0.2}, []float64{0.7}, 0, 1); !approx(got, 0.5, 1e-12) {
-		t.Fatalf("EMD point masses = %v, want 0.5", got)
-	}
+	testutil.Approx(t, "EMD point masses", EMDSamples([]float64{0.2}, []float64{0.7}, 0, 1), 0.5, 1e-12)
 }
 
 func TestEMDSamplesDifferentSizes(t *testing.T) {
 	xs := []float64{0.0, 1.0}           // mean CDF jumps at 0 and 1
 	ys := []float64{0.5, 0.5, 0.5, 0.5} // point mass at 0.5
 	// W1 between {0,1} uniform two-point and delta(0.5) = 0.5.
-	if got := EMDSamples(xs, ys, 0, 1); !approx(got, 0.5, 1e-12) {
-		t.Fatalf("EMD different sizes = %v, want 0.5", got)
-	}
+	testutil.Approx(t, "EMD across sample sizes", EMDSamples(xs, ys, 0, 1), 0.5, 1e-12)
 }
 
 func TestEMDSamplesClamping(t *testing.T) {

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"testing"
+
+	"fairjob/internal/testutil"
 )
 
 // The paper's Figure 5 pins down the exposure formula numerically:
@@ -9,36 +11,22 @@ import (
 // 1/ln(8) + 1/ln(9) ≈ 0.94 and total relevance (1-7/10)+(1-8/10) = 0.5.
 func TestExposureMatchesPaperFigure5(t *testing.T) {
 	got := ExposureAtRank(7) + ExposureAtRank(8)
-	if !approx(got, 0.94, 0.005) {
-		t.Fatalf("exposure(7)+exposure(8) = %v, want ≈0.94", got)
-	}
+	testutil.Approx(t, "exposure(7)+exposure(8)", got, 0.94, 0.005)
 	rel := RelevanceFromRank(7, 10) + RelevanceFromRank(8, 10)
-	if !approx(rel, 0.5, 1e-12) {
-		t.Fatalf("relevance sum = %v, want 0.5", rel)
-	}
+	testutil.Approx(t, "relevance sum", rel, 0.5, 1e-12)
 	// Comparable-group workers in Table 2/3: ranks 1, 2, 3, 5, 10.
 	var compExp, compRel float64
 	for _, rank := range []int{1, 2, 3, 5, 10} {
 		compExp += ExposureAtRank(rank)
 		compRel += RelevanceFromRank(rank, 10)
 	}
-	if !approx(compExp, 4.05, 0.02) {
-		t.Fatalf("comparable exposure = %v, want ≈4.0", compExp)
-	}
-	if !approx(compRel, 2.9, 1e-12) {
-		t.Fatalf("comparable relevance = %v, want 2.9", compRel)
-	}
+	testutil.Approx(t, "comparable exposure", compExp, 4.05, 0.005)
+	testutil.Approx(t, "comparable relevance", compRel, 2.9, 1e-12)
 	expShare := Share(got, got+compExp)
 	relShare := Share(rel, rel+compRel)
-	if !approx(expShare, 0.19, 0.005) {
-		t.Fatalf("exposure share = %v, want ≈0.19", expShare)
-	}
-	if !approx(relShare, 0.15, 0.005) {
-		t.Fatalf("relevance share = %v, want ≈0.15", relShare)
-	}
-	if d := ExposureDeviation(expShare, relShare); !approx(d, 0.04, 0.01) {
-		t.Fatalf("deviation = %v, want ≈0.04", d)
-	}
+	testutil.Approx(t, "exposure share", expShare, 0.19, 0.005)
+	testutil.Approx(t, "relevance share", relShare, 0.15, 0.005)
+	testutil.Approx(t, "deviation", ExposureDeviation(expShare, relShare), 0.04, 0.01)
 }
 
 func TestExposureDecreasesWithRank(t *testing.T) {
@@ -66,9 +54,7 @@ func TestExposurePanicsOnBadRank(t *testing.T) {
 }
 
 func TestRelevanceFromRank(t *testing.T) {
-	if got := RelevanceFromRank(1, 10); !approx(got, 0.9, 1e-12) {
-		t.Fatalf("rel(1,10) = %v", got)
-	}
+	testutil.Approx(t, "rel(1,10)", RelevanceFromRank(1, 10), 0.9, 1e-12)
 	if got := RelevanceFromRank(10, 10); got != 0 {
 		t.Fatalf("rel(10,10) = %v", got)
 	}

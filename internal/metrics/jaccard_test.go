@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"fairjob/internal/stats"
+	"fairjob/internal/testutil"
 )
 
 func TestJaccardIdentical(t *testing.T) {
@@ -27,9 +28,7 @@ func TestJaccardDisjoint(t *testing.T) {
 func TestJaccardPartial(t *testing.T) {
 	a := []string{"a", "b", "c"}
 	b := []string{"b", "c", "d"}
-	if got := JaccardIndex(a, b); !approx(got, 0.5, 1e-12) {
-		t.Fatalf("index = %v, want 0.5", got)
-	}
+	testutil.Approx(t, "partial-overlap index", JaccardIndex(a, b), 0.5, 1e-12)
 }
 
 func TestJaccardOrderInsensitive(t *testing.T) {

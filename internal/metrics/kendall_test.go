@@ -2,14 +2,12 @@ package metrics
 
 import (
 	"fmt"
-	"math"
 	"testing"
 	"testing/quick"
 
 	"fairjob/internal/stats"
+	"fairjob/internal/testutil"
 )
-
-func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestKendallIdenticalLists(t *testing.T) {
 	a := []string{"a", "b", "c", "d"}
@@ -36,9 +34,7 @@ func TestKendallSingleSwap(t *testing.T) {
 	a := []string{"a", "b", "c", "d"}
 	b := []string{"b", "a", "c", "d"}
 	// 1 discordant pair of C(4,2)=6.
-	if got := KendallTauDistance(a, b); !approx(got, 1.0/6, 1e-12) {
-		t.Fatalf("distance = %v, want 1/6", got)
-	}
+	testutil.Approx(t, "single-swap distance", KendallTauDistance(a, b), 1.0/6, 1e-12)
 }
 
 func TestKendallPartialOverlap(t *testing.T) {
@@ -70,9 +66,7 @@ func TestKendallSingleCommonItem(t *testing.T) {
 	a := []string{"a", "b"}
 	b := []string{"a", "z"}
 	// One common of three union items: jaccard distance = 2/3.
-	if got := KendallTauDistance(a, b); !approx(got, 2.0/3, 1e-12) {
-		t.Fatalf("distance = %v, want 2/3", got)
-	}
+	testutil.Approx(t, "single-common-item distance", KendallTauDistance(a, b), 2.0/3, 1e-12)
 }
 
 func TestKendallEmptyLists(t *testing.T) {
@@ -152,7 +146,7 @@ func TestKendallSymmetryProperty(t *testing.T) {
 		d1 := KendallTauDistance(a, b)
 		d2 := KendallTauDistance(b, a)
 		_ = rng
-		return approx(d1, d2, 1e-12) && d1 >= 0 && d1 <= 1
+		return testutil.Near(d1, d2, 1e-12) && d1 >= 0 && d1 <= 1
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -173,7 +167,7 @@ func TestKendallCoefficientDistanceRelation(t *testing.T) {
 		r.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
 		d := KendallTauDistance(items, b)
 		tau := KendallTauCoefficient(items, b)
-		return approx(tau, 1-2*d, 1e-9)
+		return testutil.Near(tau, 1-2*d, 1e-9)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

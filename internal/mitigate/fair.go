@@ -1,0 +1,125 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+)
+
+// fairTopK implements FA*IR fair top-k (Zehlike et al.): compute the
+// binomial minimum-representation table m(k) — the smallest protected
+// count a fair-by-chance prefix of length k would contain at
+// significance α when each position is protected with probability p —
+// then greedily merge the protected and non-protected queues so every
+// prefix satisfies its minimum while the better head is taken whenever
+// the constraint leaves a choice.
+type fairTopK struct{}
+
+func (fairTopK) Kind() Kind { return FairTopK }
+
+func (fairTopK) Rerank(items []Item, opts Options) ([]int, error) {
+	if err := validateCommon(opts); err != nil {
+		return nil, err
+	}
+	p := opts.MinProportion
+	if p == 0 {
+		p = protectedShare(items, opts)
+	}
+	if err := clampProportion("MinProportion", p); err != nil {
+		return nil, err
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("mitigate: Alpha must be in (0, 1), got %v", alpha)
+	}
+
+	n := len(items)
+	var protected, rest []int
+	for i, it := range items {
+		if it.Group == opts.Target {
+			protected = append(protected, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	// The raw table can demand more protected items than the page holds
+	// (an infeasible p); capping at the available count keeps the merge
+	// total — FA*IR's "as fair as this page can be" reading rather than
+	// an error, so a mitigation request never fails on a sparse page.
+	m := minimumTable(n, p, alpha)
+	for k := range m {
+		if m[k] > len(protected) {
+			m[k] = len(protected)
+		}
+	}
+
+	out := make([]int, 0, n)
+	pi, ri, placed := 0, 0, 0
+	for k := 1; k <= n; k++ {
+		forced := placed < m[k-1] && pi < len(protected)
+		switch {
+		case forced:
+			out = append(out, protected[pi])
+			pi++
+			placed++
+		case pi == len(protected):
+			out = append(out, rest[ri])
+			ri++
+		case ri == len(rest):
+			out = append(out, protected[pi])
+			pi++
+			placed++
+		case better(items, protected[pi], rest[ri]):
+			out = append(out, protected[pi])
+			pi++
+			placed++
+		default:
+			out = append(out, rest[ri])
+			ri++
+		}
+	}
+	return out, nil
+}
+
+// minimumTable returns FA*IR's m(k) for k = 1…n:
+//
+//	m(k) = min{ t : BinomCDF(t; k, p) > α }
+//
+// — reject a prefix only when even t protected items would be a
+// statistically significant shortfall against the binomial null model.
+func minimumTable(n int, p, alpha float64) []int {
+	m := make([]int, n)
+	for k := 1; k <= n; k++ {
+		t := 0
+		for binomCDF(t, k, p) <= alpha {
+			t++
+		}
+		m[k-1] = t
+	}
+	return m
+}
+
+// binomCDF is P[X ≤ t] for X ~ Binomial(k, p), summed in log space so
+// the table stays exact for any page length a marketplace returns.
+func binomCDF(t, k int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		if t >= k {
+			return 1
+		}
+		return 0
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	var sum float64
+	for i := 0; i <= t && i <= k; i++ {
+		li, _ := math.Lgamma(float64(i) + 1)
+		lki, _ := math.Lgamma(float64(k-i) + 1)
+		sum += math.Exp(lk - li - lki + float64(i)*lp + float64(k-i)*lq)
+	}
+	return sum
+}

@@ -1,0 +1,80 @@
+package mitigate
+
+import "math"
+
+// detGreedy implements the deterministic greedy constrained-sorting
+// re-ranker of Geyik et al. (the LinkedIn Talent Search mitigation):
+// every group g gets a target share p_g of the page — proportional to
+// its presence in the original page here, so the re-ranker equalizes
+// *where* groups appear without changing *how much* of each group the
+// page shows. At each position k the groups that have fallen below
+// their integral floor ⌊p_g·k⌋ are served first (best next item among
+// them); when no group is below its floor, any group still under its
+// ceiling ⌈p_g·k⌉ may supply its best remaining item. Ties break by
+// original position, making the output deterministic.
+type detGreedy struct{}
+
+func (detGreedy) Kind() Kind { return DetGreedy }
+
+func (detGreedy) Rerank(items []Item, opts Options) ([]int, error) {
+	if err := validateCommon(opts); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	if n == 0 {
+		return []int{}, nil
+	}
+	cats := groupOrder(items)
+	queues := make(map[string][]int, len(cats))
+	for i, it := range items {
+		queues[it.Group] = append(queues[it.Group], i)
+	}
+	share := make(map[string]float64, len(cats))
+	for _, c := range cats {
+		share[c] = float64(len(queues[c])) / float64(n)
+	}
+
+	head := make(map[string]int, len(cats))
+	placed := make(map[string]int, len(cats))
+	out := make([]int, 0, n)
+	pick := func(pool []string) {
+		best := -1
+		for _, c := range pool {
+			next := queues[c][head[c]]
+			if best < 0 || better(items, next, best) {
+				best = next
+			}
+		}
+		c := items[best].Group
+		head[c]++
+		placed[c]++
+		out = append(out, best)
+	}
+	for k := 1; k <= n; k++ {
+		var below, eligible, remaining []string
+		for _, c := range cats {
+			if head[c] >= len(queues[c]) {
+				continue
+			}
+			remaining = append(remaining, c)
+			kf := share[c] * float64(k)
+			if placed[c] < int(math.Floor(kf)) {
+				below = append(below, c)
+			}
+			if placed[c] < int(math.Ceil(kf)) {
+				eligible = append(eligible, c)
+			}
+		}
+		switch {
+		case len(below) > 0:
+			pick(below)
+		case len(eligible) > 0:
+			pick(eligible)
+		default:
+			// Integral targets can leave every remaining group at its
+			// ceiling; serve the best remaining item rather than stall.
+			pick(remaining)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+// Package mitigate closes the loop the paper leaves open: after the
+// framework has *measured* how unfair a ranking is to a group (§3.3.2's
+// Exposure deviation), this package *re-ranks* the page to reduce that
+// unfairness. It implements three interchangeable post-processors behind
+// one interface:
+//
+//   - FairTopK — FA*IR fair top-k (Zehlike et al.): a binomial
+//     minimum-representation table m(k) gives the smallest number of
+//     protected items every prefix of length k must contain at
+//     significance α for minimum proportion p; a two-queue greedy merge
+//     satisfies the table while otherwise keeping the best item first.
+//
+//   - DetGreedy — the LinkedIn-style deterministic constrained-sorting
+//     re-ranker (Geyik et al.): every group g gets a target share p_g
+//     (proportional to its page presence by default); at each position
+//     groups below ⌊p_g·k⌋ must be served first, otherwise any group
+//     still under ⌈p_g·k⌉ may supply its best remaining item.
+//
+//   - ExposureParity — a direct minimizer of this repository's own
+//     measure: greedy best-improving adjacent swaps between items of
+//     different groups, bounded by a swap budget, each swap strictly
+//     reducing the |exposure share − relevance share| deviation.
+//
+// All three consume the same flattened page — items with an intrinsic
+// relevance and a projected group key — and return a permutation, never
+// mutating their input. Relevance must be intrinsic (the platform score,
+// or the original rank-derived proxy carried through the permutation):
+// re-ranking changes positions, and a relevance that re-derived itself
+// from the *new* rank would make the before/after comparison circular.
+// Within one group, every re-ranker preserves the original relative
+// order — mitigation trades positions *between* groups, it never
+// re-judges workers of the same group against each other. The property
+// and fuzz tests pin these invariants.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairjob/internal/metrics"
+)
+
+// Item is one ranked result flattened for mitigation: an identifier, an
+// intrinsic relevance in [0, 1], and the item's group key projected onto
+// the protected attributes of the mitigation target (so a partial-group
+// target like "gender=Female" sees every item as its gender projection).
+type Item struct {
+	ID    string
+	Rel   float64
+	Group string
+}
+
+// Kind names one of the three re-rankers.
+type Kind int
+
+const (
+	// FairTopK is the FA*IR fair top-k post-processor.
+	FairTopK Kind = iota
+	// DetGreedy is the deterministic greedy constrained-sorting
+	// re-ranker.
+	DetGreedy
+	// ExposureParity is the bounded-swap minimizer of the Exposure
+	// deviation measure.
+	ExposureParity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FairTopK:
+		return "fair"
+	case DetGreedy:
+		return "greedy"
+	case ExposureParity:
+		return "exposure"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a CLI/API mitigator name.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "fair":
+		return FairTopK, nil
+	case "greedy":
+		return DetGreedy, nil
+	case "exposure":
+		return ExposureParity, nil
+	default:
+		return 0, fmt.Errorf("mitigate: unknown mitigator %q (want fair, greedy or exposure)", s)
+	}
+}
+
+// Kinds lists every implemented re-ranker in declaration order; tests
+// and the serve layer iterate it rather than hard-coding the set.
+func Kinds() []Kind { return []Kind{FairTopK, DetGreedy, ExposureParity} }
+
+// Options configures a mitigation run.
+type Options struct {
+	// Target is the projected group key of the protected group — the
+	// group whose Exposure deviation the run tries to reduce.
+	Target string
+	// Comparable lists the projected group keys of Target's comparable
+	// groups (§3.1 single-attribute variants). Together with Target they
+	// form the population the Exposure measure is taken over; items in
+	// neither set are re-ranked but never measured.
+	Comparable []string
+
+	// MinProportion is FA*IR's p, the minimum protected proportion every
+	// prefix should reach. 0 derives p from the page itself: the
+	// protected share of the measured population.
+	MinProportion float64
+	// Alpha is FA*IR's significance level; 0 selects DefaultAlpha.
+	Alpha float64
+	// SwapBudget bounds ExposureParity's adjacent swaps; 0 selects
+	// n·(n−1)/2 — enough to realize any permutation, so the default is
+	// limited only by the strict-improvement stopping rule.
+	SwapBudget int
+}
+
+// DefaultAlpha is FA*IR's significance level when Options.Alpha is 0.
+const DefaultAlpha = 0.1
+
+// Reranker is one mitigation strategy: it returns a permutation perm of
+// [0, len(items)) with perm[newPos] = original index. Implementations
+// never mutate items and keep the relative order of same-group items.
+type Reranker interface {
+	Kind() Kind
+	Rerank(items []Item, opts Options) ([]int, error)
+}
+
+// New returns the re-ranker of the given kind. An out-of-range kind
+// panics: the enum is closed, so that is a configuration bug (see the
+// repository doc.go on the panic-vs-error policy).
+func New(kind Kind) Reranker {
+	switch kind {
+	case FairTopK:
+		return fairTopK{}
+	case DetGreedy:
+		return detGreedy{}
+	case ExposureParity:
+		return exposureParity{}
+	default:
+		panic(fmt.Sprintf("mitigate: unknown kind %d", int(kind)))
+	}
+}
+
+// Outcome is one measure → mitigate → re-measure run.
+type Outcome struct {
+	Mitigator Kind
+	// Before and After are the Exposure deviations of the target group
+	// under the original and the mitigated order.
+	Before, After float64
+	// Permutation maps new position → original index.
+	Permutation []int
+	// Moved counts items whose position changed.
+	Moved int
+}
+
+// Delta returns Before − After: positive when mitigation reduced the
+// measured unfairness.
+func (o Outcome) Delta() float64 { return o.Before - o.After }
+
+// Rerank runs the full loop for one mitigator: measure the target's
+// unfairness on the original order, re-rank, and re-measure on the
+// permuted order. It errors when the measure is undefined on the page
+// (no target item, or no comparable item to contrast against) — there
+// is nothing to mitigate then.
+func Rerank(kind Kind, items []Item, opts Options) (Outcome, error) {
+	before, ok := Unfairness(items, nil, opts.Target, opts.Comparable)
+	if !ok {
+		return Outcome{}, fmt.Errorf("mitigate: exposure unfairness of %q is undefined on this page (target or comparable groups absent)", opts.Target)
+	}
+	perm, err := New(kind).Rerank(items, opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	after, _ := Unfairness(items, perm, opts.Target, opts.Comparable)
+	out := Outcome{Mitigator: kind, Before: before, After: after, Permutation: perm}
+	for pos, oi := range perm {
+		if pos != oi {
+			out.Moved++
+		}
+	}
+	return out, nil
+}
+
+// Unfairness is the package's measurement half: the §3.3.2 Exposure
+// deviation of the target group under the given order, |exposure share −
+// relevance share| over the population target ∪ comparable. order maps
+// new position → original index; nil means the original order. Exposure
+// is positional (metrics.ExposureAtRank of the *new* 1-based position);
+// relevance is each item's intrinsic Rel, carried through the
+// permutation. The boolean is false when the measure is undefined — the
+// target has no items on the page; a page where no comparable group
+// appears is defined with deviation 0, mirroring
+// core.MarketplaceEvaluator's exposure cell.
+func Unfairness(items []Item, order []int, target string, comparable []string) (float64, bool) {
+	comp := make(map[string]bool, len(comparable))
+	for _, c := range comparable {
+		comp[c] = true
+	}
+	var gExp, gRel, totExp, totRel float64
+	targetSeen, comparableSeen := false, false
+	for pos := range items {
+		oi := pos
+		if order != nil {
+			oi = order[pos]
+		}
+		it := items[oi]
+		switch {
+		case it.Group == target:
+			e := metrics.ExposureAtRank(pos + 1)
+			gExp += e
+			gRel += it.Rel
+			totExp += e
+			totRel += it.Rel
+			targetSeen = true
+		case comp[it.Group]:
+			totExp += metrics.ExposureAtRank(pos + 1)
+			totRel += it.Rel
+			comparableSeen = true
+		}
+	}
+	if !targetSeen {
+		return 0, false
+	}
+	if !comparableSeen {
+		return 0, true
+	}
+	return metrics.ExposureDeviation(
+		metrics.Share(gExp, totExp),
+		metrics.Share(gRel, totRel),
+	), true
+}
+
+// validateCommon rejects option values every re-ranker agrees are
+// malformed.
+func validateCommon(opts Options) error {
+	if opts.Target == "" {
+		return fmt.Errorf("mitigate: options need a target group")
+	}
+	return nil
+}
+
+// protectedShare derives FA*IR's default p: the protected share of the
+// measured population on this page.
+func protectedShare(items []Item, opts Options) float64 {
+	comp := make(map[string]bool, len(opts.Comparable))
+	for _, c := range opts.Comparable {
+		comp[c] = true
+	}
+	prot, pop := 0, 0
+	for _, it := range items {
+		switch {
+		case it.Group == opts.Target:
+			prot++
+			pop++
+		case comp[it.Group]:
+			pop++
+		}
+	}
+	if pop == 0 {
+		return 0
+	}
+	return float64(prot) / float64(pop)
+}
+
+// groupOrder returns the distinct group keys of items, sorted — the
+// deterministic category enumeration DetGreedy iterates.
+func groupOrder(items []Item) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, it := range items {
+		if !seen[it.Group] {
+			seen[it.Group] = true
+			out = append(out, it.Group)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// better reports whether item a should precede item b when no fairness
+// constraint forces a choice: higher relevance first, original position
+// breaking ties — the deterministic tie-break all three re-rankers
+// share.
+func better(items []Item, a, b int) bool {
+	if items[a].Rel != items[b].Rel {
+		return items[a].Rel > items[b].Rel
+	}
+	return a < b
+}
+
+// identity returns the identity permutation of length n.
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// clampProportion validates p ∈ [0, 1]; NaN and out-of-range values are
+// caller bugs reported as errors.
+func clampProportion(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("mitigate: %s must be in [0, 1], got %v", name, p)
+	}
+	return nil
+}

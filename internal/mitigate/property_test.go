@@ -1,0 +1,190 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// checkPermutation asserts perm is a permutation of [0, n).
+func checkPermutation(t *testing.T, kind Kind, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("%v: permutation length %d, want %d", kind, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, oi := range perm {
+		if oi < 0 || oi >= n || seen[oi] {
+			t.Fatalf("%v: %v is not a permutation of [0, %d)", kind, perm, n)
+		}
+		seen[oi] = true
+	}
+}
+
+// checkWithinGroupOrder asserts same-group items keep their original
+// relative order: mitigation moves groups, it never re-judges workers
+// of one group against each other.
+func checkWithinGroupOrder(t *testing.T, kind Kind, items []Item, perm []int) {
+	t.Helper()
+	last := make(map[string]int)
+	for _, oi := range perm {
+		g := items[oi].Group
+		if prev, ok := last[g]; ok && oi < prev {
+			t.Fatalf("%v: items %d and %d of group %q swapped relative order", kind, prev, oi, g)
+		}
+		last[g] = oi
+	}
+}
+
+// checkFairPrefix asserts FA*IR's minimum-representation constraint at
+// every prefix, recomputing the table the re-ranker used (default-p
+// derivation and feasibility cap included).
+func checkFairPrefix(t *testing.T, items []Item, perm []int, opts Options) {
+	t.Helper()
+	p := opts.MinProportion
+	if p == 0 {
+		p = protectedShare(items, opts)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	available := 0
+	for _, it := range items {
+		if it.Group == opts.Target {
+			available++
+		}
+	}
+	m := minimumTable(len(items), p, alpha)
+	placed := 0
+	for k := 1; k <= len(perm); k++ {
+		if items[perm[k-1]].Group == opts.Target {
+			placed++
+		}
+		need := m[k-1]
+		if need > available {
+			need = available
+		}
+		if placed < need {
+			t.Fatalf("fair: prefix %d holds %d protected items, constraint requires %d (p=%v, α=%v)", k, placed, need, p, alpha)
+		}
+	}
+}
+
+// checkInvariants runs every re-ranker over one page and asserts the
+// shared invariants, plus each mitigator's own contract.
+func checkInvariants(t *testing.T, items []Item, opts Options) {
+	t.Helper()
+	before, defined := Unfairness(items, nil, opts.Target, opts.Comparable)
+	for _, kind := range Kinds() {
+		perm, err := New(kind).Rerank(items, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		checkPermutation(t, kind, perm, len(items))
+		checkWithinGroupOrder(t, kind, items, perm)
+		if kind == FairTopK {
+			checkFairPrefix(t, items, perm, opts)
+		}
+		if kind == ExposureParity && defined {
+			after, _ := Unfairness(items, perm, opts.Target, opts.Comparable)
+			if after > before+1e-12 {
+				t.Fatalf("exposure: made things worse, before %v after %v", before, after)
+			}
+		}
+		if defined {
+			out, err := Rerank(kind, items, opts)
+			if err != nil {
+				t.Fatalf("Rerank(%v): %v", kind, err)
+			}
+			direct, _ := Unfairness(items, out.Permutation, opts.Target, opts.Comparable)
+			if out.After != direct {
+				t.Fatalf("%v: Outcome.After %v != direct re-measure %v", kind, out.After, direct)
+			}
+		}
+	}
+}
+
+// TestMitigatorInvariants runs the invariant suite over hand-built
+// pages covering the interesting shapes: the paper fixture, a page with
+// no protected item, all-protected, tied scores, partial-attribute
+// groups, and tiny pages.
+func TestMitigatorInvariants(t *testing.T) {
+	pages := []struct {
+		name  string
+		items []Item
+		opts  Options
+	}{
+		{"paper", paperItems(), Options{Target: targetAF, Comparable: comparableAF(), MinProportion: 0.3, Alpha: 0.25, SwapBudget: 10}},
+		{"paper-defaults", paperItems(), Options{Target: targetAF, Comparable: comparableAF()}},
+		{"no-protected", []Item{
+			{ID: "a", Rel: 0.9, Group: "g=B"}, {ID: "b", Rel: 0.5, Group: "g=C"},
+		}, Options{Target: "g=A", Comparable: []string{"g=B", "g=C"}}},
+		{"all-protected", []Item{
+			{ID: "a", Rel: 0.9, Group: "g=A"}, {ID: "b", Rel: 0.5, Group: "g=A"},
+		}, Options{Target: "g=A", Comparable: []string{"g=B"}}},
+		{"tied-scores", []Item{
+			{ID: "a", Rel: 0.5, Group: "g=B"}, {ID: "b", Rel: 0.5, Group: "g=A"},
+			{ID: "c", Rel: 0.5, Group: "g=B"}, {ID: "d", Rel: 0.5, Group: "g=A"},
+		}, Options{Target: "g=A", Comparable: []string{"g=B"}, MinProportion: 0.5}},
+		{"partial-attribute", []Item{
+			{ID: "a", Rel: 1.0, Group: "gender=Male"}, {ID: "b", Rel: 0.7, Group: "gender=Male"},
+			{ID: "c", Rel: 0.4, Group: "gender=Female"}, {ID: "d", Rel: 0.1, Group: "gender=Female"},
+		}, Options{Target: "gender=Female", Comparable: []string{"gender=Male"}}},
+		{"single", []Item{{ID: "a", Rel: 0.5, Group: "g=A"}}, Options{Target: "g=A", Comparable: []string{"g=B"}}},
+		{"empty", nil, Options{Target: "g=A", Comparable: []string{"g=B"}}},
+	}
+	for _, p := range pages {
+		t.Run(p.name, func(t *testing.T) { checkInvariants(t, p.items, p.opts) })
+	}
+}
+
+// fuzzItems decodes a byte string into a page: each byte contributes
+// one item, its low bits choosing among three groups and its high bits
+// the relevance. Pages are capped at 32 items to keep the
+// exposure-parity search cheap under the fuzzer.
+func fuzzItems(data []byte) []Item {
+	if len(data) > 32 {
+		data = data[:32]
+	}
+	items := make([]Item, len(data))
+	for i, b := range data {
+		items[i] = Item{
+			ID:    fmt.Sprintf("w%d", i),
+			Rel:   float64(b>>2) / 63.0,
+			Group: fmt.Sprintf("g=%c", 'A'+b%3),
+		}
+	}
+	return items
+}
+
+// FuzzMitigators drives random pages, proportions and budgets through
+// all three re-rankers, asserting the permutation, within-group-order,
+// FA*IR prefix and no-worse-exposure invariants — the check.sh
+// mitigation gate runs the seed corpus under -race.
+func FuzzMitigators(f *testing.F) {
+	f.Add([]byte{}, 0.3, 0.25, uint8(10))
+	f.Add([]byte{0x00}, 0.0, 0.0, uint8(0))
+	f.Add([]byte{0x93, 0x41, 0x02, 0xff, 0x7c, 0x25, 0x68, 0x1a, 0xb1, 0x0e}, 0.3, 0.25, uint8(10))
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 0, 0, 0}, 0.5, 0.1, uint8(3))
+	f.Add([]byte{255, 254, 253, 3, 7, 11, 96, 97, 98, 99, 100, 101}, 0.9, 0.05, uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, p, alpha float64, budget uint8) {
+		items := fuzzItems(data)
+		// Sanitize the float knobs into their legal ranges; the explicit
+		// rejection of illegal values is covered by TestOptionValidation.
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+			p = 0
+		}
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0 || alpha >= 1 {
+			alpha = 0
+		}
+		opts := Options{
+			Target:        "g=A",
+			Comparable:    []string{"g=B", "g=C"},
+			MinProportion: p,
+			Alpha:         alpha,
+			SwapBudget:    int(budget),
+		}
+		checkInvariants(t, items, opts)
+	})
+}

@@ -74,7 +74,8 @@ type Event struct {
 	Measure string `json:"measure,omitempty"`  // workload measure (emd, exposure, kendall, jaccard)
 
 	// Request shape: quantify requests fill dim/k/direction/algo,
-	// compare requests fill r1/r2/by.
+	// compare requests fill r1/r2/by, mitigate requests fill mitigator
+	// plus r1/r2/by (target group key, query, location).
 	Problem   string `json:"problem,omitempty"`
 	Dim       string `json:"dim,omitempty"`
 	K         int    `json:"k,omitempty"`
@@ -83,6 +84,7 @@ type Event struct {
 	R1        string `json:"r1,omitempty"`
 	R2        string `json:"r2,omitempty"`
 	By        string `json:"by,omitempty"`
+	Mitigator string `json:"mitigator,omitempty"`
 
 	// Execution detail.
 	Cache           string `json:"cache,omitempty"` // hit | miss | off
@@ -91,7 +93,10 @@ type Event struct {
 	RandomAccesses  int    `json:"random_accesses,omitempty"`
 	Rounds          int    `json:"rounds,omitempty"`
 	CompareAccesses int    `json:"compare_accesses,omitempty"`
-	Err             string `json:"err,omitempty"`
+	// DeltaUnfairness is a mitigate request's before − after Exposure
+	// deviation: positive when the re-ranking helped the target group.
+	DeltaUnfairness float64 `json:"delta_unfairness,omitempty"`
+	Err             string  `json:"err,omitempty"`
 }
 
 // EventSchema is the documented wide-event schema: every legal JSON
@@ -103,10 +108,10 @@ var EventSchema = map[string]bool{
 	"time": true, "component": true, "level": true, "outcome": true, "latency_ns": true,
 	"trace_id": false, "gen": false, "measure": false,
 	"problem": false, "dim": false, "k": false, "direction": false, "algo": false,
-	"r1": false, "r2": false, "by": false,
+	"r1": false, "r2": false, "by": false, "mitigator": false,
 	"cache": false, "queue_wait_ns": false,
 	"sorted_accesses": false, "random_accesses": false, "rounds": false,
-	"compare_accesses": false, "err": false,
+	"compare_accesses": false, "delta_unfairness": false, "err": false,
 }
 
 // ValidateEventJSON checks one serialized event against EventSchema: it

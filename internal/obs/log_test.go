@@ -186,9 +186,9 @@ func TestEventSchemaMatchesStruct(t *testing.T) {
 	e := Event{
 		Time: time.Now(), Component: "c", Level: "info", Outcome: "ok", LatencyNS: 1,
 		TraceID: 1, Gen: 1, Measure: "m", Problem: "p", Dim: "d", K: 1,
-		Direction: "most", Algo: "TA", R1: "a", R2: "b", By: "x",
+		Direction: "most", Algo: "TA", R1: "a", R2: "b", By: "x", Mitigator: "fair",
 		Cache: "hit", QueueWaitNS: 1, SortedAccesses: 1, RandomAccesses: 1,
-		Rounds: 1, CompareAccesses: 1, Err: "e",
+		Rounds: 1, CompareAccesses: 1, DeltaUnfairness: 0.01, Err: "e",
 	}
 	raw, err := json.Marshal(e)
 	if err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,11 +25,13 @@ type Annotation struct {
 }
 
 // Trace is the record of one query through an instrumented pipeline. A
-// trace is owned by the goroutine executing the query until Finish hands
-// it to the tracer's ring; after that it is read-only. All methods are
-// nil-receiver-safe so instrumentation sites can run unconditionally —
-// with tracing disabled, Start returns nil and every Mark/Annotate on it
-// is a no-op costing one predictable branch.
+// trace is owned by the goroutine executing the query; Finish copies a
+// retained trace into the tracer's ring by value, so the caller keeps
+// reading its own object (JoinID, wide-event fields) until it hands it
+// back with Release. All methods are nil-receiver-safe so
+// instrumentation sites can run unconditionally — with tracing
+// disabled, Start returns nil and every Mark/Annotate on it is a no-op
+// costing one predictable branch.
 type Trace struct {
 	ID    uint64        `json:"id"`
 	Label string        `json:"label"`
@@ -135,11 +138,16 @@ func (t *Trace) Annotate(key, value string) {
 }
 
 // Tracer keeps the most recent completed traces in a fixed-size ring
-// buffer. Start/Finish are cheap and lock-free — one small allocation
-// per trace, and publishing claims a ring slot with an atomic counter
-// and stores the trace with an atomic pointer, so concurrent batch
-// workers never contend on a mutex. Recent copies the ring for
-// inspection. A nil *Tracer is valid and disables tracing entirely.
+// buffer. Start and Finish are allocation-free in steady state: Start
+// draws the Trace from a pool, Finish copies a retained trace by value
+// into its ring slot, and Release returns the caller's trace to the
+// pool once the query is done with it — the serving hot path generates
+// no per-query trace garbage, which matters because the tracer's whole
+// cost is otherwise GC pressure, not CPU. Publishing claims a slot with
+// an atomic counter; the copy in and out of a slot is guarded by that
+// slot's own mutex, so concurrent batch workers only ever contend when
+// they land on the same slot. Recent copies the ring for inspection. A
+// nil *Tracer is valid and disables tracing entirely.
 type Tracer struct {
 	capacity int
 	seq      atomic.Uint64
@@ -147,11 +155,11 @@ type Tracer struct {
 
 	// next counts slot claims; claim i lands in ring[i % capacity]. A
 	// reader can observe a claimed-but-not-yet-stored slot, in which
-	// case Recent sees the slot's previous trace (or nil) — acceptable
-	// for a diagnostic ring, and sequential Finish/Recent pairs are
-	// exact.
+	// case Recent sees the slot's previous trace (or nothing) —
+	// acceptable for a diagnostic ring, and sequential Finish/Recent
+	// pairs are exact.
 	next atomic.Uint64
-	ring []atomic.Pointer[Trace]
+	ring []traceSlot
 
 	// Tail sampling (zero value: keep everything). The ring is small and
 	// a busy engine finishes thousands of traces per second, so without
@@ -182,6 +190,36 @@ type TailSamplingPolicy struct {
 // enabled reports whether the policy can drop anything.
 func (p TailSamplingPolicy) enabled() bool { return p.KeepOneInN > 1 }
 
+// traceSlot is one ring entry: the retained trace held by value, so the
+// ring owns its memory and evicting a trace never creates garbage.
+type traceSlot struct {
+	mu sync.Mutex
+	ok bool // a trace has been stored here
+	t  Trace
+}
+
+// tracePool recycles Trace objects across Start/Release cycles. Traces
+// are pool-agnostic (no per-tracer state), so one process-wide pool
+// serves every tracer.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// copyTrace copies src into dst by value, re-pointing the span and
+// annotation slices at dst's inline buffers when src's still live in
+// its own (the common, ≤ 5-span case). A slice that overflowed to the
+// heap is shared instead: after Finish nothing appends to it — a
+// recycled trace is reset to its inline buffer and growth allocates a
+// fresh array — so the shared array is immutable.
+func copyTrace(dst, src *Trace) {
+	ns, na := len(src.Spans), len(src.Annots)
+	*dst = *src
+	if ns <= len(dst.spanBuf) {
+		dst.Spans = dst.spanBuf[:ns]
+	}
+	if na <= len(dst.annotBuf) {
+		dst.Annots = dst.annotBuf[:na]
+	}
+}
+
 // classIndex maps a trace class to its retention-counter slot.
 func classIndex(class string) int {
 	switch class {
@@ -211,7 +249,7 @@ func NewTracerTailSampled(capacity int, policy TailSamplingPolicy) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{capacity: capacity, ring: make([]atomic.Pointer[Trace], capacity), policy: policy}
+	return &Tracer{capacity: capacity, ring: make([]traceSlot, capacity), policy: policy}
 }
 
 // Policy returns the tracer's tail-sampling policy.
@@ -222,13 +260,14 @@ func (tz *Tracer) Policy() TailSamplingPolicy {
 	return tz.policy
 }
 
-// Start begins a new trace. On a nil tracer it returns nil, which every
-// Trace method accepts.
+// Start begins a new trace, drawn from the process-wide pool. On a nil
+// tracer it returns nil, which every Trace method accepts.
 func (tz *Tracer) Start(label string) *Trace {
 	if tz == nil {
 		return nil
 	}
-	t := &Trace{
+	t := tracePool.Get().(*Trace)
+	*t = Trace{
 		ID:    tz.seq.Add(1),
 		Label: label,
 		Begin: time.Now(),
@@ -236,6 +275,19 @@ func (tz *Tracer) Start(label string) *Trace {
 	t.Spans = t.spanBuf[:0]
 	t.Annots = t.annotBuf[:0]
 	return t
+}
+
+// Release returns a trace obtained from Start to the pool. Call it once
+// the query is completely done with the trace — after Finish AND after
+// the last JoinID/field read (the serve engine releases after the wide
+// event is emitted). The trace must not be used afterwards. Release is
+// optional: an unreleased trace is simply garbage, exactly the pre-pool
+// behaviour. Nil tracer or nil trace are no-ops.
+func (tz *Tracer) Release(t *Trace) {
+	if tz == nil || t == nil {
+		return
+	}
+	tracePool.Put(t)
 }
 
 // Finish stamps the trace's total duration and slow classification,
@@ -261,9 +313,13 @@ func (tz *Tracer) Finish(t *Trace) {
 		return
 	}
 	tz.kept[ci].Add(1)
-	t.retained = true // before Store: readers must never see it unset
+	t.retained = true // before the copy: readers must never see it unset
 	slot := tz.next.Add(1) - 1
-	tz.ring[slot%uint64(tz.capacity)].Store(t)
+	s := &tz.ring[slot%uint64(tz.capacity)]
+	s.mu.Lock()
+	copyTrace(&s.t, t)
+	s.ok = true
+	s.mu.Unlock()
 }
 
 // TraceRetention reports how many finished traces of one class the tail
@@ -295,8 +351,9 @@ func (tz *Tracer) Finished() uint64 {
 	return tz.finished.Load()
 }
 
-// Recent returns the retained traces, newest first. The returned slice
-// is a copy; the traces themselves are shared and read-only.
+// Recent returns the retained traces, newest first. The traces are
+// fresh copies owned by the caller — the ring keeps recycling slots
+// underneath without disturbing them.
 func (tz *Tracer) Recent() []*Trace {
 	if tz == nil {
 		return nil
@@ -310,10 +367,14 @@ func (tz *Tracer) Recent() []*Trace {
 	// Walk the ring backwards from the most recently claimed slot,
 	// skipping slots whose store hasn't landed yet.
 	for i := uint64(0); i < n; i++ {
-		t := tz.ring[(claimed-1-i)%uint64(tz.capacity)].Load()
-		if t != nil {
-			out = append(out, t)
+		s := &tz.ring[(claimed-1-i)%uint64(tz.capacity)]
+		s.mu.Lock()
+		if s.ok {
+			c := new(Trace)
+			copyTrace(c, &s.t)
+			out = append(out, c)
 		}
+		s.mu.Unlock()
 	}
 	return out
 }

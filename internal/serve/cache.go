@@ -21,6 +21,15 @@ type cacheKey struct {
 	r1, r2      string
 	by          int
 	definedOnly bool
+
+	// Mitigate request shape. The float knobs are stored as their IEEE
+	// bit patterns: cache keys need equality, not arithmetic, and bits
+	// keep the struct comparable.
+	mitigator       int
+	group           string
+	query, location string
+	minProp, alpha  uint64
+	budget          int
 }
 
 // lruCache is a fixed-capacity least-recently-used map from cacheKey to

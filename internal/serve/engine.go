@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"strings"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
 	"fairjob/internal/faultinject"
+	"fairjob/internal/mitigate"
 	"fairjob/internal/obs"
 	"fairjob/internal/topk"
 )
@@ -27,7 +29,14 @@ const (
 	// values reverse relative to their overall comparison (Algorithms
 	// 2–3).
 	Compare
+	// Mitigate is Problem 3: re-rank one marketplace page to reduce the
+	// target group's Exposure deviation, measuring before and after
+	// against the same pinned snapshot (internal/mitigate).
+	Mitigate
 )
+
+// problemCount sizes the per-problem metric arrays.
+const problemCount = 3
 
 func (p Problem) String() string {
 	switch p {
@@ -35,6 +44,8 @@ func (p Problem) String() string {
 		return "quantify"
 	case Compare:
 		return "compare"
+	case Mitigate:
+		return "mitigate"
 	default:
 		return fmt.Sprintf("Problem(%d)", int(p))
 	}
@@ -61,6 +72,19 @@ type Request struct {
 	By          compare.Dimension
 	DefinedOnly bool
 
+	// Mitigate fields: which page (Query, Location), which group's
+	// deviation to reduce (Group, a canonical group key), which
+	// re-ranker (Mitigator), and its knobs — MinProportion/Alpha for
+	// FA*IR (0 selects the page-proportional / package defaults),
+	// SwapBudget for the exposure-parity search (0 = unbounded).
+	Mitigator     mitigate.Kind
+	Group         string
+	Query         string
+	Location      string
+	MinProportion float64
+	Alpha         float64
+	SwapBudget    int
+
 	// Deadline bounds this request's execution, overriding the engine's
 	// Options.DefaultDeadline; 0 keeps the default. It composes with any
 	// deadline already on the caller's context — the earlier one wins.
@@ -83,6 +107,13 @@ func (r Request) key(gen uint64) cacheKey {
 		r2:          r.R2,
 		by:          int(r.By),
 		definedOnly: r.DefinedOnly,
+		mitigator:   int(r.Mitigator),
+		group:       r.Group,
+		query:       r.Query,
+		location:    r.Location,
+		minProp:     math.Float64bits(r.MinProportion),
+		alpha:       math.Float64bits(r.Alpha),
+		budget:      r.SwapBudget,
 	}
 }
 
@@ -96,10 +127,29 @@ type Response struct {
 	Results    []topk.Result
 	Stats      topk.Stats
 	Comparison *compare.Comparison
+	Mitigation *Mitigation
 	Gen        uint64
 	CacheHit   bool
 	Err        error
 }
+
+// Mitigation is the answer to a Problem 3 request: the measured
+// Exposure deviation of the target group before and after re-ranking,
+// the permutation that was applied (new position → original page
+// index), and the re-ranked worker IDs for display. Both measurements
+// were taken against the same snapshot generation the response reports.
+type Mitigation struct {
+	Mitigator     mitigate.Kind
+	Group         string
+	Before, After float64
+	Permutation   []int
+	IDs           []string
+	Moved         int
+}
+
+// Delta returns Before − After: positive when mitigation reduced the
+// measured unfairness.
+func (m *Mitigation) Delta() float64 { return m.Before - m.After }
 
 // Options configures an Engine.
 type Options struct {
@@ -195,8 +245,8 @@ type Engine struct {
 // registry once at construction so the per-query hot path never touches
 // the registry's lock or allocates a name string.
 type engineMetrics struct {
-	requests [2]*obs.Counter   // indexed by Problem
-	latency  [2]*obs.Histogram // serve_request_seconds{problem=...}
+	requests [problemCount]*obs.Counter   // indexed by Problem
+	latency  [problemCount]*obs.Histogram // serve_request_seconds{problem=...}
 	errors   *obs.Counter
 
 	cacheHits   *obs.Counter
@@ -248,7 +298,7 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		queueWait:       reg.Histogram("serve_queue_wait_seconds", lat),
 		compareAccesses: reg.Histogram("compare_accesses", counts),
 	}
-	for _, p := range []Problem{Quantify, Compare} {
+	for _, p := range []Problem{Quantify, Compare, Mitigate} {
 		m.requests[p] = reg.Counter(obs.Name("serve_requests_total", "problem", p.String()))
 		m.latency[p] = reg.Histogram(obs.Name("serve_request_seconds", "problem", p.String()), lat)
 	}
@@ -528,6 +578,7 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 		// malformed queries" is an operational question.
 		resp := Response{Gen: snap.gen, Err: err}
 		e.emit(req, resp, tr, "error", time.Since(start), "")
+		e.tracer.Release(tr)
 		return resp
 	}
 	tr.Mark("validate")
@@ -547,6 +598,7 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 			e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.JoinID())
 			e.slo.Observe(lat, nil)
 			e.emit(req, resp, tr, "ok", lat, "hit")
+			e.tracer.Release(tr)
 			return resp
 		}
 		e.met.cacheMisses.Inc()
@@ -605,6 +657,7 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 	e.met.latency[pi].ObserveWithExemplar(lat.Seconds(), tr.JoinID())
 	e.slo.Observe(lat, resp.Err)
 	e.emit(req, resp, tr, outcome, lat, e.cacheState())
+	e.tracer.Release(tr)
 	return resp
 }
 
@@ -624,6 +677,7 @@ func (e *Engine) refuse(snap *Snapshot, req Request, err error, tr *obs.Trace, s
 	e.slo.Observe(lat, err)
 	resp := Response{Gen: snap.gen, Err: err}
 	e.emit(req, resp, tr, outcome, lat, e.cacheState())
+	e.tracer.Release(tr)
 	return resp
 }
 
@@ -697,6 +751,15 @@ func (e *Engine) emit(req Request, resp Response, tr *obs.Trace, outcome string,
 		ev.By = req.By.String()
 		if resp.Comparison != nil && !resp.CacheHit {
 			ev.CompareAccesses = resp.Comparison.Accesses
+		}
+	case Mitigate:
+		// The generic operand fields carry the mitigation coordinates:
+		// r1 = target group key, r2 = query, by = location.
+		ev.Mitigator = req.Mitigator.String()
+		ev.R1, ev.R2 = req.Group, req.Query
+		ev.By = req.Location
+		if resp.Mitigation != nil {
+			ev.DeltaUnfairness = resp.Mitigation.Delta()
 		}
 	}
 	e.log.Log(ev)
@@ -782,6 +845,27 @@ func validate(req Request) error {
 		if req.Of == req.By {
 			return fmt.Errorf("serve: cannot break a %v comparison down by %v", req.Of, req.By)
 		}
+	case Mitigate:
+		if req.Group == "" {
+			return fmt.Errorf("serve: mitigate needs a target group key")
+		}
+		if req.Query == "" || req.Location == "" {
+			return fmt.Errorf("serve: mitigate needs a query and a location")
+		}
+		switch req.Mitigator {
+		case mitigate.FairTopK, mitigate.DetGreedy, mitigate.ExposureParity:
+		default:
+			return fmt.Errorf("serve: unknown mitigator %v", req.Mitigator)
+		}
+		if math.IsNaN(req.MinProportion) || req.MinProportion < 0 || req.MinProportion > 1 {
+			return fmt.Errorf("serve: mitigate MinProportion must be in [0, 1], got %v", req.MinProportion)
+		}
+		if math.IsNaN(req.Alpha) || req.Alpha < 0 || req.Alpha >= 1 {
+			return fmt.Errorf("serve: mitigate Alpha must be in [0, 1), got %v", req.Alpha)
+		}
+		if req.SwapBudget < 0 {
+			return fmt.Errorf("serve: mitigate SwapBudget must be non-negative, got %d", req.SwapBudget)
+		}
 	default:
 		return fmt.Errorf("serve: unknown problem %v", req.Problem)
 	}
@@ -830,6 +914,14 @@ func (e *Engine) execute(ctx context.Context, snap *Snapshot, req Request, tr *o
 		case compare.ByLocation:
 			resp.Comparison, resp.Err = c.Locations(core.Location(req.R1), core.Location(req.R2), req.By, compare.Scope{})
 		}
+	case Mitigate:
+		// One page, one re-ranker run — far below deadline scale, like
+		// Compare; one checkpoint on entry bounds cancellation latency.
+		if err := ctx.Err(); err != nil {
+			resp.Err = err
+			return resp
+		}
+		return e.executeMitigate(snap, req, tr)
 	}
 	return resp
 }

@@ -13,6 +13,7 @@ import (
 
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
+	"fairjob/internal/mitigate"
 	"fairjob/internal/obs"
 	"fairjob/internal/serve"
 	"fairjob/internal/stats"
@@ -354,7 +355,7 @@ func TestSLOBurnFlipsReadiness(t *testing.T) {
 func TestWideEventSchemaGate(t *testing.T) {
 	ring := obs.NewRingSink(4096)
 	logger := obs.NewLogger(obs.LoggerOptions{Component: "serve", Sink: ring})
-	snap := anchoredSnapshot(63)
+	snap := anchoredPagedSnapshot(63)
 	eng := serve.NewEngine(snap, serve.Options{
 		Workers: 4,
 		Obs:     obs.NewRegistry(),
@@ -362,6 +363,21 @@ func TestWideEventSchemaGate(t *testing.T) {
 		Log:     logger,
 	})
 	reqs := battery(snap)
+	// Problem 3 rides the same engine: every mitigator's success path,
+	// a snapshot-dependent failure (unknown page) and a validation
+	// reject, so the mitigate-specific event fields pass the schema on
+	// every outcome.
+	for _, kind := range mitigate.Kinds() {
+		reqs = append(reqs, serve.Request{
+			Problem: serve.Mitigate, Mitigator: kind,
+			Group: "ethnicity=Asian&gender=Female",
+			Query: "Home Cleaning", Location: "San Francisco, CA",
+		})
+	}
+	reqs = append(reqs,
+		serve.Request{Problem: serve.Mitigate, Mitigator: mitigate.DetGreedy, Group: "ethnicity=Asian&gender=Female", Query: "no-such-page", Location: "nowhere"},
+		serve.Request{Problem: serve.Mitigate, Mitigator: mitigate.Kind(9), Group: "ethnicity=Asian&gender=Female", Query: "Home Cleaning", Location: "San Francisco, CA"},
+	)
 	// Refusal and reject paths ride along: a validation reject, a dead
 	// deadline, and a repeated request for a cache hit.
 	reqs = append(reqs,

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+
+	"fairjob/internal/core"
+	"fairjob/internal/mitigate"
+	"fairjob/internal/obs"
+)
+
+// This file is the Problem 3 execution path: resolve the requested page
+// and target group against the pinned snapshot, flatten the page into
+// mitigate.Items, run the requested re-ranker's measure → mitigate →
+// re-measure loop, and package the outcome. Both measurements see the
+// same snapshot generation by construction — the page was sealed into
+// the snapshot the caller pinned — which is what makes the before/after
+// pair a meaningful controlled comparison.
+
+// executeMitigate answers one Mitigate request against a pinned
+// snapshot. Validation has already accepted the request shape; what can
+// still fail here is snapshot-dependent: a snapshot without pages, an
+// unknown (query, location), a group over attributes the schema does
+// not track, or a page where the target's deviation is undefined.
+func (e *Engine) executeMitigate(snap *Snapshot, req Request, tr *obs.Trace) Response {
+	resp := Response{Gen: snap.gen}
+	if !snap.HasRankings() {
+		resp.Err = fmt.Errorf("serve: snapshot carries no marketplace pages (build it with NewSnapshotWithRankings)")
+		return resp
+	}
+	r, ok := snap.Ranking(core.Query(req.Query), core.Location(req.Location))
+	if !ok {
+		resp.Err = fmt.Errorf("serve: snapshot has no page for query %q at %q", req.Query, req.Location)
+		return resp
+	}
+	g, err := core.ParseGroupKey(req.Group)
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	for _, attr := range g.Label.Attributes() {
+		if !snap.schema.Has(attr) {
+			resp.Err = fmt.Errorf("serve: schema does not track attribute %q", attr)
+			return resp
+		}
+	}
+	tr.Annotate("mitigator", req.Mitigator.String())
+
+	items := mitigateItems(r, g)
+	comp := snap.schema.Comparable(g)
+	compKeys := make([]string, len(comp))
+	for i, cg := range comp {
+		compKeys[i] = cg.Key()
+	}
+	out, err := mitigate.Rerank(req.Mitigator, items, mitigate.Options{
+		Target:        g.Key(),
+		Comparable:    compKeys,
+		MinProportion: req.MinProportion,
+		Alpha:         req.Alpha,
+		SwapBudget:    req.SwapBudget,
+	})
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	ids := make([]string, len(out.Permutation))
+	for pos, oi := range out.Permutation {
+		ids[pos] = r.Workers[oi].ID
+	}
+	resp.Mitigation = &Mitigation{
+		Mitigator:   out.Mitigator,
+		Group:       g.Key(),
+		Before:      out.Before,
+		After:       out.After,
+		Permutation: out.Permutation,
+		IDs:         ids,
+		Moved:       out.Moved,
+	}
+	return resp
+}
+
+// mitigateItems flattens a marketplace page for mitigation: each
+// worker's group is its attribute assignment projected onto the target
+// group's attributes (so a partial-group target like "gender=Female"
+// classifies every worker by gender alone), and its relevance is
+// intrinsic — the platform score when observed, the original
+// rank-derived proxy otherwise — because a re-ranked measurement must
+// carry relevance through the permutation, not re-derive it from the
+// new positions.
+func mitigateItems(r *core.MarketplaceRanking, g core.Group) []mitigate.Item {
+	attrs := g.Label.Attributes()
+	items := make([]mitigate.Item, len(r.Workers))
+	for i, w := range r.Workers {
+		preds := make([]core.Predicate, len(attrs))
+		for j, a := range attrs {
+			preds[j] = core.Predicate{Attr: a, Value: w.Attrs[a]}
+		}
+		items[i] = mitigate.Item{
+			ID:    w.ID,
+			Rel:   r.Relevance(w, true),
+			Group: core.NewLabel(preds...).Key(),
+		}
+	}
+	return items
+}

@@ -1,9 +1,11 @@
 // Package serve is the concurrent query-serving layer over the paper's
-// two problems: Problem 1 (fairness quantification, Fagin-style top-k
-// over the Table-5 indices) and Problem 2 (fairness comparison,
-// Algorithms 2–3). It exists so that one machine can answer many
-// simultaneous fairness queries — the "heavy traffic" regime of the
-// ROADMAP — without any caller ever observing a torn index.
+// problems: Problem 1 (fairness quantification, Fagin-style top-k over
+// the Table-5 indices), Problem 2 (fairness comparison, Algorithms
+// 2–3), and Problem 3 (fairness mitigation — re-rank one marketplace
+// page to reduce a group's measured Exposure deviation, internal/
+// mitigate). It exists so that one machine can answer many simultaneous
+// fairness queries — the "heavy traffic" regime of the ROADMAP —
+// without any caller ever observing a torn index.
 //
 // The design splits serving into two pieces:
 //
@@ -28,6 +30,7 @@
 package serve
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +68,21 @@ type Snapshot struct {
 
 	completion  *compare.Comparer
 	definedOnly *compare.Comparer
+
+	// Problem 3 (mitigation) state: the raw marketplace pages behind the
+	// table, keyed by (query, location), plus the schema that projects
+	// workers onto group labels. Both are sealed with the snapshot —
+	// rankings are cloned on entry and never mutated (mitigation builds
+	// permutations, not edits) — and nil for snapshots built without
+	// pages, whose mitigate requests then error per-call.
+	schema   *core.Schema
+	rankings map[rankKey]*core.MarketplaceRanking
+}
+
+// rankKey addresses one marketplace page inside a snapshot.
+type rankKey struct {
+	q core.Query
+	l core.Location
 }
 
 // NewSnapshot freezes tbl into a snapshot: the table is deep-cloned, the
@@ -74,6 +92,65 @@ type Snapshot struct {
 // another NewSnapshot or with Snapshot.WithUpdates.
 func NewSnapshot(tbl *core.Table) *Snapshot {
 	return newOwnedSnapshot(tbl.Clone())
+}
+
+// NewSnapshotWithRankings freezes tbl together with the marketplace
+// pages it was evaluated from, enabling Problem 3 (mitigation) requests:
+// the engine re-ranks a pinned page and re-measures it against the same
+// generation both measurements see. The rankings are deep-cloned on
+// entry, so the caller's slices remain its own; schema projects workers
+// onto the group labels mitigation targets (nil selects
+// core.DefaultSchema).
+func NewSnapshotWithRankings(tbl *core.Table, schema *core.Schema, rankings []*core.MarketplaceRanking) *Snapshot {
+	s := newOwnedSnapshot(tbl.Clone())
+	if schema == nil {
+		schema = core.DefaultSchema()
+	}
+	s.schema = schema
+	s.rankings = make(map[rankKey]*core.MarketplaceRanking, len(rankings))
+	for _, r := range rankings {
+		if r == nil {
+			continue
+		}
+		clone := &core.MarketplaceRanking{
+			Query:    r.Query,
+			Location: r.Location,
+			Workers:  make([]core.RankedWorker, len(r.Workers)),
+		}
+		for i, w := range r.Workers {
+			w.Attrs = w.Attrs.Clone()
+			clone.Workers[i] = w
+		}
+		s.rankings[rankKey{r.Query, r.Location}] = clone
+	}
+	return s
+}
+
+// Ranking returns the sealed marketplace page for (q, l), when the
+// snapshot carries pages at all. The result is shared and read-only.
+func (s *Snapshot) Ranking(q core.Query, l core.Location) (*core.MarketplaceRanking, bool) {
+	r, ok := s.rankings[rankKey{q, l}]
+	return r, ok
+}
+
+// HasRankings reports whether the snapshot can serve mitigate requests.
+func (s *Snapshot) HasRankings() bool { return len(s.rankings) > 0 }
+
+// Pages returns the (query, location) coordinates of every sealed
+// marketplace page, sorted — what a caller needs to pick a mitigation
+// target without holding the crawl itself.
+func (s *Snapshot) Pages() [][2]string {
+	out := make([][2]string, 0, len(s.rankings))
+	for k := range s.rankings {
+		out = append(out, [2]string{string(k.q), string(k.l)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // newOwnedSnapshot seals a table the snapshot already owns exclusively.
@@ -115,7 +192,13 @@ func (s *Snapshot) WithUpdates(apply func(*core.Table)) *Snapshot {
 	if apply != nil {
 		apply(clone)
 	}
-	return newOwnedSnapshot(clone)
+	next := newOwnedSnapshot(clone)
+	// The mitigation pages ride along unchanged: they are sealed, so the
+	// new generation may share them with the old one. A producer whose
+	// pages themselves changed rebuilds with NewSnapshotWithRankings.
+	next.schema = s.schema
+	next.rankings = s.rankings
+	return next
 }
 
 // Gen returns the snapshot's process-unique generation number.

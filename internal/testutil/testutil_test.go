@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNear(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"equal", 0.5, 0.5, 1e-12, true},
+		{"one-ulp", 1.0, math.Nextafter(1.0, 2.0), 1e-12, true},
+		{"relative-large", 1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{"relative-large-fail", 1e12, 1e12 * 1.01, 1e-9, false},
+		{"absolute-near-zero", 0, 1e-10, 1e-9, true},
+		{"absolute-near-zero-fail", 0, 1e-6, 1e-9, false},
+		{"percent-change-fails", 0.0731, 0.0593, 1e-9, false},
+		{"both-nan", nan, nan, 1e-9, true},
+		{"one-nan", nan, 0.5, 1e-9, false},
+		{"same-inf", inf, inf, 1e-9, true},
+		{"opposite-inf", inf, -inf, 1e-9, false},
+		{"inf-vs-finite", inf, 1e300, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := Near(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: Near(%v, %v, %g) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+		if got := Near(c.b, c.a, c.tol); got != c.want {
+			t.Errorf("%s: Near is not symmetric: Near(%v, %v, %g) = %v, want %v", c.name, c.b, c.a, c.tol, got, c.want)
+		}
+	}
+}
+
+// fakeTB records Fatalf calls instead of ending the test, so the
+// asserters' failure behavior is itself testable.
+type fakeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = strings.TrimSpace(format)
+	_ = args
+}
+
+func TestApprox(t *testing.T) {
+	ok := &fakeTB{}
+	Approx(ok, "v", 0.5000000000001, 0.5, 1e-9)
+	if ok.failed {
+		t.Fatalf("Approx failed a within-tolerance pair: %s", ok.msg)
+	}
+	bad := &fakeTB{}
+	Approx(bad, "v", 0.52, 0.5, 1e-9)
+	if !bad.failed {
+		t.Fatal("Approx accepted a 4% deviation at 1e-9 relative tolerance")
+	}
+}
+
+func TestApproxSlice(t *testing.T) {
+	ok := &fakeTB{}
+	ApproxSlice(ok, "vs", []float64{1, 2, 3}, []float64{1, 2, 3 + 1e-12}, 1e-9)
+	if ok.failed {
+		t.Fatalf("ApproxSlice failed a within-tolerance slice: %s", ok.msg)
+	}
+	length := &fakeTB{}
+	ApproxSlice(length, "vs", []float64{1}, []float64{1, 2}, 1e-9)
+	if !length.failed {
+		t.Fatal("ApproxSlice accepted mismatched lengths")
+	}
+	elem := &fakeTB{}
+	ApproxSlice(elem, "vs", []float64{1, 2.1}, []float64{1, 2}, 1e-9)
+	if !elem.failed {
+		t.Fatal("ApproxSlice accepted an out-of-tolerance element")
+	}
+}
