@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fairjob/internal/loadgen"
+	"fairjob/internal/obs"
+	"fairjob/internal/serve"
+)
+
+// loadtestConfig carries the loadtest mode's flag values.
+type loadtestConfig struct {
+	rate       float64
+	arrival    string
+	warmup     time.Duration
+	duration   time.Duration
+	seed       uint64
+	uniqueFrac float64
+	out        string
+}
+
+// loadtestProfileJoin is the profiling half of the loadtest artifact: the
+// top CPU attributions by pprof label and the allocation delta, both
+// scoped to the measured run. A capture failure (e.g. another CPU
+// profile already running process-wide) degrades to Error — the latency
+// half of the report still flushes.
+type loadtestProfileJoin struct {
+	CPUProfileID uint64           `json:"cpu_profile_id,omitempty"`
+	CPUSampleNs  int64            `json:"cpu_sample_total_ns"`
+	TopCPULabels []obs.LabelTotal `json:"top_cpu_labels"`
+	HeapDelta    *obs.HeapDelta   `json:"heap_delta,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
+// loadtestArtifact is the single JSON document the loadtest mode
+// produces: coordinated-omission-correct latency under the offered load,
+// joined with where the CPU and allocations actually went, decomposed by
+// the same request labels the latency breakdown uses.
+type loadtestArtifact struct {
+	*loadgen.Report
+	Profile loadtestProfileJoin `json:"profile"`
+}
+
+// loadtestTopLabels bounds how many labeled CPU attributions the
+// artifact reports.
+const loadtestTopLabels = 5
+
+// runLoadtest drives the engine open-loop while the profiler samples the
+// measured phase, then writes the joined artifact. The CPU window is
+// aligned with the measurement phase: sampling starts when warmup ends
+// and stops when the run completes (or a SIGTERM cancels ctx — the
+// partial window and an interrupted-but-complete report still flush).
+func runLoadtest(ctx context.Context, eng *serve.Engine, prof *obs.Profiler, cfg loadtestConfig) error {
+	arr, err := loadgen.ParseArrival(cfg.arrival)
+	if err != nil {
+		return err
+	}
+	wl, err := loadgen.BuildWorkload(eng, cfg.uniqueFrac)
+	if err != nil {
+		return err
+	}
+	runner, err := loadgen.NewRunner(eng, wl, loadgen.Options{
+		Rate:       cfg.rate,
+		Arrival:    arr,
+		Warmup:     cfg.warmup,
+		Duration:   cfg.duration,
+		Seed:       cfg.seed,
+		UniqueFrac: cfg.uniqueFrac,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fairjob: loadtest %s arrivals at %g rps — %s warmup, %s measured, %d shape(s) in the mix\n",
+		arr, cfg.rate, cfg.warmup, cfg.duration, len(wl.Labels()))
+
+	// Heap baseline now, so the post-run allocation delta spans exactly
+	// the run (warmup included — cache fills are allocation too, and
+	// worth seeing).
+	prof.CaptureHeap()
+
+	runCtx, runDone := context.WithCancel(ctx)
+	defer runDone()
+	var (
+		wg  sync.WaitGroup
+		rep *loadgen.Report
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer runDone()
+		rep = runner.Run(ctx)
+	}()
+
+	// Hold the CPU window until warmup ends so the profile describes the
+	// measured phase, not the cache-filling one. An early SIGTERM (or a
+	// run that dies in warmup) skips ahead via runCtx.
+	select {
+	case <-time.After(cfg.warmup):
+	case <-runCtx.Done():
+	}
+	// One full capture round: the CPU window runs until the measured
+	// phase completes (runCtx cancels it), then the instantaneous
+	// heap/goroutine/mutex/block snapshots describe the just-loaded
+	// process. The round lands in the ring, so with -admin the same
+	// profiles remain fetchable at /debug/profiles afterwards.
+	prof.CaptureRound(runCtx)
+	wg.Wait()
+
+	art := &loadtestArtifact{Report: rep, Profile: joinProfile(prof)}
+	w := os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "fairjob: loadtest done — %d measured (%.1f rps achieved), p50 %s p99 %s p999 %s max %s\n",
+		rep.Completed, rep.AchievedRPS,
+		time.Duration(rep.Latency.P50), time.Duration(rep.Latency.P99),
+		time.Duration(rep.Latency.P999), time.Duration(rep.Latency.Max))
+	for i, lt := range art.Profile.TopCPULabels {
+		if i == 0 {
+			fmt.Fprintln(os.Stderr, "fairjob: top CPU by request label:")
+		}
+		fmt.Fprintf(os.Stderr, "  %s=%s  %s (%.1f%%)\n",
+			lt.Key, lt.Value, time.Duration(lt.Total), 100*lt.Fraction)
+	}
+	return nil
+}
+
+// joinProfile extracts the run's CPU attribution and allocation delta
+// from the profiler's freshest captures.
+func joinProfile(prof *obs.Profiler) loadtestProfileJoin {
+	var join loadtestProfileJoin
+	cp, ok := prof.Latest(obs.ProfileCPU)
+	if !ok {
+		join.Error = "no CPU profile captured (another profiler may hold the process-wide CPU profile)"
+	} else {
+		join.CPUProfileID = cp.ID
+		totals, total, err := obs.LabelTotals(cp.Data)
+		if err != nil {
+			join.Error = "CPU profile unparseable: " + err.Error()
+		} else {
+			join.CPUSampleNs = total
+			// LabelTotals groups by key; the artifact wants the largest
+			// attributions overall, whatever their key.
+			sort.SliceStable(totals, func(i, j int) bool { return totals[i].Total > totals[j].Total })
+			if len(totals) > loadtestTopLabels {
+				totals = totals[:loadtestTopLabels]
+			}
+			join.TopCPULabels = totals
+		}
+	}
+	if join.TopCPULabels == nil {
+		join.TopCPULabels = []obs.LabelTotal{}
+	}
+	if d, ok := prof.LatestHeapDelta(); ok {
+		join.HeapDelta = d
+	}
+	return join
+}

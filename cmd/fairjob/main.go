@@ -12,6 +12,7 @@
 //	fairjob compare  -by group|query|location  -r1 A -r2 B [-measure ...] [-platform ...] [-data DIR]
 //	fairjob batch    [-k 5] [-workers 0] [-measure ...] [-data DIR]
 //	fairjob mitigate -group KEY-or-NAME [-mitigator fair|greedy|exposure|all] [-query Q -location L] [-p 0] [-alpha 0] [-budget 0] [-data DIR]
+//	fairjob loadtest [-rate 200] [-arrival poisson|constant] [-warmup 2s] [-duration 10s] [-unique-frac 0.25] [-out FILE] [-data DIR]
 //
 // With -data it loads a crawl written by datagen (taskers.jsonl +
 // pages.jsonl for the marketplace, google.jsonl for the search study);
@@ -27,6 +28,17 @@
 // demonstrates the concurrent path: it fans a mixed Problem 1 / Problem 2
 // workload across -workers goroutines via the batch API.
 //
+// The loadtest mode (DESIGN.md §13) offers an open-loop Poisson or
+// constant arrival schedule of mixed P1/P2/P3 requests against the live
+// engine while the continuous profiler samples the measured window, and
+// emits one JSON artifact joining coordinated-omission-correct
+// p50/p99/p999 latency with the top CPU attributions per request label
+// and the run's allocation delta. It always serves the marketplace
+// exposure snapshot with rankings attached, so mitigation shapes are in
+// the mix. Any mode can additionally run the continuous profiler on a
+// cadence with -profile, exposing the ring at /debug/profiles when
+// -admin is set.
+//
 // Examples:
 //
 //	fairjob quantify -dim group -k 5
@@ -37,6 +49,8 @@
 //	fairjob batch -k 3 -workers 8
 //	fairjob mitigate -group "Asian Female" -mitigator all
 //	fairjob mitigate -group "ethnicity=Black&gender=Female" -mitigator exposure -budget 5
+//	fairjob loadtest -rate 300 -duration 30s -out loadtest.json
+//	fairjob batch -admin :6060 -profile 60s
 package main
 
 import (
@@ -93,6 +107,13 @@ func main() {
 		logDest     = fs.String("log", "", "write one wide JSON event per request to this file (\"stderr\" or \"-\" for stderr); recent events are always retained in memory for /debug/events")
 		logSample   = fs.Uint64("log-sample", 1, "keep one in N successful wide events and retain one in N fast-ok traces; failures, sheds and slow traces are always kept (0 or 1 keeps everything)")
 		sloBound    = fs.Duration("slo", 0, "enable the SLO monitor: 99% of requests must answer within this bound and 99.9% must succeed; burn-rate alerts gate /readyz and the batch summary reports the verdicts (0 disables)")
+		profEvery   = fs.Duration("profile", 0, "capture CPU/heap/goroutine/mutex/block profiles on this cadence into the /debug/profiles ring (0 disables; loadtest always profiles its own measured window)")
+		rate        = fs.Float64("rate", 200, "loadtest: offered arrival rate in requests/second")
+		arrival     = fs.String("arrival", "poisson", "loadtest: arrival process (poisson or constant)")
+		warmup      = fs.Duration("warmup", 2*time.Second, "loadtest: offered-but-unmeasured warmup phase")
+		duration    = fs.Duration("duration", 10*time.Second, "loadtest: measured phase length")
+		uniqueFrac  = fs.Float64("unique-frac", 0.25, "loadtest: fraction of quantify requests rewritten to bust the result cache")
+		out         = fs.String("out", "", "loadtest: write the JSON report to this file (empty writes to stdout)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -106,6 +127,10 @@ func main() {
 	defer stop()
 
 	reg := obs.NewRegistry()
+	// The Go runtime's own health — GC pauses, scheduler latency, heap
+	// live vs goal, goroutine count — exports alongside the serving
+	// metrics, so /metrics answers "is the runtime the bottleneck".
+	obs.RegisterRuntimeMetrics(reg)
 	// The tracer tail-samples with the same knobs as the logger: -slo
 	// sets the slow threshold (a request over its latency bound is worth
 	// keeping) and -log-sample the fast-ok retention rate, so heavy
@@ -146,11 +171,12 @@ func main() {
 		}, obs.SLOOptions{})
 	}
 
-	// The mitigate mode needs the marketplace pages themselves, not just
-	// the table evaluated from them: its snapshot carries both, so the
-	// before/after measurements and the re-ranking all pin one generation.
+	// The mitigate and loadtest modes need the marketplace pages
+	// themselves, not just the table evaluated from them: their snapshot
+	// carries both, so mitigation requests (loadtest mixes them into its
+	// offered workload) re-rank the same generation they measure.
 	var snap *serve.Snapshot
-	if mode == "mitigate" {
+	if mode == "mitigate" || mode == "loadtest" {
 		rankings, err := buildRankings(*data, *seed)
 		if err != nil {
 			fatal(err)
@@ -178,6 +204,26 @@ func main() {
 		MaxInflight:     *maxInflight,
 	})
 
+	// Profiling: loadtest synchronizes one capture round with its own
+	// measured phase (the CPU window spans the measurement), while
+	// -profile runs the continuous background cadence for any mode. The
+	// deferred Stop is the graceful-shutdown contract: a SIGTERM
+	// interrupts an in-flight CPU window but the partial capture is still
+	// flushed into the ring before the process exits.
+	var prof *obs.Profiler
+	switch {
+	case mode == "loadtest":
+		prof = obs.NewProfiler(obs.ProfilerOptions{
+			Registry:    reg,
+			Interval:    *duration,
+			CPUDuration: *duration,
+		})
+	case *profEvery > 0:
+		prof = obs.NewProfiler(obs.ProfilerOptions{Registry: reg, Interval: *profEvery})
+		prof.Start()
+		defer prof.Stop()
+	}
+
 	var err error
 	switch mode {
 	case "quantify":
@@ -188,6 +234,16 @@ func main() {
 		err = runBatch(ctx, eng, *k, slo)
 	case "mitigate":
 		err = runMitigate(ctx, eng, *mitigator, *group, *query, *location, *minProp, *alpha, *budget)
+	case "loadtest":
+		err = runLoadtest(ctx, eng, prof, loadtestConfig{
+			rate:       *rate,
+			arrival:    *arrival,
+			warmup:     *warmup,
+			duration:   *duration,
+			seed:       *seed,
+			uniqueFrac: *uniqueFrac,
+			out:        *out,
+		})
 	default:
 		usage()
 		os.Exit(2)
@@ -210,11 +266,12 @@ func main() {
 			Health:   &obs.Health{Ready: eng.Ready},
 			SLO:      slo,
 			Events:   events,
+			Profiler: prof,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/profiles, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -226,7 +283,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare|batch|mitigate [flags] (see -h of each mode)")
+	fmt.Fprintln(os.Stderr, "usage: fairjob quantify|compare|batch|mitigate|loadtest [flags] (see -h of each mode)")
 }
 
 func fatal(err error) {

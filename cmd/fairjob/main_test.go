@@ -2,12 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
+	"fairjob/internal/obs"
 	"fairjob/internal/serve"
 )
 
@@ -127,5 +130,54 @@ func TestQuantifyAndCompareOnDataset(t *testing.T) {
 	}
 	if err := runBatch(context.Background(), eng, 2, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLoadtest(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyDataset(t, dir)
+	tbl, err := buildTable(context.Background(), dir, 1, "exposure", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{})
+	prof := obs.NewProfiler(obs.ProfilerOptions{Interval: time.Second, CPUDuration: time.Second})
+	out := filepath.Join(dir, "report.json")
+	cfg := loadtestConfig{
+		rate:     100,
+		arrival:  "poisson",
+		warmup:   100 * time.Millisecond,
+		duration: 400 * time.Millisecond,
+		seed:     7,
+		out:      out,
+	}
+	if err := runLoadtest(context.Background(), eng, prof, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art loadtestArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if art.Completed == 0 || art.Latency.P99 <= 0 {
+		t.Fatalf("artifact lacks measurements: completed=%d p99=%d", art.Completed, art.Latency.P99)
+	}
+	// The join half exists even when the CPU window was too quiet to
+	// attribute: top_cpu_labels is a (possibly empty) list, never null.
+	if art.Profile.TopCPULabels == nil {
+		t.Fatal("artifact profile join missing top_cpu_labels")
+	}
+	if art.Profile.Error != "" {
+		t.Fatalf("profile join degraded: %s", art.Profile.Error)
+	}
+
+	if err := runLoadtest(context.Background(), eng, prof, loadtestConfig{rate: 10, arrival: "warp"}); err == nil {
+		t.Fatal("bad arrival process should error")
+	}
+	if err := runLoadtest(context.Background(), eng, prof, loadtestConfig{rate: -1, arrival: "poisson"}); err == nil {
+		t.Fatal("negative rate should error")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"fairjob/internal/metrics"
@@ -315,12 +316,22 @@ func (e *MarketplaceEvaluator) EvaluateAllCtx(ctx context.Context, rankings []*M
 	shards := make([]*Table, w)
 	errs := make([]error, w)
 	done := ctx.Done()
+	// Run the fan-out under pprof labels: the shard goroutines inherit
+	// them, so CPU profiles attribute evaluation samples to the evaluator
+	// family and measure (and keep any request labels already on ctx).
+	defer pprof.SetGoroutineLabels(ctx)
+	ctx = pprof.WithLabels(ctx, pprof.Labels("eval", "market", "measure", e.Measure.String()))
+	pprof.SetGoroutineLabels(ctx)
 	RunSharded(len(rankings), w, func(shard, lo, hi int) {
 		start := time.Now()
 		cells := 0
-		t := NewTable()
-		sc := e.newScratch()
-		pt := newPartitioner(e.Schema)
+		t := getShardTable()
+		sc := getMktScratch(e.bins())
+		pt := getPartitioner(e.Schema)
+		defer func() {
+			putMktScratch(sc)
+			putPartitioner(pt)
+		}()
 		for _, r := range rankings[lo:hi] {
 			if done != nil {
 				select {
@@ -344,13 +355,12 @@ func (e *MarketplaceEvaluator) EvaluateAllCtx(ctx context.Context, rankings []*M
 	})
 	for _, err := range errs {
 		if err != nil {
+			putShardTables(shards, nil)
 			return nil, err
 		}
 	}
-	out := shards[0]
-	for _, s := range shards[1:] {
-		out.Merge(s)
-	}
+	out := MergeTables(shards)
+	putShardTables(shards, out)
 	run.finish(w)
 	return out, nil
 }

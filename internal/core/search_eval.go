@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"fairjob/internal/metrics"
@@ -127,11 +128,29 @@ type distCache struct {
 }
 
 func newDistCache(fn func(a, b []string) float64, n int) *distCache {
-	d := make([]float64, n*n)
-	for i := range d {
-		d[i] = math.NaN()
+	c := &distCache{}
+	c.reset(fn, n)
+	return c
+}
+
+// reset re-points the cache at a new result set's users, reusing the n×n
+// backing buffer whenever it is large enough. A worker shard walks many
+// result sets of similar cardinality; resetting one cache per shard
+// instead of allocating one per result set removes the largest
+// per-result-set allocation of the search pipeline.
+func (c *distCache) reset(fn func(a, b []string) float64, n int) {
+	c.fn = fn
+	c.n = n
+	need := n * n
+	if cap(c.d) < need {
+		c.d = make([]float64, need)
+	} else {
+		c.d = c.d[:need]
 	}
-	return &distCache{fn: fn, n: n, d: d}
+	for i := range c.d {
+		c.d[i] = math.NaN()
+	}
+	c.hits, c.misses = 0, 0
 }
 
 // dist returns the memoized distance between users i and j of sr.
@@ -252,11 +271,19 @@ func (e *SearchEvaluator) EvaluateAllCtx(ctx context.Context, results []*SearchR
 	shards := make([]*Table, w)
 	errs := make([]error, w)
 	done := ctx.Done()
+	// Run the fan-out under pprof labels: the shard goroutines inherit
+	// them, so CPU profiles attribute evaluation samples to the evaluator
+	// family and measure (and keep any request labels already on ctx).
+	defer pprof.SetGoroutineLabels(ctx)
+	ctx = pprof.WithLabels(ctx, pprof.Labels("eval", "search", "measure", e.Measure.String()))
+	pprof.SetGoroutineLabels(ctx)
 	RunSharded(len(results), w, func(shard, lo, hi int) {
 		start := time.Now()
 		cells, dcHits, dcMisses := 0, 0, 0
-		t := NewTable()
-		pt := newPartitioner(e.Schema)
+		t := getShardTable()
+		pt := getPartitioner(e.Schema)
+		defer putPartitioner(pt)
+		dc := &distCache{}
 		for _, sr := range results[lo:hi] {
 			if done != nil {
 				select {
@@ -267,7 +294,7 @@ func (e *SearchEvaluator) EvaluateAllCtx(ctx context.Context, results []*SearchR
 				}
 			}
 			part := pt.users(sr)
-			dc := newDistCache(dist, len(sr.Users))
+			dc.reset(dist, len(sr.Users))
 			for i := range plan.groups {
 				if v, ok := e.unfairnessCell(sr, part, dc, plan.keys[i], plan.compKeys[i]); ok {
 					t.setKeyed(plan.keys[i], plan.groups[i], sr.Query, sr.Location, v)
@@ -283,13 +310,12 @@ func (e *SearchEvaluator) EvaluateAllCtx(ctx context.Context, results []*SearchR
 	})
 	for _, err := range errs {
 		if err != nil {
+			putShardTables(shards, nil)
 			return nil, err
 		}
 	}
-	out := shards[0]
-	for _, s := range shards[1:] {
-		out.Merge(s)
-	}
+	out := MergeTables(shards)
+	putShardTables(shards, out)
 	run.finish(w)
 	return out, nil
 }

@@ -35,11 +35,20 @@ type Table struct {
 
 // NewTable returns an empty unfairness table.
 func NewTable() *Table {
+	return NewTableSized(0, 0, 0, 0)
+}
+
+// NewTableSized returns an empty table whose maps are presized for the
+// given entry counts. Sizing is a capacity hint, not a bound — the table
+// still grows past it — but a writer that knows its cardinalities up
+// front (the sharded evaluators' merge step, a bulk loader) avoids every
+// incremental rehash of the fill.
+func NewTableSized(values, groups, qs, ls int) *Table {
 	return &Table{
-		values: make(map[Triple]float64),
-		groups: make(map[string]Group),
-		qs:     make(map[Query]struct{}),
-		ls:     make(map[Location]struct{}),
+		values: make(map[Triple]float64, values),
+		groups: make(map[string]Group, groups),
+		qs:     make(map[Query]struct{}, qs),
+		ls:     make(map[Location]struct{}, ls),
 	}
 }
 
@@ -79,6 +88,52 @@ func (t *Table) Merge(other *Table) {
 	for l := range other.ls {
 		t.ls[l] = struct{}{}
 	}
+}
+
+// MergeTables combines shard tables in shard order into one table. With
+// one shard it returns that shard directly (no copy); with more it
+// allocates the result presized to the combined entry counts and merges
+// every shard into it, so the combination performs exactly one map fill
+// with zero incremental rehashes — the cost that made the sharded
+// evaluators' workers>1 merge path pay pure overhead (BENCH_PR7). Nil
+// shards are skipped; shard order is preserved, so later shards win
+// overlapping triples exactly as Table.Merge documents.
+func MergeTables(shards []*Table) *Table {
+	first := -1
+	var nv, ng, nq, nl int
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		nv += len(s.values)
+		ng += len(s.groups)
+		nq += len(s.qs)
+		nl += len(s.ls)
+	}
+	if first < 0 {
+		return NewTable()
+	}
+	if nv == len(shards[first].values) {
+		// Every other shard is nil or empty: reuse the one filled table.
+		return shards[first]
+	}
+	out := NewTableSized(nv, ng, nq, nl)
+	for _, s := range shards {
+		out.Merge(s)
+	}
+	return out
+}
+
+// reset empties the table in place, keeping the maps' capacity — the
+// recycling step of the shard-table pool.
+func (t *Table) reset() {
+	clear(t.values)
+	clear(t.groups)
+	clear(t.qs)
+	clear(t.ls)
 }
 
 // Clone returns a deep copy of the table: the copy and the original share

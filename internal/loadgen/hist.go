@@ -1,0 +1,116 @@
+// Package loadgen is the open-loop load harness (DESIGN.md §13): it
+// offers requests to a serve.Engine at a scheduled arrival rate —
+// constant or Poisson — and records coordinated-omission-correct
+// latency, i.e. every request's latency is measured from its *scheduled*
+// arrival time, not from whenever the generator got around to sending
+// it. A closed-loop generator (send, wait, send) silently stops offering
+// load exactly when the system stalls, so its percentiles miss the worst
+// behavior; the open-loop schedule keeps arrivals independent of
+// responses, the way real user traffic is.
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// subBits is the log-linear histogram's sub-bucket resolution: 2^subBits
+// sub-buckets per octave, giving a worst-case relative error of
+// 2^-subBits ≈ 3% per recorded value — far below run-to-run noise.
+const subBits = 5
+
+// histBuckets covers values up to 2^63-1 ns (≈ 292 years); latencies
+// live in the first ~40 octaves.
+const histBuckets = (64 - subBits + 1) << subBits
+
+// Hist is a lock-free log-linear latency histogram in nanoseconds, in
+// the HdrHistogram tradition: fixed memory, constant-time record, ~3%
+// value resolution. Concurrent recorders only touch atomic counters, so
+// the load generator's dispatch goroutines never serialize on it.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its bucket: identity below
+// 2^subBits, then log-linear — the octave selects a bucket block, the
+// top subBits bits after the leading one select the sub-bucket.
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if u < 1<<subBits {
+		return int(u)
+	}
+	b := bits.Len64(u) - 1
+	shift := b - subBits
+	sub := (u >> shift) - (1 << subBits)
+	return int(uint64(shift+1)<<subBits + sub)
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(idx int) int64 {
+	if idx < 1<<subBits {
+		return int64(idx)
+	}
+	shift := idx>>subBits - 1
+	sub := uint64(idx & (1<<subBits - 1))
+	lo := (1<<subBits + sub) << shift
+	return int64(lo + 1<<shift/2)
+}
+
+// Record adds one latency observation in nanoseconds. Negative values
+// clamp to zero (the clock stepped; the sample still counts).
+func (h *Hist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded value exactly (not bucket-rounded).
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Mean returns the exact mean of recorded values.
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) in nanoseconds, to bucket
+// resolution. The exact maximum is substituted at q = 1.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := int64(q*float64(n-1)) + 1
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return h.Max()
+}

@@ -1,0 +1,239 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"fairjob/internal/core"
+	"fairjob/internal/serve"
+	"fairjob/internal/stats"
+)
+
+func testEngine(tb testing.TB) *serve.Engine {
+	tb.Helper()
+	rng := stats.NewRNG(99)
+	tbl := core.NewTable()
+	for g := 0; g < 8; g++ {
+		grp := core.NewGroup(core.Predicate{Attr: "cohort", Value: fmt.Sprintf("g%02d", g)})
+		for q := 0; q < 12; q++ {
+			for l := 0; l < 4; l++ {
+				tbl.Set(grp, core.Query(fmt.Sprintf("q%02d", q)), core.Location(fmt.Sprintf("l%02d", l)), rng.Float64())
+			}
+		}
+	}
+	return serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{Workers: 2})
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1µs .. 1ms
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Max(); got != 1000000 {
+		t.Fatalf("max = %d", got)
+	}
+	// Bucket resolution is 2^-5 ≈ 3.2%; allow 2 buckets of slack.
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.5, 500_000}, {0.9, 900_000}, {0.99, 990_000}, {1.0, 1_000_000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := c.want - c.want/10
+		hi := c.want + c.want/10
+		if got < lo || got > hi {
+			t.Errorf("q%.3f = %d, want within [%d, %d]", c.q, got, lo, hi)
+		}
+	}
+	if h.Mean() < 450_000 || h.Mean() > 550_000 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestBucketRoundtrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		idx := bucketOf(v)
+		mid := bucketMid(idx)
+		// The representative value must be within one sub-bucket width.
+		if v >= 1<<subBits {
+			rel := float64(mid-v) / float64(v)
+			if rel < -0.05 || rel > 0.05 {
+				t.Errorf("bucketMid(bucketOf(%d)) = %d, rel err %v", v, mid, rel)
+			}
+		} else if mid != v {
+			t.Errorf("identity range: bucketMid(bucketOf(%d)) = %d", v, mid)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucket index %d out of range for %d", idx, v)
+		}
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	eng := testEngine(t)
+	wl, err := BuildWorkload(eng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := wl.Labels()
+	if len(labels) == 0 {
+		t.Fatal("no workload labels")
+	}
+	hasQuantify, hasCompare := false, false
+	for _, l := range labels {
+		if l == "quantify/TA" {
+			hasQuantify = true
+		}
+		if l == "compare/group" {
+			hasCompare = true
+		}
+	}
+	if !hasQuantify || !hasCompare {
+		t.Fatalf("labels = %v, want quantify/TA and compare/group present", labels)
+	}
+
+	// Every sampled request answers OK, including cache-busting variants.
+	rng := stats.NewRNG(7)
+	busted := 0
+	for i := 0; i < 200; i++ {
+		label, req := wl.Sample(rng)
+		if label == "" {
+			t.Fatal("empty label")
+		}
+		if len(req.Candidates) > 0 {
+			busted++
+		}
+		if resp := eng.DoCtx(context.Background(), req); resp.Err != nil {
+			t.Fatalf("sampled %s errored: %v", label, resp.Err)
+		}
+	}
+	if busted == 0 {
+		t.Fatal("uniqueFrac=0.5 never produced a cache-busting variant")
+	}
+
+	// Determinism: same RNG seed, same sample sequence.
+	a, b := stats.NewRNG(11), stats.NewRNG(11)
+	for i := 0; i < 50; i++ {
+		la, ra := wl.Sample(a)
+		lb, rb := wl.Sample(b)
+		if la != lb || fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("sample %d diverged: %s vs %s", i, la, lb)
+		}
+	}
+}
+
+func TestRunnerReport(t *testing.T) {
+	eng := testEngine(t)
+	wl, err := BuildWorkload(eng, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(eng, wl, Options{
+		Rate:     300,
+		Arrival:  Poisson,
+		Warmup:   150 * time.Millisecond,
+		Duration: 500 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run(context.Background())
+	if rep.Interrupted {
+		t.Fatal("uninterrupted run reported interrupted")
+	}
+	if rep.Sent == 0 || rep.Completed != rep.Sent {
+		t.Fatalf("sent %d, completed %d", rep.Sent, rep.Completed)
+	}
+	if rep.WarmupRequests == 0 {
+		t.Fatal("warmup offered no requests")
+	}
+	if rep.Outcomes["ok"] != rep.Completed {
+		t.Fatalf("outcomes %v, want all ok of %d", rep.Outcomes, rep.Completed)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+		t.Fatalf("latency summary disordered: %+v", rep.Latency)
+	}
+	if len(rep.ByLabel) == 0 {
+		t.Fatal("no per-label stats")
+	}
+	var labelTotal int64
+	for _, ls := range rep.ByLabel {
+		labelTotal += ls.Count
+		if ls.Latency.P50 <= 0 {
+			t.Fatalf("label %s has zero p50", ls.Label)
+		}
+	}
+	if labelTotal != rep.Completed {
+		t.Fatalf("label counts sum to %d, completed %d", labelTotal, rep.Completed)
+	}
+	// The offered rate should be roughly achieved against this tiny
+	// engine (generous bounds: CI hosts are noisy).
+	if rep.AchievedRPS < 50 || rep.AchievedRPS > 1200 {
+		t.Fatalf("achieved rps = %v at offered 300", rep.AchievedRPS)
+	}
+}
+
+func TestRunnerGracefulCancel(t *testing.T) {
+	eng := testEngine(t)
+	wl, err := BuildWorkload(eng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(eng, wl, Options{
+		Rate:     200,
+		Warmup:   50 * time.Millisecond,
+		Duration: 30 * time.Second, // cancelled long before this
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep := r.Run(ctx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v to flush", elapsed)
+	}
+	if !rep.Interrupted {
+		t.Fatal("cancelled run not marked interrupted")
+	}
+	if rep.Sent == 0 || rep.Completed == 0 {
+		t.Fatalf("interrupted run flushed nothing: sent %d completed %d", rep.Sent, rep.Completed)
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	eng := testEngine(t)
+	wl, _ := BuildWorkload(eng, 0)
+	if _, err := NewRunner(nil, wl, Options{Rate: 1}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewRunner(eng, wl, Options{Rate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewRunner(eng, wl, Options{Rate: 10, UniqueFrac: 1.5}); err == nil {
+		t.Fatal("unique fraction 1.5 accepted")
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	if a, err := ParseArrival("poisson"); err != nil || a != Poisson {
+		t.Fatalf("poisson: %v %v", a, err)
+	}
+	if a, err := ParseArrival("constant"); err != nil || a != Constant {
+		t.Fatalf("constant: %v %v", a, err)
+	}
+	if _, err := ParseArrival("fibonacci"); err == nil {
+		t.Fatal("bad arrival accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/mitigate"
+	"fairjob/internal/serve"
+	"fairjob/internal/stats"
+	"fairjob/internal/topk"
+)
+
+// Shape is one request kind in the offered mix: a label matching the
+// pprof label vocabulary the engine attaches (problem/algo or
+// problem/mitigator), the request itself, and its sampling weight.
+type Shape struct {
+	Label  string
+	Req    serve.Request
+	Weight float64
+}
+
+// Workload is the sampled request mix of a load run. Sampling is
+// deterministic given the RNG the runner feeds it.
+type Workload struct {
+	shapes    []Shape
+	weights   []float64
+	groupKeys []string
+	// uniqueFrac is the probability a sampled quantify request is
+	// rewritten into a cache-busting variant (a fresh Candidates subset),
+	// so runs exercise the compute path, not just the LRU.
+	uniqueFrac float64
+}
+
+// BuildWorkload derives a mixed P1/P2/P3 workload from the engine's
+// current snapshot: top-k quantify requests across every algorithm and
+// dimension, compare requests across dimension pairs, and — when the
+// snapshot carries rankings — one mitigate request per re-ranker. Every
+// candidate shape is executed once against the engine and kept only if
+// it answers OK, so the offered mix never measures the error path by
+// construction (run errors still count in the report if they appear
+// under load). uniqueFrac in [0,1] is the fraction of quantify requests
+// rewritten to bypass the result cache.
+func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
+	snap := eng.Snapshot()
+	var candidates []Shape
+
+	for _, dim := range []compare.Dimension{compare.ByGroup, compare.ByQuery, compare.ByLocation} {
+		for _, algo := range topk.Algorithms() {
+			candidates = append(candidates, Shape{
+				Label: "quantify/" + algo.String(),
+				Req: serve.Request{
+					Problem: serve.Quantify, Dim: dim, K: 5,
+					Direction: topk.MostUnfair, Algorithm: algo,
+				},
+				// The naive full scan is deliberately under-weighted: it
+				// costs double admission weight and exists as a baseline,
+				// not a production path.
+				Weight: map[bool]float64{true: 0.25, false: 1}[algo == topk.Naive],
+			})
+		}
+	}
+
+	gks, qs, ls := snap.GroupKeys(), snap.Queries(), snap.Locations()
+	if len(gks) >= 2 {
+		candidates = append(candidates, Shape{
+			Label:  "compare/group",
+			Req:    serve.Request{Problem: serve.Compare, Of: compare.ByGroup, R1: gks[0], R2: gks[1], By: compare.ByQuery},
+			Weight: 1,
+		})
+	}
+	if len(qs) >= 2 {
+		candidates = append(candidates, Shape{
+			Label:  "compare/query",
+			Req:    serve.Request{Problem: serve.Compare, Of: compare.ByQuery, R1: string(qs[0]), R2: string(qs[1]), By: compare.ByGroup},
+			Weight: 1,
+		})
+	}
+	if len(ls) >= 2 {
+		candidates = append(candidates, Shape{
+			Label:  "compare/location",
+			Req:    serve.Request{Problem: serve.Compare, Of: compare.ByLocation, R1: string(ls[0]), R2: string(ls[1]), By: compare.ByGroup},
+			Weight: 1,
+		})
+	}
+
+	if snap.HasRankings() {
+		pages := snap.Pages()
+		for _, kind := range mitigate.Kinds() {
+			// Scan pages × groups for one combination this re-ranker
+			// answers OK; pages may lack any given group.
+			for _, pg := range pages {
+				found := false
+				for _, gk := range gks {
+					req := serve.Request{
+						Problem: serve.Mitigate, Mitigator: kind,
+						Group: gk, Query: pg[0], Location: pg[1],
+					}
+					if resp := eng.DoCtx(context.Background(), req); resp.Err == nil {
+						candidates = append(candidates, Shape{
+							Label:  "mitigate/" + kind.String(),
+							Req:    req,
+							Weight: 1,
+						})
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+	}
+
+	var kept []Shape
+	for _, c := range candidates {
+		if resp := eng.DoCtx(context.Background(), c.Req); resp.Err == nil {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("loadgen: no workload shape answers OK against this snapshot")
+	}
+	wl := &Workload{shapes: kept, groupKeys: gks, uniqueFrac: uniqueFrac}
+	wl.weights = make([]float64, len(kept))
+	for i, s := range kept {
+		wl.weights[i] = s.Weight
+	}
+	return wl, nil
+}
+
+// Labels returns the distinct shape labels of the mix, in shape order.
+func (w *Workload) Labels() []string {
+	seen := make(map[string]bool, len(w.shapes))
+	var out []string
+	for _, s := range w.shapes {
+		if !seen[s.Label] {
+			seen[s.Label] = true
+			out = append(out, s.Label)
+		}
+	}
+	return out
+}
+
+// Sample draws one request from the mix. With probability uniqueFrac a
+// quantify request is rewritten with a random Candidates subset — a
+// distinct cache key with the same computational profile — so the run
+// offers a controllable miss rate instead of converging to 100% cache
+// hits on a static mix.
+func (w *Workload) Sample(rng *stats.RNG) (string, serve.Request) {
+	s := w.shapes[rng.Pick(w.weights)]
+	req := s.Req
+	if req.Problem == serve.Quantify && req.Dim == compare.ByGroup &&
+		len(w.groupKeys) >= 4 && rng.Bernoulli(w.uniqueFrac) {
+		// A random half-universe candidate set: still a valid restriction,
+		// still touches the index family, but a fresh cache key. The subset
+		// is drawn order-preservingly so the request stays deterministic
+		// given the RNG state.
+		n := len(w.groupKeys)/2 + rng.Intn(len(w.groupKeys)/4+1)
+		cand := make([]string, 0, n)
+		for _, i := range rng.Perm(len(w.groupKeys))[:n] {
+			cand = append(cand, w.groupKeys[i])
+		}
+		req.Candidates = cand
+	}
+	return s.Label, req
+}

@@ -260,6 +260,9 @@ type AdminOptions struct {
 	SLO *SLOMonitor
 	// Events, when set, serves the wide-event ring at /debug/events.
 	Events *RingSink
+	// Profiler, when set, serves the continuous-profile ring at
+	// /debug/profiles (list, fetch-by-id, latest heap delta).
+	Profiler *Profiler
 }
 
 // Handler is the two-source compatibility constructor predating
@@ -345,6 +348,21 @@ func NewHandler(o AdminOptions) http.Handler {
 			Events []*Event `json:"events"`
 		}{events})
 	}))
+	mux.HandleFunc("/debug/profiles", readOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		profiles := []CapturedProfile{}
+		var rounds uint64
+		if o.Profiler != nil {
+			profiles = o.Profiler.List()
+			rounds = o.Profiler.Rounds()
+		}
+		writeJSON(w, struct {
+			Rounds   uint64            `json:"rounds"`
+			Profiles []CapturedProfile `json:"profiles"`
+		}{rounds, profiles})
+	}))
+	mux.HandleFunc("/debug/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		profilesSubHandler(o.Profiler, w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -356,9 +374,84 @@ func NewHandler(o AdminOptions) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/slo\n/debug/events\n/debug/pprof/\n")
+		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/slo\n/debug/events\n/debug/profiles\n/debug/pprof/\n")
 	})
 	return mux
+}
+
+// profilesSubHandler serves the /debug/profiles/ subtree:
+//
+//	/debug/profiles/<id>         the raw gzipped pprof protobuf
+//	/debug/profiles/<id>/labels  JSON pprof-label totals of that profile
+//	/debug/profiles/heapdelta    JSON allocation delta between the two
+//	                             most recent heap captures
+func profilesSubHandler(p *Profiler, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if p == nil {
+		http.Error(w, "profiler disabled", http.StatusNotFound)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/profiles/")
+	if rest == "heapdelta" {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		delta, ok := p.LatestHeapDelta()
+		if !ok {
+			// No two heap rounds yet: an empty delta, not an error — the
+			// scrape loop should not 404-flap while the profiler warms up.
+			delta = &HeapDelta{Sites: []HeapDeltaSite{}}
+		}
+		writeJSON(w, delta)
+		return
+	}
+	idStr, wantLabels := rest, false
+	if s := strings.TrimSuffix(rest, "/labels"); s != rest {
+		idStr, wantLabels = s, true
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "profile id must be an integer", http.StatusBadRequest)
+		return
+	}
+	cp, ok := p.Get(id)
+	if !ok {
+		http.Error(w, "no such profile (it may have fallen off the ring)", http.StatusNotFound)
+		return
+	}
+	if wantLabels {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		totals, grand, err := LabelTotals(cp.Data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, struct {
+			ID     uint64       `json:"id"`
+			Kind   string       `json:"kind"`
+			Total  int64        `json:"total"`
+			Labels []LabelTotal `json:"labels"`
+		}{cp.ID, cp.Kind, grand, totals})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-%d.pprof", cp.Kind, cp.ID)))
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, _ = w.Write(cp.Data)
 }
 
 // parseLimit reads ?limit=N, falling back to def for missing or

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// This file bridges the Go runtime's own telemetry (runtime/metrics)
+// into the obs registry, so /metrics scrapes and the SLO engine see GC
+// pressure next to the request metrics it causes. The PR7 finding that
+// per-query trace garbage showed up as ~8% "telemetry overhead" is the
+// motivating case: without GC pause and heap-goal visibility, allocation
+// regressions masquerade as latency regressions in whatever subsystem
+// happens to be on-CPU when the collector runs.
+//
+// All gauges read through one TTL-cached batched metrics.Read: a scrape
+// that evaluates every GaugeFunc triggers at most one runtime sweep, and
+// concurrent scrapes share it. Names are probed against metrics.All()
+// with fallbacks for renamed metrics, so the bridge degrades to "metric
+// absent" rather than failing on runtime version drift.
+
+// runtimeSampleTTL bounds how stale the cached runtime sample batch may
+// be. One second is far finer than any scrape interval while making the
+// per-scrape cost a single metrics.Read.
+const runtimeSampleTTL = time.Second
+
+// runtimeSampler is the shared TTL cache of one metrics.Read batch.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	index   map[string]int
+	last    time.Time
+}
+
+func newRuntimeSampler(names []string) *runtimeSampler {
+	s := &runtimeSampler{
+		samples: make([]metrics.Sample, len(names)),
+		index:   make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		s.samples[i].Name = n
+		s.index[n] = i
+	}
+	return s
+}
+
+// get returns the freshest cached sample for name, refreshing the whole
+// batch when the cache has expired.
+func (s *runtimeSampler) get(name string) metrics.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) > runtimeSampleTTL {
+		metrics.Read(s.samples)
+		s.last = time.Now()
+	}
+	return s.samples[s.index[name]].Value
+}
+
+// asFloat converts a runtime metric value to the registry's gauge
+// domain; unsupported kinds (histograms are handled separately) read 0.
+func asFloat(v metrics.Value) float64 {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	default:
+		return 0
+	}
+}
+
+// histQuantile computes the q-quantile of a runtime
+// Float64Histogram by linear scan of its cumulative counts. Buckets may
+// have infinite bounds (the first and last); those collapse onto the
+// nearest finite edge.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				return hi
+			}
+			if math.IsInf(hi, +1) {
+				return lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// runtimeGaugeSpecs maps registry gauge names to runtime metric names,
+// first-available wins — the fallback entries track runtime renames
+// (e.g. /gc/pauses:seconds became /sched/pauses/total/gc:seconds).
+var runtimeGaugeSpecs = []struct {
+	gauge      string
+	candidates []string
+}{
+	{"go_goroutines", []string{"/sched/goroutines:goroutines"}},
+	{"go_gomaxprocs", []string{"/sched/gomaxprocs:threads"}},
+	{"go_heap_live_bytes", []string{"/gc/heap/live:bytes", "/memory/classes/heap/objects:bytes"}},
+	{"go_heap_goal_bytes", []string{"/gc/heap/goal:bytes"}},
+	{"go_memory_total_bytes", []string{"/memory/classes/total:bytes"}},
+	{"go_gc_cycles", []string{"/gc/cycles/total:gc-cycles"}},
+	{"go_cgo_calls", []string{"/cgo/go-to-c-calls:calls"}},
+}
+
+// runtimeHistSpecs are the runtime histogram metrics exported as
+// per-quantile gauges (histogram shapes are runtime-defined and change
+// across versions, so re-bucketing them into obs histograms would lie;
+// quantile gauges are stable).
+var runtimeHistSpecs = []struct {
+	base       string
+	candidates []string
+}{
+	{"go_gc_pause_seconds", []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}},
+	{"go_sched_latency_seconds", []string{"/sched/latencies:seconds"}},
+}
+
+var runtimeQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1.0},
+}
+
+// RegisterRuntimeMetrics exports the Go runtime's health metrics
+// (goroutine count, GOMAXPROCS, heap live/goal, total memory, GC cycle
+// count and pause quantiles, scheduler latency quantiles, cgo calls)
+// into the registry as gauges under the go_* prefix. Metrics the running
+// runtime does not provide are skipped. Safe to call once per registry;
+// the underlying sampler batches all reads with a 1s TTL so scrape cost
+// stays one metrics.Read regardless of gauge count.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	available := make(map[string]bool)
+	for _, d := range metrics.All() {
+		available[d.Name] = true
+	}
+	pick := func(candidates []string) (string, bool) {
+		for _, c := range candidates {
+			if available[c] {
+				return c, true
+			}
+		}
+		return "", false
+	}
+
+	var names []string
+	type gaugeBind struct{ gauge, metric string }
+	type histBind struct{ base, metric string }
+	var gauges []gaugeBind
+	var hists []histBind
+	for _, spec := range runtimeGaugeSpecs {
+		if m, ok := pick(spec.candidates); ok {
+			gauges = append(gauges, gaugeBind{spec.gauge, m})
+			names = append(names, m)
+		}
+	}
+	for _, spec := range runtimeHistSpecs {
+		if m, ok := pick(spec.candidates); ok {
+			hists = append(hists, histBind{spec.base, m})
+			names = append(names, m)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sampler := newRuntimeSampler(names)
+	for _, b := range gauges {
+		metric := b.metric
+		r.GaugeFunc(b.gauge, func() float64 {
+			return asFloat(sampler.get(metric))
+		})
+	}
+	for _, b := range hists {
+		metric := b.metric
+		for _, qt := range runtimeQuantiles {
+			q := qt.q
+			r.GaugeFunc(Name(b.base, "q", qt.label), func() float64 {
+				v := sampler.get(metric)
+				if v.Kind() != metrics.KindFloat64Histogram {
+					return 0
+				}
+				return histQuantile(v.Float64Histogram(), q)
+			})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // ensure at least one GC cycle and pause exist
+
+	snap := reg.Snapshot()
+	if g, ok := snap.Gauges["go_goroutines"]; !ok || g < 1 {
+		t.Fatalf("go_goroutines = %v (present=%v), want ≥ 1", g, ok)
+	}
+	if g, ok := snap.Gauges["go_gomaxprocs"]; !ok || g < 1 {
+		t.Fatalf("go_gomaxprocs = %v (present=%v), want ≥ 1", g, ok)
+	}
+	if g, ok := snap.Gauges["go_heap_live_bytes"]; !ok || g <= 0 {
+		t.Fatalf("go_heap_live_bytes = %v (present=%v), want > 0", g, ok)
+	}
+	if g, ok := snap.Gauges["go_heap_goal_bytes"]; !ok || g <= 0 {
+		t.Fatalf("go_heap_goal_bytes = %v (present=%v), want > 0", g, ok)
+	}
+	if g, ok := snap.Gauges["go_gc_cycles"]; !ok || g < 1 {
+		t.Fatalf("go_gc_cycles = %v (present=%v), want ≥ 1", g, ok)
+	}
+	// Pause quantiles exist and are ordered p50 ≤ p99 ≤ max.
+	p50 := snap.Gauges[Name("go_gc_pause_seconds", "q", "p50")]
+	p99 := snap.Gauges[Name("go_gc_pause_seconds", "q", "p99")]
+	mx := snap.Gauges[Name("go_gc_pause_seconds", "q", "max")]
+	if p50 < 0 || p99 < p50 || mx < p99 {
+		t.Fatalf("pause quantiles disordered: p50=%v p99=%v max=%v", p50, p99, mx)
+	}
+
+	// The bridge renders as valid Prometheus text.
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, snap); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if !strings.Contains(buf.String(), "go_goroutines") {
+		t.Fatal("rendered exposition lacks go_goroutines")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 10, 0},
+		Buckets: []float64{0, 1, 2, 3, 4},
+	}
+	if q := histQuantile(h, 0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within (1,2)", q)
+	}
+	if q := histQuantile(h, 1.0); q < 2 || q > 3 {
+		t.Fatalf("max = %v, want within (2,3)", q)
+	}
+	if q := histQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", q)
+	}
+	if q := histQuantile(&metrics.Float64Histogram{}, 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// Infinite edges collapse to the finite neighbor.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 0, 5},
+		Buckets: []float64{math.Inf(-1), 1, 2, math.Inf(+1)},
+	}
+	if q := histQuantile(inf, 0.01); q != 1 {
+		t.Fatalf("-Inf bucket quantile = %v, want 1", q)
+	}
+	if q := histQuantile(inf, 1.0); q != 2 {
+		t.Fatalf("+Inf bucket quantile = %v, want 2", q)
+	}
+}

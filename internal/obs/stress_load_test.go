@@ -1,0 +1,194 @@
+package obs_test
+
+// The cross-layer companion to the in-package TestStress* workloads
+// (stress_test.go): here a real serve engine takes open-loop load from
+// internal/loadgen while the continuous profiler captures rounds, and
+// concurrent scrapers hammer every admin endpoint the whole time. The
+// contract under -race is the one dashboards rely on: no data races, no
+// 500s, and every response parses as what its Content-Type claims.
+// scripts/check.sh runs this under -race as part of the profiling gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairjob/internal/core"
+	"fairjob/internal/loadgen"
+	"fairjob/internal/obs"
+	"fairjob/internal/serve"
+	"fairjob/internal/stats"
+)
+
+func stressEngine(t *testing.T, reg *obs.Registry, tracer *obs.Tracer, events *obs.RingSink, slo *obs.SLOMonitor) *serve.Engine {
+	t.Helper()
+	rng := stats.NewRNG(17)
+	tbl := core.NewTable()
+	for g := 0; g < 8; g++ {
+		grp := core.NewGroup(core.Predicate{Attr: "cohort", Value: fmt.Sprintf("g%02d", g)})
+		for q := 0; q < 10; q++ {
+			for l := 0; l < 4; l++ {
+				tbl.Set(grp, core.Query(fmt.Sprintf("q%02d", q)), core.Location(fmt.Sprintf("l%02d", l)), rng.Float64())
+			}
+		}
+	}
+	log := obs.NewLogger(obs.LoggerOptions{Component: "stress", Sink: events})
+	return serve.NewEngine(serve.NewSnapshot(tbl), serve.Options{
+		Workers: 2,
+		Obs:     reg,
+		Tracer:  tracer,
+		Log:     log,
+		SLO:     slo,
+	})
+}
+
+func TestStressAdminEndpointsUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	tracer := obs.NewTracer(256)
+	events := obs.NewRingSink(256)
+	slo := obs.NewSLOMonitor([]obs.Objective{
+		{Name: "latency", Target: 0.99, LatencyBound: time.Second},
+		{Name: "errors", Target: 0.999},
+	}, obs.SLOOptions{})
+	eng := stressEngine(t, reg, tracer, events, slo)
+
+	prof := obs.NewProfiler(obs.ProfilerOptions{
+		Registry:    reg,
+		Interval:    60 * time.Millisecond,
+		CPUDuration: 40 * time.Millisecond,
+		Ring:        2,
+	})
+	prof.Start()
+	defer prof.Stop()
+
+	srv := httptest.NewServer(obs.NewHandler(obs.AdminOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Health:   &obs.Health{Ready: eng.Ready},
+		SLO:      slo,
+		Events:   events,
+		Profiler: prof,
+	}))
+	defer srv.Close()
+
+	// Open-loop load on the engine for the whole scrape window.
+	wl, err := loadgen.BuildWorkload(eng, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := loadgen.NewRunner(eng, wl, loadgen.Options{
+		Rate:     250,
+		Warmup:   50 * time.Millisecond,
+		Duration: 700 * time.Millisecond,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadDone := make(chan *loadgen.Report, 1)
+	go func() { loadDone <- runner.Run(t.Context()) }()
+
+	endpoints := []string{
+		"/metrics",
+		"/healthz",
+		"/readyz",
+		"/debug/traces",
+		"/debug/slo",
+		"/debug/events",
+		"/debug/profiles",
+		"/debug/profiles/heapdelta",
+	}
+	scrape := func(client *http.Client, path string) error {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("%s: read: %w", path, err)
+		}
+		// /readyz may legitimately answer 503 while the gate is full;
+		// nothing may ever 500.
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") && !json.Valid(body) {
+			return fmt.Errorf("%s: invalid JSON: %.120s", path, body)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "go_goroutines") {
+			return fmt.Errorf("/metrics lacks the runtime bridge output")
+		}
+		return nil
+	}
+
+	const scrapers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, scrapers)
+	stop := make(chan struct{})
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			client := srv.Client()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := scrape(client, endpoints[(n+j)%len(endpoints)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+
+	rep := <-loadDone
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("load run completed nothing; the scrapes raced an idle engine")
+	}
+
+	// The profile ring filled while being scraped; fetching a listed
+	// profile by ID must yield the document or a clean 404 (it fell off
+	// the ring between list and fetch), never a 500.
+	resp, err := srv.Client().Get(srv.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Rounds   uint64                `json:"rounds"`
+		Profiles []obs.CapturedProfile `json:"profiles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listing.Rounds == 0 || len(listing.Profiles) == 0 {
+		t.Fatalf("continuous profiler captured nothing under load: rounds=%d profiles=%d",
+			listing.Rounds, len(listing.Profiles))
+	}
+	got, err := srv.Client().Get(fmt.Sprintf("%s/debug/profiles/%d", srv.URL, listing.Profiles[0].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Body.Close()
+	if got.StatusCode != http.StatusOK && got.StatusCode != http.StatusNotFound {
+		t.Fatalf("profile fetch status %d", got.StatusCode)
+	}
+}

@@ -187,6 +187,47 @@ func BenchmarkServeLogging(b *testing.B) {
 	})
 }
 
+// BenchmarkServeProfiled measures the continuous profiler's overhead on
+// the batch serving path at the engine-w4 configuration. The pprof
+// request labels are attached unconditionally (they only cost when a
+// CPU profile is actually consuming them), so this pair prices the
+// *capture*: "off" is the instrumented engine with no profiler; "on"
+// serves the identical workload while a Profiler captures rounds on a
+// 1s/100ms cadence — the same ~10% CPU-sampling duty cycle as the
+// production 60s/5s default, compressed so several full rounds (CPU
+// window, snapshot writes, forced-GC heap delta) land inside each bench
+// invocation. The acceptance budget for on-vs-off is < 5% (bench.sh
+// computes the delta into the BENCH JSON; check.sh gates on it).
+func BenchmarkServeProfiled(b *testing.B) {
+	snap, reqs := benchWorkload()
+	run := func(b *testing.B, reg *obs.Registry) {
+		for i := 0; i < b.N; i++ {
+			eng := serve.NewEngine(snap, serve.Options{Workers: 4, Obs: reg})
+			for _, resp := range eng.DoBatch(reqs) {
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, obs.NewRegistry())
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		prof := obs.NewProfiler(obs.ProfilerOptions{
+			Registry:    reg,
+			Interval:    time.Second,
+			CPUDuration: 100 * time.Millisecond,
+			Ring:        2,
+		})
+		prof.Start()
+		defer prof.Stop()
+		run(b, reg)
+	})
+}
+
 // BenchmarkMitigate measures one Problem 3 request end to end — measure,
 // re-rank, re-measure on the paper's ten-worker page — per mitigator,
 // with the cache disabled so every iteration pays the full pipeline.

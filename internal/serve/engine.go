@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -627,7 +628,14 @@ func (e *Engine) doOn(ctx context.Context, snap *Snapshot, req Request, tr *obs.
 	}
 
 	e.met.inflight.Add(1)
-	resp := e.executeSafe(ctx, snap, req, tr)
+	// Execute under pprof labels: every CPU sample the request burns —
+	// including in goroutines the evaluators or top-k scans spawn, which
+	// inherit the labels — is attributed to its request kind. See
+	// profileLabels for the label vocabulary.
+	var resp Response
+	pprof.Do(ctx, profileLabels(req, e.cacheState()), func(ctx context.Context) {
+		resp = e.executeSafe(ctx, snap, req, tr)
+	})
 	e.met.inflight.Add(-1)
 	tr.Mark("execute")
 	resp.Err = ctxError(resp.Err)

@@ -14,8 +14,13 @@
 # tracer and the SLO monitor vs the instrumented-but-unlogged engine),
 # and the fairness-mitigation benchmark of PR 7 (BenchmarkMitigate: a
 # full measure → re-rank → re-measure Problem 3 request through the
-# serve engine, one sub-benchmark per mitigator), and writes the results
-# to a JSON file so successive PRs can be compared number-to-number.
+# serve engine, one sub-benchmark per mitigator), the continuous-profiler
+# overhead benchmark of PR 8 (BenchmarkServeProfiled: batch serving while
+# the profiler captures rounds at the production ~10% CPU-sampling duty
+# cycle vs no profiler), and the PR 8 open-loop load sweep (the fairjob
+# loadtest mode at several offered rates, recording CO-corrected p50/p99/
+# p999 and achieved throughput per rate), and writes the results to a
+# JSON file so successive PRs can be compared number-to-number.
 #
 # Derived records appended:
 #   telemetry_overhead    on-vs-off delta of BenchmarkServeInstrumented,
@@ -24,10 +29,15 @@
 #                         with the PR 4 acceptance budget (< 5%)
 #   logging_overhead      on-vs-off delta of BenchmarkServeLogging,
 #                         with the PR 5 acceptance budget (< 5%)
+#   profiling_overhead    on-vs-off delta of BenchmarkServeProfiled,
+#                         with the PR 8 acceptance budget (< 5%)
+#   loadtest_rate_<R>     CO-corrected latency under R offered rps from
+#                         one fairjob loadtest run per rate
 #   engine_w4_vs_PR3      this run's engine-w4 ns/op against the stored
 #                         BENCH_PR3.json baseline, when present
 #   engine_w4_vs_PR4      same, against the BENCH_PR4.json baseline
 #   engine_w4_vs_PR5      same, against the BENCH_PR5.json baseline
+#   engine_w4_vs_PR7      same, against the BENCH_PR7.json baseline
 #
 # The overhead deltas are the MEDIAN of per-round ABBA deltas over 3
 # rounds: each round runs four single-variant invocations in the order
@@ -46,18 +56,21 @@
 # with the same estimator as a hard gate (with one independent
 # re-measure before declaring a breach).
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR7.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR8.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$|BenchmarkMitigate'
 raw="$(mktemp)"
 raw2="$(mktemp)"
 raw3="$(mktemp)"
 raw4="$(mktemp)"
-trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4"' EXIT
+raw5="$(mktemp)"
+ltout="$(mktemp)"
+ltbin="$(mktemp)"
+trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4" "$raw5" "$ltout" "$ltbin"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
@@ -83,6 +96,43 @@ abba_run BenchmarkServeResilient | tee "$raw3"
 echo "== go test -bench BenchmarkServeLogging ABBA ×5 (logging overhead pair)"
 abba_run BenchmarkServeLogging | tee "$raw4"
 
+echo "== go test -bench BenchmarkServeProfiled ABBA ×5 (profiling overhead pair)"
+abba_run BenchmarkServeProfiled | tee "$raw5"
+
+# The PR 8 open-loop load sweep: one fairjob loadtest run per offered
+# rate, short enough to keep the script's runtime sane but long enough
+# for the CO-corrected tail to mean something. The loadtest JSON's
+# first latency block is the total (per-label blocks follow it), so the
+# first occurrence of each key is the one recorded.
+echo "== fairjob loadtest p99-vs-offered-rate sweep"
+go build -o "$ltbin" ./cmd/fairjob
+lt_records=""
+for lrate in 100 250 500; do
+    if "$ltbin" loadtest -rate "$lrate" -warmup 1s -duration 5s -seed 1 -out "$ltout" 2>/dev/null; then
+        rec="$(awk -v rate="$lrate" '
+            function grab(key,   s) {
+                s = $0; sub(/^[^:]*: */, "", s); sub(/,? *$/, "", s); return s
+            }
+            /"achieved_rps":/ && !a { a = grab(); got_a = 1 }
+            /"p50_ns":/  && !p50  { p50  = grab() }
+            /"p99_ns":/  && !p99  { p99  = grab() }
+            /"p999_ns":/ && !p999 { p999 = grab() }
+            /"max_ns":/  && !mx   { mx   = grab() }
+            /"completed":/ && !c  { c = grab() }
+            END {
+                if (!p99) exit 1
+                printf "  {\"name\": \"loadtest_rate_%s\", \"offered_rps\": %s, \"achieved_rps\": %s, \"completed\": %s, \"p50_ns\": %s, \"p99_ns\": %s, \"p999_ns\": %s, \"max_ns\": %s}", rate, rate, a, c, p50, p99, p999, mx
+            }' "$ltout")" || rec=""
+        if [ -n "$rec" ]; then
+            lt_records="$lt_records,
+$rec"
+            echo "bench.sh: loadtest @${lrate}rps: $(awk -F': ' '/"p99_ns":/ && !seen++ { v = $2; sub(/,.*/, "", v); printf "p99 %.2fms", v / 1e6 }' "$ltout")"
+        fi
+    else
+        echo "bench.sh: loadtest @${lrate}rps failed; skipping its record" >&2
+    fi
+done
+
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records
 # (closing bracket appended after the derived records below).
@@ -102,6 +152,11 @@ BEGIN { print "[" }
 }
 END { print "" }
 ' "$raw" > "$out"
+
+# The load-sweep records join the array right after the raw benchmarks.
+if [ -n "$lt_records" ]; then
+    printf '%s' "$lt_records" >> "$out"
+fi
 
 # Derived record 1: telemetry overhead, instrumented vs default engine —
 # median of the per-round ABBA deltas. The per-variant minimum raw lines
@@ -208,6 +263,35 @@ if [ -n "$loff" ] && [ -n "$lon" ]; then
     echo "bench.sh: logging overhead on-vs-off (median of ABBA round deltas): $lpct%"
 fi
 
+# Derived record: profiling overhead — the continuous profiler capturing
+# rounds at the production ~10% CPU-sampling duty cycle vs no profiler,
+# over the instrumented engine — median of the per-round ABBA deltas,
+# same protocol as the other pairs. The PR 8 acceptance budget is < 5%.
+poff="$(minof BenchmarkServeProfiled off "$raw5")"
+pon="$(minof BenchmarkServeProfiled on "$raw5")"
+ppct="$(abbadelta BenchmarkServeProfiled "$raw5" || true)"
+if [ -n "$poff" ] && [ -n "$pon" ]; then
+    awk -v off="$poff" -v on="$pon" '
+    /^BenchmarkServeProfiled/ {
+        key = index($1, "/off") ? "off" : "on"
+        if (seen[key]++) next
+        ns = (key == "off" ? off : on)
+        bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        printf ",\n  {\"name\": \"%s\", \"runs\": 10, \"min_ns_per_op\": %s", $1, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }' "$raw5" >> "$out"
+    awk -v off="$poff" -v on="$pon" -v pct="$ppct" 'BEGIN {
+        printf ",\n  {\"name\": \"profiling_overhead\", \"rounds\": 5, \"off_min_ns_per_op\": %s, \"on_min_ns_per_op\": %s, \"median_abba_delta_pct\": %s, \"budget_pct\": 5, \"within_budget\": %s}", off, on, pct, (pct + 0 < 5 ? "true" : "false")
+    }' >> "$out"
+    echo "bench.sh: profiling overhead on-vs-off (median of ABBA round deltas): $ppct%"
+fi
+
 # Derived record: this run's engine-w4 against the PR 3 baseline.
 cur="$(awk '$1 ~ /^BenchmarkServeConcurrent\/engine-w4/ {print $3; exit}' "$raw")"
 base="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
@@ -240,6 +324,17 @@ if [ -n "$cur" ] && [ -n "$base5" ]; then
         printf ",\n  {\"name\": \"engine_w4_vs_PR5\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
     }' >> "$out"
     echo "bench.sh: engine-w4 vs BENCH_PR5 baseline: $(awk -v base="$base5" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
+fi
+
+# Derived record: this run's engine-w4 against the PR 7 baseline.
+base7="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
+    s = substr($0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s; exit
+}' BENCH_PR7.json 2>/dev/null || true)"
+if [ -n "$cur" ] && [ -n "$base7" ]; then
+    awk -v base="$base7" -v cur="$cur" 'BEGIN {
+        printf ",\n  {\"name\": \"engine_w4_vs_PR7\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
+    }' >> "$out"
+    echo "bench.sh: engine-w4 vs BENCH_PR7 baseline: $(awk -v base="$base7" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
 fi
 
 printf '\n]\n' >> "$out"

@@ -28,12 +28,19 @@
 #                            the FuzzMitigators seed corpus) plus the
 #                            served-path goldens and the concurrent
 #                            mitigate race stress in internal/serve
-#   7. go test -race ./...   full suite under the race detector — the
+#   7. profiling gate        go test -race over the continuous profiler
+#                            (a captured CPU profile must carry the
+#                            request pprof labels), the runtime-metrics
+#                            bridge and the open-loop load harness, plus
+#                            a fairjob loadtest smoke: one short run must
+#                            emit a JSON artifact joining CO-corrected
+#                            latency with labeled CPU attribution
+#   8. go test -race ./...   full suite under the race detector — the
 #                            evaluators' sharded worker pools and the
 #                            serve engine's concurrent query paths must
 #                            stay race-clean at any worker count
-#   8. overhead gates        the telemetry, resilience and logging
-#                            on-vs-off benchmark pairs, each with the
+#   9. overhead gates        the telemetry, resilience, logging and
+#                            profiling on-vs-off benchmark pairs, each with the
 #                            < 5% acceptance budget. Each measurement is
 #                            5 ABBA rounds — four single-variant
 #                            invocations per round in the order off, on,
@@ -98,13 +105,34 @@ go test -race -count=1 ./internal/mitigate/ ./internal/testutil/
 go test -race -count=1 -run 'FuzzMitigators' ./internal/mitigate/
 go test -race -count=1 -run 'TestServeMitigate' ./internal/serve/
 
+echo "== profiling gate: labeled profiles, runtime bridge, load harness, loadtest smoke"
+go test -race -count=1 -run 'TestProfiler|TestDebugProfilesEndpoint|TestRegisterRuntimeMetrics|TestStressAdminEndpointsUnderLoad' ./internal/obs/
+go test -race -count=1 ./internal/loadgen/
+lt_smoke="$(mktemp)"
+trap 'rm -f "$lt_smoke"' EXIT
+go run ./cmd/fairjob loadtest -rate 150 -warmup 300ms -duration 1500ms -out "$lt_smoke" 2>/dev/null
+for key in '"p99_ns"' '"p999_ns"' '"top_cpu_labels"' '"cpu_sample_total_ns"' '"by_label"'; do
+    if ! grep -q "$key" "$lt_smoke"; then
+        echo "check.sh: FAIL — loadtest smoke artifact lacks $key" >&2
+        exit 1
+    fi
+done
+# The captured CPU profile must decompose by the request labels the
+# engine attaches: at 150 rps for 1.5s at least one of the label keys
+# must have accumulated samples.
+if ! grep -Eq '"key": "(problem|algo|dim|mitigator|cache)"' "$lt_smoke"; then
+    echo "check.sh: FAIL — loadtest smoke captured no request-labeled CPU samples" >&2
+    exit 1
+fi
+echo "check.sh: loadtest smoke artifact carries labeled CPU attribution"
+
 echo "== go test -race ${short:+$short }./..."
 go test -race $short ./...
 
 if [ -z "$short" ]; then
-    echo "== overhead gates: telemetry/resilience/logging on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
+    echo "== overhead gates: telemetry/resilience/logging/profiling on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
     bench_raw="$(mktemp)"
-    trap 'rm -f "$bench_raw"' EXIT
+    trap 'rm -f "$bench_raw" "$lt_smoke"' EXIT
     # Five ABBA rounds over benchmark group $1 (a name, or names joined
     # with |): off, on, on, off as four single-variant invocations.
     measure_abba() {
@@ -143,11 +171,12 @@ if [ -z "$short" ]; then
         echo "check.sh: $label overhead (median of ABBA round deltas): $pct%"
         awk -v p="$pct" 'BEGIN { exit !(p >= 5) }'
     }
-    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging'
+    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging|BenchmarkServeProfiled'
     breached=""
     if gate_breached BenchmarkServeInstrumented telemetry; then breached="$breached BenchmarkServeInstrumented:telemetry"; fi
     if gate_breached BenchmarkServeResilient resilience; then breached="$breached BenchmarkServeResilient:resilience"; fi
     if gate_breached BenchmarkServeLogging logging; then breached="$breached BenchmarkServeLogging:logging"; fi
+    if gate_breached BenchmarkServeProfiled profiling; then breached="$breached BenchmarkServeProfiled:profiling"; fi
     for entry in $breached; do
         bench="${entry%%:*}"; label="${entry#*:}"
         echo "check.sh: $label overhead breached the < 5% budget — re-measuring once after a cool-down to rule out machine drift"
