@@ -11,7 +11,6 @@ import (
 
 	"fairjob/internal/loadgen"
 	"fairjob/internal/obs"
-	"fairjob/internal/serve"
 )
 
 // loadtestConfig carries the loadtest mode's flag values.
@@ -22,6 +21,7 @@ type loadtestConfig struct {
 	duration   time.Duration
 	seed       uint64
 	uniqueFrac float64
+	partitions int
 	out        string
 }
 
@@ -51,21 +51,22 @@ type loadtestArtifact struct {
 // artifact reports.
 const loadtestTopLabels = 5
 
-// runLoadtest drives the engine open-loop while the profiler samples the
-// measured phase, then writes the joined artifact. The CPU window is
-// aligned with the measurement phase: sampling starts when warmup ends
-// and stops when the run completes (or a SIGTERM cancels ctx — the
-// partial window and an interrupted-but-complete report still flush).
-func runLoadtest(ctx context.Context, eng *serve.Engine, prof *obs.Profiler, cfg loadtestConfig) error {
+// runLoadtest drives the target — a single engine or a partitioned
+// coordinator — open-loop while the profiler samples the measured
+// phase, then writes the joined artifact. The CPU window is aligned
+// with the measurement phase: sampling starts when warmup ends and
+// stops when the run completes (or a SIGTERM cancels ctx — the partial
+// window and an interrupted-but-complete report still flush).
+func runLoadtest(ctx context.Context, target loadgen.Target, prof *obs.Profiler, cfg loadtestConfig) error {
 	arr, err := loadgen.ParseArrival(cfg.arrival)
 	if err != nil {
 		return err
 	}
-	wl, err := loadgen.BuildWorkload(eng, cfg.uniqueFrac)
+	wl, err := loadgen.BuildWorkload(target, cfg.uniqueFrac)
 	if err != nil {
 		return err
 	}
-	runner, err := loadgen.NewRunner(eng, wl, loadgen.Options{
+	runner, err := loadgen.NewRunner(target, wl, loadgen.Options{
 		Rate:       cfg.rate,
 		Arrival:    arr,
 		Warmup:     cfg.warmup,
@@ -76,8 +77,12 @@ func runLoadtest(ctx context.Context, eng *serve.Engine, prof *obs.Profiler, cfg
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fairjob: loadtest %s arrivals at %g rps — %s warmup, %s measured, %d shape(s) in the mix\n",
-		arr, cfg.rate, cfg.warmup, cfg.duration, len(wl.Labels()))
+	across := ""
+	if cfg.partitions > 1 {
+		across = fmt.Sprintf(" across %d partitions", cfg.partitions)
+	}
+	fmt.Fprintf(os.Stderr, "fairjob: loadtest %s arrivals at %g rps — %s warmup, %s measured, %d shape(s) in the mix%s\n",
+		arr, cfg.rate, cfg.warmup, cfg.duration, len(wl.Labels()), across)
 
 	// Heap baseline now, so the post-run allocation delta spans exactly
 	// the run (warmup included — cache fills are allocation too, and

@@ -65,10 +65,12 @@ import (
 	"syscall"
 	"time"
 
+	"fairjob/internal/cluster"
 	"fairjob/internal/compare"
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
 	"fairjob/internal/experiment"
+	"fairjob/internal/loadgen"
 	"fairjob/internal/mitigate"
 	"fairjob/internal/obs"
 	"fairjob/internal/report"
@@ -113,6 +115,7 @@ func main() {
 		warmup      = fs.Duration("warmup", 2*time.Second, "loadtest: offered-but-unmeasured warmup phase")
 		duration    = fs.Duration("duration", 10*time.Second, "loadtest: measured phase length")
 		uniqueFrac  = fs.Float64("unique-frac", 0.25, "loadtest: fraction of quantify requests rewritten to bust the result cache")
+		partitions  = fs.Int("partitions", 1, "loadtest: serve through the scatter-gather coordinator over this many table partitions (1 = the plain single engine)")
 		out         = fs.String("out", "", "loadtest: write the JSON report to this file (empty writes to stdout)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -176,6 +179,13 @@ func main() {
 	// carries both, so mitigation requests (loadtest mixes them into its
 	// offered workload) re-rank the same generation they measure.
 	var snap *serve.Snapshot
+	// The loadtest mode keeps the raw table and crawl around: with
+	// -partitions > 1 they are re-split across the coordinator's nodes
+	// rather than served from the single snapshot below.
+	var (
+		ltTable    *core.Table
+		ltRankings []*core.MarketplaceRanking
+	)
 	if mode == "mitigate" || mode == "loadtest" {
 		rankings, err := buildRankings(*data, *seed)
 		if err != nil {
@@ -186,6 +196,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		ltTable, ltRankings = tbl, rankings
 		snap = serve.NewSnapshotWithRankings(tbl, nil, rankings)
 	} else {
 		tbl, err := buildTable(ctx, *data, *seed, *measure, reg)
@@ -235,13 +246,30 @@ func main() {
 	case "mitigate":
 		err = runMitigate(ctx, eng, *mitigator, *group, *query, *location, *minProp, *alpha, *budget)
 	case "loadtest":
-		err = runLoadtest(ctx, eng, prof, loadtestConfig{
+		// The load target is the single engine by default; -partitions > 1
+		// swaps in the scatter-gather coordinator over the same table and
+		// crawl, so the run measures distributed serving — hedges, leg
+		// budgets and partial-result degradation included — with the same
+		// workload mix and report shape.
+		var target loadgen.Target = loadgen.NewEngineTarget(eng)
+		if *partitions > 1 {
+			target = cluster.NewWithRankings(ltTable, nil, ltRankings, cluster.Options{
+				Partitions:      *partitions,
+				Obs:             reg,
+				Tracer:          tracer,
+				Log:             logger,
+				DefaultDeadline: *deadline,
+				Seed:            *seed,
+			})
+		}
+		err = runLoadtest(ctx, target, prof, loadtestConfig{
 			rate:       *rate,
 			arrival:    *arrival,
 			warmup:     *warmup,
 			duration:   *duration,
 			seed:       *seed,
 			uniqueFrac: *uniqueFrac,
+			partitions: *partitions,
 			out:        *out,
 		})
 	default:

@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"fairjob/internal/cluster"
 	"fairjob/internal/core"
 	"fairjob/internal/dataset"
+	"fairjob/internal/loadgen"
 	"fairjob/internal/obs"
 	"fairjob/internal/serve"
 )
@@ -151,7 +153,7 @@ func TestRunLoadtest(t *testing.T) {
 		seed:     7,
 		out:      out,
 	}
-	if err := runLoadtest(context.Background(), eng, prof, cfg); err != nil {
+	if err := runLoadtest(context.Background(), loadgen.NewEngineTarget(eng), prof, cfg); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -174,10 +176,35 @@ func TestRunLoadtest(t *testing.T) {
 		t.Fatalf("profile join degraded: %s", art.Profile.Error)
 	}
 
-	if err := runLoadtest(context.Background(), eng, prof, loadtestConfig{rate: 10, arrival: "warp"}); err == nil {
+	if err := runLoadtest(context.Background(), loadgen.NewEngineTarget(eng), prof, loadtestConfig{rate: 10, arrival: "warp"}); err == nil {
 		t.Fatal("bad arrival process should error")
 	}
-	if err := runLoadtest(context.Background(), eng, prof, loadtestConfig{rate: -1, arrival: "poisson"}); err == nil {
+	if err := runLoadtest(context.Background(), loadgen.NewEngineTarget(eng), prof, loadtestConfig{rate: -1, arrival: "poisson"}); err == nil {
 		t.Fatal("negative rate should error")
+	}
+
+	// The partitioned path: the same loadtest drives a scatter-gather
+	// coordinator over the same table, and still produces a complete
+	// artifact.
+	coord := cluster.New(tbl, cluster.Options{Partitions: 3, Seed: 7})
+	partOut := filepath.Join(dir, "report_partitioned.json")
+	cfg.partitions = 3
+	cfg.out = partOut
+	if err := runLoadtest(context.Background(), coord, prof, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(partOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partArt loadtestArtifact
+	if err := json.Unmarshal(raw, &partArt); err != nil {
+		t.Fatalf("partitioned artifact not JSON: %v", err)
+	}
+	if partArt.Completed == 0 {
+		t.Fatal("partitioned run measured nothing")
+	}
+	if got, want := partArt.Outcomes["ok"], partArt.Completed; got != want {
+		t.Fatalf("partitioned run outcomes %v, want all %d ok", partArt.Outcomes, want)
 	}
 }

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairjob/internal/serve"
+)
+
+// reqCtx is the per-request fan-out state: the generation pins taken at
+// the start of the request (all-or-nothing batch pin), which partitions
+// have been marked dead for this request, and whether a pin flipped
+// (a refresh landed mid-request — the coordinator re-pins and restarts
+// rather than merging two generations).
+type reqCtx struct {
+	c         *Coordinator
+	n         int
+	scanBlock int
+
+	mu      sync.Mutex
+	pins    []uint64
+	dead    []bool
+	genFlip bool
+	legErr  error
+	onFail  func()
+}
+
+func (c *Coordinator) newReqCtx() *reqCtx {
+	rc := &reqCtx{
+		c:         c,
+		n:         c.n,
+		scanBlock: c.opts.ScanBlock,
+		pins:      make([]uint64, c.n),
+		dead:      make([]bool, c.n),
+	}
+	for p := 0; p < c.n; p++ {
+		rc.pins[p] = c.gens[p].load()
+	}
+	return rc
+}
+
+// setOnFail installs the hook markDead fires — the quantify path cancels
+// its run context here so the topk algorithm unwinds promptly.
+func (rc *reqCtx) setOnFail(fn func()) {
+	rc.mu.Lock()
+	rc.onFail = fn
+	rc.mu.Unlock()
+}
+
+func (rc *reqCtx) markDead(p int) {
+	rc.mu.Lock()
+	already := rc.dead[p]
+	rc.dead[p] = true
+	fn := rc.onFail
+	rc.mu.Unlock()
+	if !already && fn != nil {
+		fn()
+	}
+}
+
+// missing returns the partitions marked dead for this request, sorted.
+func (rc *reqCtx) missing() []int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var out []int
+	for p, d := range rc.dead {
+		if d {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recordErr remembers the request's first leg failure.
+func (rc *reqCtx) recordErr(err error) {
+	rc.mu.Lock()
+	if rc.legErr == nil {
+		rc.legErr = err
+	}
+	rc.mu.Unlock()
+}
+
+// firstLegErr returns the first leg failure recorded for this request,
+// nil if every leg succeeded.
+func (rc *reqCtx) firstLegErr() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.legErr
+}
+
+func (rc *reqCtx) genFlipped() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.genFlip
+}
+
+// pinnedGen is the response generation: the highest pin across
+// partitions (snapshot generations are process-unique and monotonic, so
+// the max identifies the freshest contributor).
+func (rc *reqCtx) pinnedGen() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var g uint64
+	for _, pin := range rc.pins {
+		if pin > g {
+			g = pin
+		}
+	}
+	return g
+}
+
+func (rc *reqCtx) pinFor(p int) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.pins[p]
+}
+
+// call delivers one pinned call to partition p under the leg retry
+// policy: transient errors back off and retry within the request's
+// remaining deadline, gen-pin mismatches abort immediately (retrying
+// the same pin cannot help), and a partition that exhausts its budget
+// is marked dead for the rest of the request.
+func (rc *reqCtx) call(ctx context.Context, p int, call Call) (Reply, error) {
+	rc.mu.Lock()
+	if rc.dead[p] {
+		rc.mu.Unlock()
+		return Reply{}, fmt.Errorf("%w: partition %d already lost for this request", ErrPartitionUnavailable, p)
+	}
+	call.PinGen = rc.pins[p]
+	rc.mu.Unlock()
+
+	policy := rc.c.legRetry
+	userRetry := policy.OnRetry
+	policy.OnRetry = func(retry int, err error, delay time.Duration) {
+		rc.c.met.legRetries.Inc()
+		if userRetry != nil {
+			userRetry(retry, err, delay)
+		}
+	}
+	policy.Abort = func(err error) bool { return errors.Is(err, ErrGenMismatch) }
+
+	var reply Reply
+	err := policy.DoCtx(ctx, func() error {
+		r, legErr := rc.leg(ctx, p, call)
+		if legErr != nil {
+			if errors.Is(legErr, ErrGenMismatch) {
+				// Remember the generation the node now serves, so the
+				// restarted request pins it.
+				if r.Gen != 0 {
+					rc.c.gens[p].store(r.Gen)
+				}
+				return legErr
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				// The REQUEST is dead (deadline or caller cancel): map to
+				// the typed sentinels, which abort the retry loop. A leg
+				// whose own budget expired arrives here as a raw context
+				// error with the request still alive, and is retried.
+				return typedCtxErr(ctx, legErr)
+			}
+			return legErr
+		}
+		reply = r
+		return nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrGenMismatch):
+			rc.mu.Lock()
+			rc.genFlip = true
+			rc.mu.Unlock()
+		case errors.Is(err, serve.ErrCanceled), errors.Is(err, serve.ErrDeadlineExceeded):
+			// Request-level death is not the partition's fault: no
+			// markDead, but the failure must still be rememberable — a
+			// scatter run whose legs all died this way has NO missing
+			// partitions yet no usable answer either.
+			rc.recordErr(err)
+		default:
+			rc.markDead(p)
+			rc.recordErr(err)
+		}
+		return Reply{}, err
+	}
+	rc.record(p, reply.Gen)
+	return reply, nil
+}
+
+// record folds a successful leg's generation into the pins: an unpinned
+// partition pins to what it saw, a pinned one whose generation moved —
+// only possible through a transport that bypasses the node's own check —
+// flags the flip.
+func (rc *reqCtx) record(p int, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	rc.mu.Lock()
+	switch rc.pins[p] {
+	case 0:
+		rc.pins[p] = gen
+	case gen:
+	default:
+		rc.genFlip = true
+	}
+	rc.mu.Unlock()
+	rc.c.gens[p].store(gen)
+}
+
+// leg executes one hedged send to partition p. The leg context carves
+// LegFraction of the request's remaining deadline (floored at
+// MinLegBudget, capped at the remainder). The FIRST attempt runs
+// synchronously on the request goroutine — the hot path pays no
+// goroutine spawn, no channel handoff and no cross-core cache migration
+// of the engine's index data (measured at ~17% of request latency when
+// every leg took the async path). Hedging still works: a timer armed at
+// the partition's jittered p99-derived delay launches one asynchronous
+// duplicate, and a duplicate that succeeds cancels the shared leg
+// context, which unblocks a stalled original — first response wins
+// either way, and the deferred cancel reaps whichever copy lost.
+func (rc *reqCtx) leg(ctx context.Context, p int, call Call) (Reply, error) {
+	c := rc.c
+	var legCtx context.Context
+	var cancel context.CancelFunc
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		budget := time.Duration(float64(remaining) * c.opts.LegFraction)
+		if budget < c.opts.MinLegBudget {
+			budget = c.opts.MinLegBudget
+		}
+		if budget > remaining {
+			budget = remaining
+		}
+		legCtx, cancel = context.WithTimeout(ctx, budget)
+	} else {
+		legCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	type legResult struct {
+		reply Reply
+		err   error
+	}
+	var (
+		hedged  atomic.Bool
+		hedgeCh chan legResult
+	)
+	if d := c.hedgeDelay(p); d > 0 {
+		hedgeCh = make(chan legResult, 1)
+		timer := time.AfterFunc(d, func() {
+			hedged.Store(true)
+			c.met.hedges.Inc()
+			c.met.legs.Inc()
+			start := time.Now()
+			reply, err := c.transport.Send(legCtx, p, call)
+			if err == nil {
+				sec := time.Since(start).Seconds()
+				c.lat[p].record(sec)
+				c.met.legSeconds.Observe(sec)
+			}
+			hedgeCh <- legResult{reply, err}
+			if err == nil {
+				// First-response-wins: the duplicate came back first, so
+				// unblock the original, which is still stuck in its send.
+				cancel()
+			}
+		})
+		defer timer.Stop()
+	}
+
+	c.met.legs.Inc()
+	start := time.Now()
+	reply, err := c.transport.Send(legCtx, p, call)
+	if err == nil {
+		sec := time.Since(start).Seconds()
+		c.lat[p].record(sec)
+		c.met.legSeconds.Observe(sec)
+		if hedged.Load() {
+			// The deferred cancel reaps the in-flight duplicate.
+			c.met.hedgeLoserCancels.Inc()
+		}
+		return reply, nil
+	}
+	if errors.Is(err, ErrGenMismatch) {
+		return reply, err
+	}
+	if hedged.Load() {
+		// The original failed — possibly canceled by a winning duplicate.
+		// Wait for the duplicate's verdict; it observes the same legCtx, so
+		// this wait is bounded by the leg budget. A winning duplicate
+		// delivers its result BEFORE canceling the leg context, so when
+		// both channels are ready the result must win the select — checked
+		// again non-blockingly under Done to beat select's random pick.
+		takeHedge := func(res legResult) (Reply, error) {
+			if res.err == nil {
+				c.met.hedgeWins.Inc()
+				if errors.Is(err, context.Canceled) {
+					// The duplicate's win is what canceled the original.
+					c.met.hedgeLoserCancels.Inc()
+				}
+				return res.reply, nil
+			}
+			return Reply{}, res.err
+		}
+		select {
+		case res := <-hedgeCh:
+			return takeHedge(res)
+		case <-legCtx.Done():
+			select {
+			case res := <-hedgeCh:
+				return takeHedge(res)
+			default:
+				return Reply{}, legCtx.Err()
+			}
+		}
+	}
+	return Reply{}, err
+}
+
+// hedgeDelay derives partition p's hedge delay: no hedging until the
+// partition has hedgeAfterSamples latency samples, then the jittered
+// multiple of its observed p99, floored at HedgeFloor. Jitter is drawn
+// from the coordinator's seeded RNG — deterministic across runs with
+// the same seed — and de-synchronizes hedges across concurrent
+// requests.
+func (c *Coordinator) hedgeDelay(p int) time.Duration {
+	p99, ok := c.lat[p].p99()
+	if !ok {
+		return 0
+	}
+	d := time.Duration(p99 * c.opts.HedgeMultiplier * float64(time.Second))
+	if d < c.opts.HedgeFloor {
+		d = c.opts.HedgeFloor
+	}
+	c.rngMu.Lock()
+	j := c.rng.Float64()
+	c.rngMu.Unlock()
+	return d + time.Duration(j*0.25*float64(d))
+}

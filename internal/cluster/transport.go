@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"fairjob/internal/compare"
+	"fairjob/internal/core"
+	"fairjob/internal/faultinject"
+	"fairjob/internal/index"
+	"fairjob/internal/serve"
+)
+
+// Op selects what a Call asks a partition node to do.
+type Op int
+
+const (
+	// OpScan is resumable sorted access: read a block of entries from
+	// one list fragment starting at a caller-owned cursor. The
+	// coordinator's distributed TA is built from these.
+	OpScan Op = iota
+	// OpLookup is random access: return the key's value in every list
+	// fragment this partition owns for one dimension — a full row from
+	// this partition's point of view, which the coordinator merges and
+	// caches so one scatter answers all subsequent random accesses for
+	// the key.
+	OpLookup
+	// OpCells returns every defined cell of the partition's sub-table —
+	// the gather behind Problem 2 comparisons and behind the degraded
+	// recompute when partitions are missing.
+	OpCells
+	// OpServe passes a full serve.Request through to the partition's
+	// local engine — the single-leg fast path (one partition, or a
+	// page-local mitigate routed to its owner).
+	OpServe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "scan"
+	case OpLookup:
+		return "lookup"
+	case OpCells:
+		return "cells"
+	case OpServe:
+		return "serve"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Call is one simulated RPC to a partition node. PinGen carries the
+// all-or-nothing generation pin: 0 means "pin to whatever you serve and
+// tell me", any other value means "serve exactly this generation or
+// refuse with ErrGenMismatch".
+type Call struct {
+	Op     Op
+	PinGen uint64
+
+	// OpScan / OpLookup operands.
+	Dim          compare.Dimension
+	List         int
+	Start, Count int
+	Key          string
+
+	// OpServe operand.
+	Req serve.Request
+}
+
+// ListValue is one entry of an OpLookup reply: the key's value in one
+// of the partition's owned lists.
+type ListValue struct {
+	List  int
+	Value float64
+}
+
+// Cell is one defined cell of a partition's sub-table.
+type Cell struct {
+	G string
+	Q core.Query
+	L core.Location
+	V float64
+}
+
+// Reply is a node's answer to one Call. Gen always reports the
+// generation that served it, which is how an unpinned first leg learns
+// the pin for the rest of the request.
+type Reply struct {
+	Gen     uint64
+	Entries []index.Entry  // OpScan
+	Row     []ListValue    // OpLookup
+	Cells   []Cell         // OpCells
+	Resp    serve.Response // OpServe
+}
+
+// Transport delivers calls to partitions. The in-process LocalTransport
+// is the only implementation today; the interface exists so a real
+// network split later replaces one type, not the coordinator. Send must
+// honor ctx — a canceled caller gets an error promptly even when the
+// partition is stalled — and must be safe for concurrent use.
+type Transport interface {
+	Send(ctx context.Context, partition int, call Call) (Reply, error)
+}
+
+// LocalTransport is the simulated-RPC transport: calls are function
+// calls into in-process nodes, with the cluster chaos failpoints
+// compiled into the send path so tests can down, slow or flap
+// individual partitions exactly where a network would fail. The
+// partition id is the failpoint key.
+type LocalTransport struct {
+	nodes []*Node
+}
+
+// NewLocalTransport wraps in-process nodes as a Transport.
+func NewLocalTransport(nodes []*Node) *LocalTransport {
+	return &LocalTransport{nodes: nodes}
+}
+
+// Send delivers one call. The failpoint layout mirrors a real RPC:
+// partition-down and partition-flap fire before the "wire" (the send
+// errors, the node never sees the call), partition-slow fires on the
+// serving side (the handler stalls, and a caller whose ctx expires —
+// or whose hedge won — abandons the leg without waiting for it).
+func (t *LocalTransport) Send(ctx context.Context, partition int, call Call) (Reply, error) {
+	if partition < 0 || partition >= len(t.nodes) {
+		return Reply{}, fmt.Errorf("cluster: no partition %d (have %d)", partition, len(t.nodes))
+	}
+	key := strconv.Itoa(partition)
+	if err := faultinject.InjectKeyedErr(faultinject.ClusterPartitionDown, key); err != nil {
+		return Reply{}, fmt.Errorf("%w: partition %d down: %v", ErrPartitionUnavailable, partition, err)
+	}
+	if err := faultinject.InjectKeyedErr(faultinject.ClusterPartitionFlap, key); err != nil {
+		return Reply{}, fmt.Errorf("%w: partition %d flapped: %v", ErrPartitionUnavailable, partition, err)
+	}
+	type result struct {
+		reply Reply
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		// The slow failpoint may sleep or block on a channel; it runs on
+		// the serving goroutine so the select below can abandon the leg.
+		_ = faultinject.InjectKeyedErr(faultinject.ClusterPartitionSlow, key)
+		r, err := t.nodes[partition].Handle(ctx, call)
+		done <- result{r, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return Reply{}, ctx.Err()
+	case res := <-done:
+		return res.reply, res.err
+	}
+}

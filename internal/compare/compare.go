@@ -92,6 +92,10 @@ type Comparison struct {
 type Comparer struct {
 	gi          *index.GroupIndex
 	tbl         *core.Table
+	cells       CellSource
+	cellGroups  []string
+	cellQueries []core.Query
+	cellLocs    []core.Location
 	definedOnly bool
 	// Epsilon is the tolerance within which two aggregate unfairness
 	// values are considered tied by the reversal predicate. Aggregates
@@ -125,7 +129,49 @@ func NewDefinedOnlyWith(gi *index.GroupIndex, tbl *core.Table) *Comparer {
 	return &Comparer{gi: gi, tbl: tbl, definedOnly: true, Epsilon: defaultEpsilon}
 }
 
+// CellSource abstracts where the Algorithm 3 random accesses read from:
+// the group-based index family in-process, or cells gathered from remote
+// partitions by the scatter-gather coordinator. Dims returns the full
+// (sorted) dimension universe; Cell returns a triple's value and whether
+// it is defined. Both must be safe for concurrent calls.
+type CellSource interface {
+	Dims() (groups []string, queries []core.Query, locations []core.Location)
+	Cell(g string, q core.Query, l core.Location) (float64, bool)
+}
+
+// NewFromCells builds a Comparer with completion semantics (missing = 0,
+// denominator = full scope size) over an arbitrary cell source. Because
+// a comparison visits cells in the same deterministic (g, q, l) order as
+// the index-backed path and adding 0.0 to a float sum is exact, a cell
+// source agreeing with a table on its defined cells and dimensions
+// yields byte-identical Comparisons.
+func NewFromCells(cs CellSource) *Comparer {
+	c := &Comparer{cells: cs, Epsilon: defaultEpsilon}
+	c.cellGroups, c.cellQueries, c.cellLocs = cs.Dims()
+	return c
+}
+
+// NewDefinedOnlyFromCells is NewFromCells with defined-only aggregation
+// semantics.
+func NewDefinedOnlyFromCells(cs CellSource) *Comparer {
+	c := NewFromCells(cs)
+	c.definedOnly = true
+	return c
+}
+
 func (c *Comparer) scopeOrAll(s Scope) Scope {
+	if c.cells != nil {
+		if s.Groups == nil {
+			s.Groups = c.cellGroups
+		}
+		if s.Queries == nil {
+			s.Queries = c.cellQueries
+		}
+		if s.Locations == nil {
+			s.Locations = c.cellLocs
+		}
+		return s
+	}
 	if s.Groups == nil {
 		s.Groups = c.gi.GroupKeys
 	}
@@ -143,6 +189,16 @@ func (c *Comparer) scopeOrAll(s Scope) Scope {
 // a (q,l) pair that was never indexed, which indicates a scope mistake
 // rather than sparse data.
 func (c *Comparer) value(g string, q core.Query, l core.Location) (float64, bool, error) {
+	if c.cells != nil {
+		v, ok := c.cells.Cell(g, q, l)
+		if c.definedOnly {
+			return v, ok, nil
+		}
+		if !ok {
+			v = 0 // completion semantics: undefined reads as 0, counted
+		}
+		return v, true, nil
+	}
 	iv := c.gi.Get(q, l)
 	if iv == nil {
 		return 0, false, fmt.Errorf("compare: pair (%s, %s) not indexed", q, l)

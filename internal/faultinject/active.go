@@ -18,7 +18,17 @@ const Enabled = true
 var registry struct {
 	mu       sync.RWMutex
 	handlers map[string]func() error
+	keyed    map[string]func(key string) error
 	hits     map[string]*atomic.Uint64
+}
+
+// ensureLocked lazily allocates the registry maps; callers hold mu.
+func ensureLocked() {
+	if registry.handlers == nil {
+		registry.handlers = make(map[string]func() error)
+		registry.keyed = make(map[string]func(key string) error)
+		registry.hits = make(map[string]*atomic.Uint64)
+	}
 }
 
 // Set arms the named failpoint: every subsequent Inject/InjectErr at
@@ -28,21 +38,36 @@ var registry struct {
 func Set(name string, fn func() error) {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	if registry.handlers == nil {
-		registry.handlers = make(map[string]func() error)
-		registry.hits = make(map[string]*atomic.Uint64)
-	}
+	ensureLocked()
 	registry.handlers[name] = fn
 	if registry.hits[name] == nil {
 		registry.hits[name] = new(atomic.Uint64)
 	}
 }
 
-// Clear disarms the named failpoint; its hit count is retained.
+// SetKeyed arms the named failpoint with a per-key handler: every
+// subsequent InjectKeyedErr at that site passes its key (e.g. a
+// partition id) to fn, which decides per key whether to fault. A keyed
+// handler coexists with an unkeyed one installed under the same name;
+// InjectKeyedErr prefers the keyed handler and falls back to the
+// unkeyed one. Hits are counted under the same name either way.
+func SetKeyed(name string, fn func(key string) error) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	ensureLocked()
+	registry.keyed[name] = fn
+	if registry.hits[name] == nil {
+		registry.hits[name] = new(atomic.Uint64)
+	}
+}
+
+// Clear disarms the named failpoint — both its keyed and unkeyed
+// handlers; its hit count is retained.
 func Clear(name string) {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	delete(registry.handlers, name)
+	delete(registry.keyed, name)
 }
 
 // Reset disarms every failpoint and zeroes all hit counts — test
@@ -51,6 +76,7 @@ func Reset() {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	registry.handlers = nil
+	registry.keyed = nil
 	registry.hits = nil
 }
 
@@ -94,4 +120,25 @@ func InjectErr(name string) error {
 	}
 	hits.Add(1)
 	return fn()
+}
+
+// lookupKeyed fetches the armed keyed handler and hit counter for name,
+// or nil.
+func lookupKeyed(name string) (func(key string) error, *atomic.Uint64) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.keyed[name], registry.hits[name]
+}
+
+// InjectKeyedErr fires the named failpoint with a site-supplied key
+// (e.g. a partition id) and returns the handler's error. A keyed
+// handler installed with SetKeyed sees the key; absent one, an unkeyed
+// handler installed with Set fires for every key. Unarmed failpoints
+// return nil.
+func InjectKeyedErr(name, key string) error {
+	if fn, hits := lookupKeyed(name); fn != nil {
+		hits.Add(1)
+		return fn(key)
+	}
+	return InjectErr(name)
 }

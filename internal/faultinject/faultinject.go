@@ -29,6 +29,15 @@
 //	QueueDelay     delays a request between its cache probe and the
 //	               admission gate — exercises shed-under-load behavior
 //	               and the cache-hit bypass
+//	ClusterPartitionDown / ClusterPartitionSlow / ClusterPartitionFlap
+//	               fault individual partitions behind the scatter-gather
+//	               coordinator — exercise hedging, per-leg retries and
+//	               partial-result degradation
+//
+// The cluster failpoints are keyed: the injection site passes the target
+// partition id, and a handler installed with SetKeyed decides per key
+// whether (and how) to fault. Unkeyed handlers installed with Set fire
+// for every key of the same name, so a blanket fault needs no routing.
 //
 // Handlers run on the goroutine that hits the failpoint and must be safe
 // for concurrent use; the chaos tests run under -race.
@@ -53,4 +62,18 @@ const (
 	// to the compute path; a sleeping handler piles requests up against
 	// the admission gate.
 	QueueDelay = "serve.queue-delay"
+	// ClusterPartitionDown is hit (keyed by partition id) at the top of
+	// every simulated-RPC send; an erroring handler makes the partition
+	// unreachable, exercising leg retries and partial-result degradation.
+	ClusterPartitionDown = "cluster.partition-down"
+	// ClusterPartitionSlow is hit (keyed by partition id) on the serving
+	// side of every simulated RPC; a sleeping or channel-blocking handler
+	// stalls the leg, exercising the p99-derived hedge and leg deadline
+	// budgets.
+	ClusterPartitionSlow = "cluster.partition-slow"
+	// ClusterPartitionFlap is hit (keyed by partition id) at the top of
+	// every simulated-RPC send, after ClusterPartitionDown; a handler
+	// failing every other call simulates an intermittently reachable
+	// partition that per-leg backoff should absorb without degrading.
+	ClusterPartitionFlap = "cluster.partition-flap"
 )

@@ -1,0 +1,115 @@
+package faultinject_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryFailpointIsExercisedByAChaosTest walks the failpoint catalog
+// (every exported constant in this package) and asserts each one is
+// referenced by at least one chaos test — a *_test.go file guarded by
+// the faultinject build tag. A failpoint nobody arms is dead chaos
+// surface: the injection site rots silently, and the suite's coverage
+// claim ("every fault mode has a test") stops being true. The test
+// reads source, so it runs in the tier-1 (untagged) build too.
+func TestEveryFailpointIsExercisedByAChaosTest(t *testing.T) {
+	root := repoRoot(t)
+
+	catalog := exportedFailpointConstants(t, filepath.Join(root, "internal", "faultinject", "faultinject.go"))
+	if len(catalog) == 0 {
+		t.Fatal("no exported failpoint constants found — catalog parse broke")
+	}
+
+	used := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(string(src), "//go:build faultinject") {
+			return nil
+		}
+		for _, name := range catalog {
+			if strings.Contains(string(src), "faultinject."+name) {
+				used[name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repo: %v", err)
+	}
+
+	for _, name := range catalog {
+		if !used[name] {
+			t.Errorf("failpoint constant %s is not exercised by any chaos test (no //go:build faultinject *_test.go references faultinject.%s)", name, name)
+		}
+	}
+}
+
+// exportedFailpointConstants parses the catalog file and returns every
+// exported string constant's name.
+func exportedFailpointConstants(t *testing.T, path string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	var names []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					names = append(names, n.Name)
+				}
+			}
+		}
+	}
+	return names
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test's working directory")
+		}
+		dir = parent
+	}
+}

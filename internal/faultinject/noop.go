@@ -10,6 +10,9 @@ const Enabled = false
 // Set is inert without the faultinject build tag.
 func Set(string, func() error) {}
 
+// SetKeyed is inert without the faultinject build tag.
+func SetKeyed(string, func(string) error) {}
+
 // Clear is inert without the faultinject build tag.
 func Clear(string) {}
 
@@ -24,3 +27,6 @@ func Inject(string) {}
 
 // InjectErr always returns nil without the faultinject build tag.
 func InjectErr(string) error { return nil }
+
+// InjectKeyedErr always returns nil without the faultinject build tag.
+func InjectKeyedErr(string, string) error { return nil }

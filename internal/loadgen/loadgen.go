@@ -154,18 +154,20 @@ type labelTrack struct {
 	mu        sync.Mutex
 }
 
-// Runner drives one engine with one workload. Construct with NewRunner,
+// Runner drives one target with one workload. Construct with NewRunner,
 // run with Run; a Runner is single-use.
 type Runner struct {
-	eng *serve.Engine
-	wl  *Workload
-	o   Options
+	target Target
+	wl     *Workload
+	o      Options
 }
 
-// NewRunner validates the options and binds engine + workload.
-func NewRunner(eng *serve.Engine, wl *Workload, o Options) (*Runner, error) {
-	if eng == nil || wl == nil {
-		return nil, errors.New("loadgen: engine and workload are required")
+// NewRunner validates the options and binds target + workload. The
+// target may be a single engine (EngineTarget) or a partitioned
+// coordinator — the runner is agnostic.
+func NewRunner(t Target, wl *Workload, o Options) (*Runner, error) {
+	if t == nil || wl == nil {
+		return nil, errors.New("loadgen: target and workload are required")
 	}
 	if o.Rate <= 0 || math.IsNaN(o.Rate) || math.IsInf(o.Rate, 0) {
 		return nil, fmt.Errorf("loadgen: rate must be a positive finite rps, got %v", o.Rate)
@@ -173,7 +175,7 @@ func NewRunner(eng *serve.Engine, wl *Workload, o Options) (*Runner, error) {
 	if o.UniqueFrac < 0 || o.UniqueFrac > 1 {
 		return nil, fmt.Errorf("loadgen: unique fraction must be in [0,1], got %v", o.UniqueFrac)
 	}
-	return &Runner{eng: eng, wl: wl, o: o.withDefaults()}, nil
+	return &Runner{target: t, wl: wl, o: o.withDefaults()}, nil
 }
 
 // Run offers the load and blocks until every dispatched request has
@@ -244,7 +246,7 @@ func (r *Runner) Run(ctx context.Context) *Report {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			resp := r.eng.DoCtx(ctx, req)
+			resp := r.target.DoCtx(ctx, req)
 			lat := time.Since(arrival) // from SCHEDULED arrival: CO-correct
 			if !measured {
 				return
@@ -263,7 +265,7 @@ func (r *Runner) Run(ctx context.Context) *Report {
 			total.Record(lat.Nanoseconds())
 			mu.Lock()
 			completed++
-			outcomes[outcomeOf(resp.Err)]++
+			outcomes[serve.Outcome(resp.Err)]++
 			mu.Unlock()
 		}()
 	}
@@ -322,24 +324,5 @@ func (r *Runner) interArrival(rng *stats.RNG) time.Duration {
 			u = rng.Float64()
 		}
 		return time.Duration(-math.Log(u) * mean * float64(time.Second))
-	}
-}
-
-// outcomeOf mirrors the serve engine's outcome vocabulary using its
-// exported sentinels.
-func outcomeOf(err error) string {
-	switch {
-	case err == nil:
-		return "ok"
-	case errors.Is(err, serve.ErrOverloaded):
-		return "shed"
-	case errors.Is(err, serve.ErrDeadlineExceeded):
-		return "deadline"
-	case errors.Is(err, serve.ErrCanceled):
-		return "canceled"
-	case errors.Is(err, serve.ErrInternal):
-		return "panic"
-	default:
-		return "error"
 	}
 }

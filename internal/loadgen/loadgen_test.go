@@ -76,7 +76,7 @@ func TestBucketRoundtrip(t *testing.T) {
 
 func TestBuildWorkload(t *testing.T) {
 	eng := testEngine(t)
-	wl, err := BuildWorkload(eng, 0.5)
+	wl, err := BuildWorkload(NewEngineTarget(eng), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestBuildWorkload(t *testing.T) {
 
 func TestRunnerReport(t *testing.T) {
 	eng := testEngine(t)
-	wl, err := BuildWorkload(eng, 0.25)
+	wl, err := BuildWorkload(NewEngineTarget(eng), 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(eng, wl, Options{
+	r, err := NewRunner(NewEngineTarget(eng), wl, Options{
 		Rate:     300,
 		Arrival:  Poisson,
 		Warmup:   150 * time.Millisecond,
@@ -181,11 +181,11 @@ func TestRunnerReport(t *testing.T) {
 
 func TestRunnerGracefulCancel(t *testing.T) {
 	eng := testEngine(t)
-	wl, err := BuildWorkload(eng, 0)
+	wl, err := BuildWorkload(NewEngineTarget(eng), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(eng, wl, Options{
+	r, err := NewRunner(NewEngineTarget(eng), wl, Options{
 		Rate:     200,
 		Warmup:   50 * time.Millisecond,
 		Duration: 30 * time.Second, // cancelled long before this
@@ -214,14 +214,14 @@ func TestRunnerGracefulCancel(t *testing.T) {
 
 func TestNewRunnerValidation(t *testing.T) {
 	eng := testEngine(t)
-	wl, _ := BuildWorkload(eng, 0)
+	wl, _ := BuildWorkload(NewEngineTarget(eng), 0)
 	if _, err := NewRunner(nil, wl, Options{Rate: 1}); err == nil {
 		t.Fatal("nil engine accepted")
 	}
-	if _, err := NewRunner(eng, wl, Options{Rate: 0}); err == nil {
+	if _, err := NewRunner(NewEngineTarget(eng), wl, Options{Rate: 0}); err == nil {
 		t.Fatal("zero rate accepted")
 	}
-	if _, err := NewRunner(eng, wl, Options{Rate: 10, UniqueFrac: 1.5}); err == nil {
+	if _, err := NewRunner(NewEngineTarget(eng), wl, Options{Rate: 10, UniqueFrac: 1.5}); err == nil {
 		t.Fatal("unique fraction 1.5 accepted")
 	}
 }

@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"context"
+
+	"fairjob/internal/core"
+	"fairjob/internal/serve"
+)
+
+// Target is what a load run drives: anything that answers serve
+// requests and can describe its dimension universe well enough for
+// BuildWorkload to derive a mix. A single serve.Engine (via
+// EngineTarget) and the scatter-gather cluster.Coordinator both
+// qualify, so the same open-loop harness measures one engine or a
+// partitioned fan-out without changing a line of the runner.
+type Target interface {
+	// DoCtx answers one request under ctx.
+	DoCtx(ctx context.Context, req serve.Request) serve.Response
+	// GroupKeys, Queries and Locations are the served dimension members,
+	// sorted.
+	GroupKeys() []string
+	Queries() []core.Query
+	Locations() []core.Location
+	// HasRankings reports whether Problem 3 requests can be served.
+	HasRankings() bool
+	// Pages lists the distinct (query, location) marketplace pages,
+	// sorted; empty without rankings.
+	Pages() [][2]string
+}
+
+// EngineTarget adapts a single serve.Engine to the Target interface,
+// answering the dimension queries from the engine's current snapshot.
+type EngineTarget struct {
+	Engine *serve.Engine
+}
+
+// NewEngineTarget wraps eng as a load-test target.
+func NewEngineTarget(eng *serve.Engine) EngineTarget { return EngineTarget{Engine: eng} }
+
+func (t EngineTarget) DoCtx(ctx context.Context, req serve.Request) serve.Response {
+	return t.Engine.DoCtx(ctx, req)
+}
+func (t EngineTarget) GroupKeys() []string        { return t.Engine.Snapshot().GroupKeys() }
+func (t EngineTarget) Queries() []core.Query      { return t.Engine.Snapshot().Queries() }
+func (t EngineTarget) Locations() []core.Location { return t.Engine.Snapshot().Locations() }
+func (t EngineTarget) HasRankings() bool          { return t.Engine.Snapshot().HasRankings() }
+func (t EngineTarget) Pages() [][2]string         { return t.Engine.Snapshot().Pages() }

@@ -32,17 +32,16 @@ type Workload struct {
 	uniqueFrac float64
 }
 
-// BuildWorkload derives a mixed P1/P2/P3 workload from the engine's
-// current snapshot: top-k quantify requests across every algorithm and
+// BuildWorkload derives a mixed P1/P2/P3 workload from the target's
+// served universe: top-k quantify requests across every algorithm and
 // dimension, compare requests across dimension pairs, and — when the
-// snapshot carries rankings — one mitigate request per re-ranker. Every
-// candidate shape is executed once against the engine and kept only if
+// target carries rankings — one mitigate request per re-ranker. Every
+// candidate shape is executed once against the target and kept only if
 // it answers OK, so the offered mix never measures the error path by
 // construction (run errors still count in the report if they appear
 // under load). uniqueFrac in [0,1] is the fraction of quantify requests
 // rewritten to bypass the result cache.
-func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
-	snap := eng.Snapshot()
+func BuildWorkload(t Target, uniqueFrac float64) (*Workload, error) {
 	var candidates []Shape
 
 	for _, dim := range []compare.Dimension{compare.ByGroup, compare.ByQuery, compare.ByLocation} {
@@ -61,7 +60,7 @@ func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
 		}
 	}
 
-	gks, qs, ls := snap.GroupKeys(), snap.Queries(), snap.Locations()
+	gks, qs, ls := t.GroupKeys(), t.Queries(), t.Locations()
 	if len(gks) >= 2 {
 		candidates = append(candidates, Shape{
 			Label:  "compare/group",
@@ -84,8 +83,8 @@ func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
 		})
 	}
 
-	if snap.HasRankings() {
-		pages := snap.Pages()
+	if t.HasRankings() {
+		pages := t.Pages()
 		for _, kind := range mitigate.Kinds() {
 			// Scan pages × groups for one combination this re-ranker
 			// answers OK; pages may lack any given group.
@@ -96,7 +95,7 @@ func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
 						Problem: serve.Mitigate, Mitigator: kind,
 						Group: gk, Query: pg[0], Location: pg[1],
 					}
-					if resp := eng.DoCtx(context.Background(), req); resp.Err == nil {
+					if resp := t.DoCtx(context.Background(), req); resp.Err == nil {
 						candidates = append(candidates, Shape{
 							Label:  "mitigate/" + kind.String(),
 							Req:    req,
@@ -115,7 +114,7 @@ func BuildWorkload(eng *serve.Engine, uniqueFrac float64) (*Workload, error) {
 
 	var kept []Shape
 	for _, c := range candidates {
-		if resp := eng.DoCtx(context.Background(), c.Req); resp.Err == nil {
+		if resp := t.DoCtx(context.Background(), c.Req); resp.Err == nil {
 			kept = append(kept, c)
 		}
 	}

@@ -31,8 +31,8 @@ const (
 	LevelDebug Level = iota
 	// LevelInfo is the success path: outcome "ok".
 	LevelInfo
-	// LevelWarn covers refused work the system chose to refuse: shed,
-	// deadline and canceled outcomes.
+	// LevelWarn covers work the system chose to refuse or complete
+	// incompletely: shed, deadline, canceled and partial outcomes.
 	LevelWarn
 	// LevelError covers failures: validation/execution errors and
 	// recovered panics.
@@ -65,7 +65,7 @@ type Event struct {
 	Time      time.Time `json:"time"`
 	Component string    `json:"component"`
 	Level     string    `json:"level"`
-	Outcome   string    `json:"outcome"` // ok | shed | deadline | canceled | panic | error
+	Outcome   string    `json:"outcome"` // ok | shed | deadline | canceled | panic | partial | error
 	LatencyNS int64     `json:"latency_ns"`
 
 	// Identity and linkage.
@@ -97,6 +97,12 @@ type Event struct {
 	// deviation: positive when the re-ranking helped the target group.
 	DeltaUnfairness float64 `json:"delta_unfairness,omitempty"`
 	Err             string  `json:"err,omitempty"`
+
+	// Scatter-gather detail (component "cluster"): the fan-out width and,
+	// on a degraded ("partial" outcome) response, the comma-joined ids of
+	// the partitions whose data is missing from the answer.
+	Partitions        int    `json:"partitions,omitempty"`
+	MissingPartitions string `json:"missing_partitions,omitempty"`
 }
 
 // EventSchema is the documented wide-event schema: every legal JSON
@@ -112,6 +118,7 @@ var EventSchema = map[string]bool{
 	"cache": false, "queue_wait_ns": false,
 	"sorted_accesses": false, "random_accesses": false, "rounds": false,
 	"compare_accesses": false, "delta_unfairness": false, "err": false,
+	"partitions": false, "missing_partitions": false,
 }
 
 // ValidateEventJSON checks one serialized event against EventSchema: it
@@ -339,7 +346,7 @@ func levelFor(outcome string) Level {
 	switch outcome {
 	case "", "ok":
 		return LevelInfo
-	case "shed", "deadline", "canceled":
+	case "shed", "deadline", "canceled", "partial":
 		return LevelWarn
 	default: // panic, error, and any future failure class
 		return LevelError

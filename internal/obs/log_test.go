@@ -189,6 +189,7 @@ func TestEventSchemaMatchesStruct(t *testing.T) {
 		Direction: "most", Algo: "TA", R1: "a", R2: "b", By: "x", Mitigator: "fair",
 		Cache: "hit", QueueWaitNS: 1, SortedAccesses: 1, RandomAccesses: 1,
 		Rounds: 1, CompareAccesses: 1, DeltaUnfairness: 0.01, Err: "e",
+		Partitions: 1, MissingPartitions: "1",
 	}
 	raw, err := json.Marshal(e)
 	if err != nil {

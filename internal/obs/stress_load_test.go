@@ -79,11 +79,11 @@ func TestStressAdminEndpointsUnderLoad(t *testing.T) {
 	defer srv.Close()
 
 	// Open-loop load on the engine for the whole scrape window.
-	wl, err := loadgen.BuildWorkload(eng, 0.5)
+	wl, err := loadgen.BuildWorkload(loadgen.NewEngineTarget(eng), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	runner, err := loadgen.NewRunner(eng, wl, loadgen.Options{
+	runner, err := loadgen.NewRunner(loadgen.NewEngineTarget(eng), wl, loadgen.Options{
 		Rate:     250,
 		Warmup:   50 * time.Millisecond,
 		Duration: 700 * time.Millisecond,

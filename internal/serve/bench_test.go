@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"fairjob/internal/cluster"
 	"fairjob/internal/obs"
 	"fairjob/internal/serve"
 	"fairjob/internal/stats"
@@ -225,6 +226,46 @@ func BenchmarkServeProfiled(b *testing.B) {
 		prof.Start()
 		defer prof.Stop()
 		run(b, reg)
+	})
+}
+
+// BenchmarkScatterGather measures the scatter-gather coordinator's tax
+// over direct engine serving. "off" is a plain single-worker engine
+// with the result cache disabled, so every request pays real compute.
+// "on" serves the identical request battery through a one-partition
+// cluster.Coordinator (node caches also disabled): the fan-out geometry
+// is degenerate, so the pair prices exactly the distributed-serving
+// machinery — generation pinning, the simulated-RPC transport hop, leg
+// budgets, hedge timers and the reply merge — and none of the actual
+// partitioning. Both variants are constructed once outside the loop:
+// coordinator construction rebuilds per-node snapshots, which is a
+// refresh cost, not a per-request one. The acceptance budget for
+// on-vs-off is < 5% (bench.sh computes the delta into the BENCH JSON;
+// check.sh gates on it).
+func BenchmarkScatterGather(b *testing.B) {
+	rng := stats.NewRNG(4242)
+	tbl := randomTable(rng, 11, 48, 10, 0.1)
+	snap := serve.NewSnapshot(tbl)
+	reqs := battery(snap)
+	run := func(b *testing.B, do func(serve.Request) serve.Response) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if resp := do(r); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		eng := serve.NewEngine(snap, serve.Options{Workers: 1, CacheSize: -1})
+		b.ResetTimer()
+		run(b, eng.Do)
+	})
+	b.Run("on", func(b *testing.B) {
+		coord := cluster.New(tbl, cluster.Options{Partitions: 1, NodeCacheSize: -1})
+		b.ResetTimer()
+		run(b, coord.Do)
 	})
 }
 

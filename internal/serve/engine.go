@@ -430,11 +430,12 @@ func (e *Engine) Refresh(apply func(*core.Table)) *Snapshot {
 // *InternalError rather than crashing the maintenance goroutine. The
 // serving snapshot is swapped only after a build succeeds — a failed
 // refresh leaves the engine serving the previous generation, which is
-// the property the chaos tests pin. A ctx that ends between attempts
-// aborts with the typed cancellation errors.
+// the property the chaos tests pin. A ctx that ends between attempts —
+// or during a backoff sleep, which is ctx-aware — aborts with the typed
+// cancellation errors.
 func (e *Engine) RefreshCtx(ctx context.Context, apply func(*core.Table)) (*Snapshot, error) {
 	var next *Snapshot
-	err := e.retry.Do(func() error {
+	err := e.retry.DoCtx(ctx, func() error {
 		if err := ctx.Err(); err != nil {
 			return ctxError(err)
 		}
@@ -690,22 +691,9 @@ func (e *Engine) refuse(snap *Snapshot, req Request, err error, tr *obs.Trace, s
 }
 
 // outcomeOf classifies a request error into the wide-event outcome
-// vocabulary: ok | shed | deadline | canceled | panic | error.
+// vocabulary: ok | shed | deadline | canceled | panic | partial | error.
 func outcomeOf(err error) string {
-	switch {
-	case err == nil:
-		return "ok"
-	case errors.Is(err, ErrOverloaded):
-		return "shed"
-	case errors.Is(err, ErrDeadlineExceeded):
-		return "deadline"
-	case errors.Is(err, ErrCanceled):
-		return "canceled"
-	case errors.Is(err, ErrInternal):
-		return "panic"
-	default:
-		return "error"
-	}
+	return Outcome(err)
 }
 
 // cacheState is the wide-event cache field for a request that got past
@@ -810,6 +798,12 @@ func (e *Engine) executeSafe(ctx context.Context, snap *Snapshot, req Request, t
 	}()
 	return e.execute(ctx, snap, req, tr)
 }
+
+// ValidateRequest rejects malformed requests with the same rules the
+// engine applies before execution. The scatter-gather coordinator
+// validates at its own front door so a bad request fails once, before
+// any fan-out.
+func ValidateRequest(req Request) error { return validate(req) }
 
 // validate rejects malformed requests before they reach the algorithms.
 func validate(req Request) error {

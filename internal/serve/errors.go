@@ -75,3 +75,36 @@ func ctxError(err error) error {
 	}
 	return err
 }
+
+// outcomer lets error types outside this package (the cluster
+// coordinator's partial-result error) carry their own wide-event
+// outcome word without serve importing them.
+type outcomer interface {
+	RequestOutcome() string
+}
+
+// Outcome classifies a Response.Err into the wide-event outcome
+// vocabulary: "ok", "shed", "deadline", "canceled", "panic", "partial"
+// (errors implementing RequestOutcome() string), or "error". The engine
+// uses it for its own metrics and events; the loadgen harness and the
+// cluster coordinator share it so every layer buckets failures
+// identically.
+func Outcome(err error) string {
+	var oc outcomer
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &oc):
+		return oc.RequestOutcome()
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrInternal):
+		return "panic"
+	default:
+		return "error"
+	}
+}

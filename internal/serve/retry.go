@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -49,14 +50,31 @@ type RetryPolicy struct {
 	// jittered delay about to be slept. The engine counts
 	// refresh_retries_total here.
 	OnRetry func(retry int, err error, delay time.Duration)
+	// Abort, when non-nil, classifies errors that must not be retried:
+	// when it returns true for fn's error, DoCtx returns that error
+	// immediately and unwrapped. Typed cancellation errors abort
+	// regardless. The scatter-gather coordinator uses this to surface
+	// generation-pin mismatches — a retry against the same pin can only
+	// fail again; the caller must re-pin instead.
+	Abort func(error) bool
 }
 
 // Do runs fn until it succeeds or the attempt budget is exhausted,
-// sleeping a jittered exponential backoff between attempts. Typed
-// cancellation errors (ErrCanceled, ErrDeadlineExceeded) abort
-// immediately — a canceled caller must not be held through backoff
-// sleeps. The terminal error wraps fn's last error.
+// sleeping a jittered exponential backoff between attempts. It is
+// DoCtx with a background context: backoff sleeps run to completion.
 func (p RetryPolicy) Do(fn func() error) error {
+	return p.DoCtx(context.Background(), fn)
+}
+
+// DoCtx runs fn until it succeeds or the attempt budget is exhausted,
+// sleeping a jittered exponential backoff between attempts. Typed
+// cancellation errors (ErrCanceled, ErrDeadlineExceeded) and errors
+// classified by Abort return immediately — a canceled caller must not
+// be held through backoff sleeps. The backoff sleep itself is
+// ctx-aware: when ctx is done before or during a sleep, DoCtx stops
+// waiting and returns ctx's error mapped to the typed sentinels. The
+// terminal error wraps fn's last error.
+func (p RetryPolicy) DoCtx(ctx context.Context, fn func() error) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = DefaultRetryAttempts
@@ -68,10 +86,6 @@ func (p RetryPolicy) Do(fn func() error) error {
 	maxDelay := p.MaxDelay
 	if maxDelay <= 0 {
 		maxDelay = DefaultRetryMaxDelay
-	}
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
 	}
 	rng := stats.NewRNG(p.Seed)
 
@@ -89,7 +103,9 @@ func (p RetryPolicy) Do(fn func() error) error {
 			if p.OnRetry != nil {
 				p.OnRetry(attempt-1, err, delay)
 			}
-			sleep(delay)
+			if serr := p.sleepCtx(ctx, delay); serr != nil {
+				return serr
+			}
 		}
 		if err = fn(); err == nil {
 			return nil
@@ -97,6 +113,36 @@ func (p RetryPolicy) Do(fn func() error) error {
 		if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) {
 			return err
 		}
+		if p.Abort != nil && p.Abort(err) {
+			return err
+		}
 	}
 	return fmt.Errorf("serve: giving up after %d attempts: %w", attempts, err)
+}
+
+// sleepCtx waits for delay or for ctx to be done, whichever comes
+// first; a done context returns its error mapped to the typed
+// sentinels. With an injected Sleep (the testable clock) the stub runs
+// to completion — recorded-clock tests assert the sequence of delays,
+// not wall time — and ctx is checked on either side so a cancellation
+// recorded mid-sequence still interrupts the loop.
+func (p RetryPolicy) sleepCtx(ctx context.Context, delay time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
+	if p.Sleep != nil {
+		p.Sleep(delay)
+		if err := ctx.Err(); err != nil {
+			return ctxError(err)
+		}
+		return nil
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	case <-t.C:
+		return nil
+	}
 }

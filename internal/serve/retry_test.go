@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -106,6 +107,93 @@ func TestRetryDoesNotRetryCancellation(t *testing.T) {
 		if calls != 1 || len(clk.delays) != 0 {
 			t.Fatalf("%v: calls=%d sleeps=%d, want no retries", sentinel, calls, len(clk.delays))
 		}
+	}
+}
+
+// TestRetryCtxCancelInterruptsBackoff pins the fix for the policy
+// sleeping through its full jittered backoff after the caller was
+// already gone: a context canceled during the backoff sleep must end
+// DoCtx with ErrCanceled instead of burning the remaining attempts.
+// The recorded clock cancels mid-"sleep", so the test takes no wall
+// time.
+func TestRetryCtxCancelInterruptsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := &recordingClock{}
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour}
+	p.Sleep = func(d time.Duration) {
+		clk.sleep(d)
+		cancel() // the caller goes away mid-backoff
+	}
+	calls := 0
+	err := p.DoCtx(ctx, func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want ErrCanceled unwrapping context.Canceled", err)
+	}
+	if calls != 1 || len(clk.delays) != 1 {
+		t.Fatalf("calls=%d sleeps=%d, want the first backoff to be the last wait", calls, len(clk.delays))
+	}
+}
+
+// TestRetryCtxAlreadyDoneSkipsBackoff asserts the backoff is never
+// entered when the context expired before the sleep: the typed
+// deadline error surfaces with zero recorded delays past the failing
+// attempt.
+func TestRetryCtxAlreadyDoneSkipsBackoff(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	clk := &recordingClock{}
+	p := RetryPolicy{MaxAttempts: 5, Sleep: clk.sleep}
+	calls := 0
+	err := p.DoCtx(ctx, func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("error = %v, want ErrDeadlineExceeded", err)
+	}
+	if calls != 1 || len(clk.delays) != 0 {
+		t.Fatalf("calls=%d sleeps=%d, want 1 attempt and no backoff sleeps", calls, len(clk.delays))
+	}
+}
+
+// TestRetryRealClockCancelInterruptsBackoff exercises the default
+// timer-select sleep (Sleep == nil): with an hour-scale backoff, a
+// cancellation must return in test time, proving the wait is on the
+// context and not the timer.
+func TestRetryRealClockCancelInterruptsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.DoCtx(ctx, func() error { return errors.New("transient") })
+	}()
+	time.Sleep(10 * time.Millisecond) // let the policy reach its backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("error = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoCtx slept through cancellation (hour-long backoff not interrupted)")
+	}
+}
+
+// TestRetryAbortClassifierStopsRetrying asserts Abort-classified errors
+// return immediately and unwrapped — the coordinator relies on this for
+// generation-pin mismatches, where retrying the same pin cannot help.
+func TestRetryAbortClassifierStopsRetrying(t *testing.T) {
+	permanent := errors.New("generation mismatch")
+	clk := &recordingClock{}
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Sleep:       clk.sleep,
+		Abort:       func(err error) bool { return errors.Is(err, permanent) },
+	}
+	calls := 0
+	err := p.DoCtx(context.Background(), func() error { calls++; return permanent })
+	if err != permanent {
+		t.Fatalf("error = %v, want the classified error returned unwrapped", err)
+	}
+	if calls != 1 || len(clk.delays) != 0 {
+		t.Fatalf("calls=%d sleeps=%d, want no retries after an aborting error", calls, len(clk.delays))
 	}
 }
 

@@ -17,10 +17,16 @@
 # serve engine, one sub-benchmark per mitigator), the continuous-profiler
 # overhead benchmark of PR 8 (BenchmarkServeProfiled: batch serving while
 # the profiler captures rounds at the production ~10% CPU-sampling duty
-# cycle vs no profiler), and the PR 8 open-loop load sweep (the fairjob
-# loadtest mode at several offered rates, recording CO-corrected p50/p99/
-# p999 and achieved throughput per rate), and writes the results to a
-# JSON file so successive PRs can be compared number-to-number.
+# cycle vs no profiler), the scatter-gather overhead benchmark of PR 9
+# (BenchmarkScatterGather: the same request battery through a
+# single-partition cluster coordinator — gen pinning, transport hop, leg
+# budgets, hedge timers, reply merge — vs the plain engine), the PR 8
+# open-loop load sweep (the fairjob loadtest mode at several offered
+# rates, recording CO-corrected p50/p99/p999 and achieved throughput per
+# rate), and the PR 9 partition sweep (loadtest at a fixed rate served
+# through the coordinator at 1, 4 and 8 partitions), and writes the
+# results to a JSON file so successive PRs can be compared
+# number-to-number.
 #
 # Derived records appended:
 #   telemetry_overhead    on-vs-off delta of BenchmarkServeInstrumented,
@@ -31,13 +37,22 @@
 #                         with the PR 5 acceptance budget (< 5%)
 #   profiling_overhead    on-vs-off delta of BenchmarkServeProfiled,
 #                         with the PR 8 acceptance budget (< 5%)
+#   scatter_gather_overhead
+#                         on-vs-off delta of BenchmarkScatterGather,
+#                         with the PR 9 acceptance budget (< 5% at
+#                         partitions=1)
 #   loadtest_rate_<R>     CO-corrected latency under R offered rps from
 #                         one fairjob loadtest run per rate
+#   loadtest_partitions_<P>
+#                         CO-corrected latency at a fixed offered rate
+#                         served through the scatter-gather coordinator
+#                         over P partitions
 #   engine_w4_vs_PR3      this run's engine-w4 ns/op against the stored
 #                         BENCH_PR3.json baseline, when present
 #   engine_w4_vs_PR4      same, against the BENCH_PR4.json baseline
 #   engine_w4_vs_PR5      same, against the BENCH_PR5.json baseline
 #   engine_w4_vs_PR7      same, against the BENCH_PR7.json baseline
+#   engine_w4_vs_PR8      same, against the BENCH_PR8.json baseline
 #
 # The overhead deltas are the MEDIAN of per-round ABBA deltas over 3
 # rounds: each round runs four single-variant invocations in the order
@@ -56,21 +71,22 @@
 # with the same estimator as a hard gate (with one independent
 # re-measure before declaring a breach).
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR8.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR9.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$|BenchmarkMitigate'
 raw="$(mktemp)"
 raw2="$(mktemp)"
 raw3="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
+raw6="$(mktemp)"
 ltout="$(mktemp)"
 ltbin="$(mktemp)"
-trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4" "$raw5" "$ltout" "$ltbin"' EXIT
+trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4" "$raw5" "$raw6" "$ltout" "$ltbin"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
@@ -98,6 +114,9 @@ abba_run BenchmarkServeLogging | tee "$raw4"
 
 echo "== go test -bench BenchmarkServeProfiled ABBA ×5 (profiling overhead pair)"
 abba_run BenchmarkServeProfiled | tee "$raw5"
+
+echo "== go test -bench BenchmarkScatterGather ABBA ×5 (scatter-gather overhead pair)"
+abba_run BenchmarkScatterGather | tee "$raw6"
 
 # The PR 8 open-loop load sweep: one fairjob loadtest run per offered
 # rate, short enough to keep the script's runtime sane but long enough
@@ -130,6 +149,38 @@ $rec"
         fi
     else
         echo "bench.sh: loadtest @${lrate}rps failed; skipping its record" >&2
+    fi
+done
+
+# The PR 9 partition sweep: the same loadtest at a fixed offered rate,
+# served through the scatter-gather coordinator at increasing partition
+# counts. partitions=1 prices the cluster machinery itself (same answers
+# as the engine, byte for byte); higher counts show how the distributed
+# TA merge and the per-leg budgets behave as the table fragments shrink.
+echo "== fairjob loadtest partition sweep (coordinator at 1/4/8 partitions)"
+for pcount in 1 4 8; do
+    if "$ltbin" loadtest -rate 250 -partitions "$pcount" -warmup 1s -duration 5s -seed 1 -out "$ltout" 2>/dev/null; then
+        rec="$(awk -v pc="$pcount" '
+            function grab(key,   s) {
+                s = $0; sub(/^[^:]*: */, "", s); sub(/,? *$/, "", s); return s
+            }
+            /"achieved_rps":/ && !a { a = grab(); got_a = 1 }
+            /"p50_ns":/  && !p50  { p50  = grab() }
+            /"p99_ns":/  && !p99  { p99  = grab() }
+            /"p999_ns":/ && !p999 { p999 = grab() }
+            /"max_ns":/  && !mx   { mx   = grab() }
+            /"completed":/ && !c  { c = grab() }
+            END {
+                if (!p99) exit 1
+                printf "  {\"name\": \"loadtest_partitions_%s\", \"partitions\": %s, \"offered_rps\": 250, \"achieved_rps\": %s, \"completed\": %s, \"p50_ns\": %s, \"p99_ns\": %s, \"p999_ns\": %s, \"max_ns\": %s}", pc, pc, a, c, p50, p99, p999, mx
+            }' "$ltout")" || rec=""
+        if [ -n "$rec" ]; then
+            lt_records="$lt_records,
+$rec"
+            echo "bench.sh: loadtest partitions=${pcount}: $(awk -F': ' '/"p99_ns":/ && !seen++ { v = $2; sub(/,.*/, "", v); printf "p99 %.2fms", v / 1e6 }' "$ltout")"
+        fi
+    else
+        echo "bench.sh: loadtest partitions=${pcount} failed; skipping its record" >&2
     fi
 done
 
@@ -292,6 +343,37 @@ if [ -n "$poff" ] && [ -n "$pon" ]; then
     echo "bench.sh: profiling overhead on-vs-off (median of ABBA round deltas): $ppct%"
 fi
 
+# Derived record: scatter-gather overhead — the request battery through a
+# single-partition cluster coordinator (gen pinning, the simulated-RPC
+# transport hop, leg deadline budgets, hedge timer arming, reply merge)
+# vs the plain engine — median of the per-round ABBA deltas, same
+# protocol as the other pairs. The PR 9 acceptance budget is < 5% at
+# partitions=1.
+soff="$(minof BenchmarkScatterGather off "$raw6")"
+son="$(minof BenchmarkScatterGather on "$raw6")"
+spct="$(abbadelta BenchmarkScatterGather "$raw6" || true)"
+if [ -n "$soff" ] && [ -n "$son" ]; then
+    awk -v off="$soff" -v on="$son" '
+    /^BenchmarkScatterGather/ {
+        key = index($1, "/off") ? "off" : "on"
+        if (seen[key]++) next
+        ns = (key == "off" ? off : on)
+        bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        printf ",\n  {\"name\": \"%s\", \"runs\": 10, \"min_ns_per_op\": %s", $1, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }' "$raw6" >> "$out"
+    awk -v off="$soff" -v on="$son" -v pct="$spct" 'BEGIN {
+        printf ",\n  {\"name\": \"scatter_gather_overhead\", \"rounds\": 5, \"off_min_ns_per_op\": %s, \"on_min_ns_per_op\": %s, \"median_abba_delta_pct\": %s, \"budget_pct\": 5, \"within_budget\": %s}", off, on, pct, (pct + 0 < 5 ? "true" : "false")
+    }' >> "$out"
+    echo "bench.sh: scatter-gather overhead on-vs-off (median of ABBA round deltas): $spct%"
+fi
+
 # Derived record: this run's engine-w4 against the PR 3 baseline.
 cur="$(awk '$1 ~ /^BenchmarkServeConcurrent\/engine-w4/ {print $3; exit}' "$raw")"
 base="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
@@ -335,6 +417,17 @@ if [ -n "$cur" ] && [ -n "$base7" ]; then
         printf ",\n  {\"name\": \"engine_w4_vs_PR7\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
     }' >> "$out"
     echo "bench.sh: engine-w4 vs BENCH_PR7 baseline: $(awk -v base="$base7" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
+fi
+
+# Derived record: this run's engine-w4 against the PR 8 baseline.
+base8="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
+    s = substr($0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s; exit
+}' BENCH_PR8.json 2>/dev/null || true)"
+if [ -n "$cur" ] && [ -n "$base8" ]; then
+    awk -v base="$base8" -v cur="$cur" 'BEGIN {
+        printf ",\n  {\"name\": \"engine_w4_vs_PR8\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
+    }' >> "$out"
+    echo "bench.sh: engine-w4 vs BENCH_PR8 baseline: $(awk -v base="$base8" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
 fi
 
 printf '\n]\n' >> "$out"

@@ -17,12 +17,14 @@
 #                            the engine and validates every emitted wide
 #                            event against the documented closed schema
 #   5. chaos gate            go test -race -tags faultinject over the
-#                            serving stack and the failpoint registry —
-#                            the chaos suite arms every failpoint
-#                            (slow evaluator, panicking measure, failing
-#                            refresh, queue delay) and asserts the
-#                            engine converges back to correct answers
-#                            once faults clear
+#                            serving stack, the failpoint registry and
+#                            the partitioned cluster — the chaos suite
+#                            arms every failpoint (slow evaluator,
+#                            panicking measure, failing refresh, queue
+#                            delay, partition down/slow/flap) and
+#                            asserts the engine and the scatter-gather
+#                            coordinator converge back to correct
+#                            answers once faults clear
 #   6. mitigation gate       go test -race over internal/mitigate (the
 #                            Problem 3 golden tests, property tests and
 #                            the FuzzMitigators seed corpus) plus the
@@ -39,8 +41,9 @@
 #                            evaluators' sharded worker pools and the
 #                            serve engine's concurrent query paths must
 #                            stay race-clean at any worker count
-#   9. overhead gates        the telemetry, resilience, logging and
-#                            profiling on-vs-off benchmark pairs, each with the
+#   9. overhead gates        the telemetry, resilience, logging,
+#                            profiling and scatter-gather on-vs-off
+#                            benchmark pairs, each with the
 #                            < 5% acceptance budget. Each measurement is
 #                            5 ABBA rounds — four single-variant
 #                            invocations per round in the order off, on,
@@ -97,8 +100,8 @@ echo "== go test -race -run 'TestStress|TestWideEventSchemaGate' (observability 
 go test -race -count=1 -run 'TestStress' ./internal/obs/
 go test -race -count=1 -run 'TestWideEventSchemaGate' ./internal/serve/
 
-echo "== go test -race -tags faultinject ./internal/serve/... ./internal/faultinject/... (chaos gate)"
-go test -race -tags faultinject -count=1 ./internal/serve/... ./internal/faultinject/... ./internal/topk/...
+echo "== go test -race -tags faultinject ./internal/serve/... ./internal/faultinject/... ./internal/cluster/... (chaos gate)"
+go test -race -tags faultinject -count=1 ./internal/serve/... ./internal/faultinject/... ./internal/topk/... ./internal/cluster/...
 
 echo "== go test -race ./internal/mitigate ./internal/serve (mitigation gate)"
 go test -race -count=1 ./internal/mitigate/ ./internal/testutil/
@@ -130,7 +133,7 @@ echo "== go test -race ${short:+$short }./..."
 go test -race $short ./...
 
 if [ -z "$short" ]; then
-    echo "== overhead gates: telemetry/resilience/logging/profiling on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
+    echo "== overhead gates: telemetry/resilience/logging/profiling/scatter-gather on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
     bench_raw="$(mktemp)"
     trap 'rm -f "$bench_raw" "$lt_smoke"' EXIT
     # Five ABBA rounds over benchmark group $1 (a name, or names joined
@@ -171,12 +174,13 @@ if [ -z "$short" ]; then
         echo "check.sh: $label overhead (median of ABBA round deltas): $pct%"
         awk -v p="$pct" 'BEGIN { exit !(p >= 5) }'
     }
-    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging|BenchmarkServeProfiled'
+    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging|BenchmarkServeProfiled|BenchmarkScatterGather'
     breached=""
     if gate_breached BenchmarkServeInstrumented telemetry; then breached="$breached BenchmarkServeInstrumented:telemetry"; fi
     if gate_breached BenchmarkServeResilient resilience; then breached="$breached BenchmarkServeResilient:resilience"; fi
     if gate_breached BenchmarkServeLogging logging; then breached="$breached BenchmarkServeLogging:logging"; fi
     if gate_breached BenchmarkServeProfiled profiling; then breached="$breached BenchmarkServeProfiled:profiling"; fi
+    if gate_breached BenchmarkScatterGather scatter-gather; then breached="$breached BenchmarkScatterGather:scatter-gather"; fi
     for entry in $breached; do
         bench="${entry%%:*}"; label="${entry#*:}"
         echo "check.sh: $label overhead breached the < 5% budget — re-measuring once after a cool-down to rule out machine drift"
