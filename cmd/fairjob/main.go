@@ -105,7 +105,7 @@ func main() {
 		budget      = fs.Int("budget", 0, "mitigate: exposure-parity adjacent-swap budget (0 = unbounded)")
 		deadline    = fs.Duration("deadline", 0, "per-request deadline for engine queries (0 = none); expired requests report a typed deadline error")
 		maxInflight = fs.Int("max-inflight", 0, "admission gate capacity in weight units (0 = unlimited; negative sheds all compute, serving only cache hits)")
-		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/pprof/")
+		admin       = fs.String("admin", "", "serve the telemetry admin endpoint on this address (e.g. :6060) and stay alive after the mode completes: /metrics, /healthz, /readyz, /debug/traces (+ /debug/traces/<id> waterfalls), /debug/slo, /debug/events, /debug/pprof/")
 		logDest     = fs.String("log", "", "write one wide JSON event per request to this file (\"stderr\" or \"-\" for stderr); recent events are always retained in memory for /debug/events")
 		logSample   = fs.Uint64("log-sample", 1, "keep one in N successful wide events and retain one in N fast-ok traces; failures, sheds and slow traces are always kept (0 or 1 keeps everything)")
 		sloBound    = fs.Duration("slo", 0, "enable the SLO monitor: 99% of requests must answer within this bound and 99.9% must succeed; burn-rate alerts gate /readyz and the batch summary reports the verdicts (0 disables)")
@@ -299,7 +299,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces, /debug/slo, /debug/events, /debug/profiles, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "fairjob: admin endpoint on http://%s — /metrics, /healthz, /readyz, /debug/traces (waterfalls at /debug/traces/<id>), /debug/slo, /debug/events, /debug/profiles, /debug/pprof/ (Ctrl-C to exit)\n", srv.Addr())
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

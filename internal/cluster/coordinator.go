@@ -130,8 +130,18 @@ type clusterMetrics struct {
 	legRetries        *obs.Counter
 	partials          *obs.Counter
 	repins            *obs.Counter
-	legSeconds        *obs.Histogram
 	requestSeconds    *obs.Histogram
+
+	// Per-partition RED series, label-resolved once at construction so
+	// the leg hot path indexes a slice instead of formatting a name:
+	// rate (cluster_partition_legs_total{partition=...}), errors
+	// (cluster_partition_leg_errors_total{partition=...}) and duration
+	// (cluster_leg_seconds{partition=...}). The adaptive hedge delay
+	// rides along as the cluster_hedge_delay_seconds{partition=...}
+	// gauge, registered as a GaugeFunc over the live policy.
+	partLegs       []*obs.Counter
+	partLegErrors  []*obs.Counter
+	partLegSeconds []*obs.Histogram
 }
 
 // Coordinator serves Problems 1–3 over a (query, location)-partitioned
@@ -261,8 +271,20 @@ func NewWithRankings(tbl *core.Table, schema *core.Schema, rankings []*core.Mark
 		legRetries:        reg.Counter("cluster_leg_retries_total"),
 		partials:          reg.Counter("cluster_partial_results_total"),
 		repins:            reg.Counter("cluster_repins_total"),
-		legSeconds:        reg.Histogram("cluster_leg_seconds", obs.LatencyBuckets()),
 		requestSeconds:    reg.Histogram("cluster_request_seconds", obs.LatencyBuckets()),
+		partLegs:          make([]*obs.Counter, n),
+		partLegErrors:     make([]*obs.Counter, n),
+		partLegSeconds:    make([]*obs.Histogram, n),
+	}
+	for p := 0; p < n; p++ {
+		lbl := strconv.Itoa(p)
+		c.met.partLegs[p] = reg.Counter(obs.Name("cluster_partition_legs_total", "partition", lbl))
+		c.met.partLegErrors[p] = reg.Counter(obs.Name("cluster_partition_leg_errors_total", "partition", lbl))
+		c.met.partLegSeconds[p] = reg.Histogram(obs.Name("cluster_leg_seconds", "partition", lbl), obs.LatencyBuckets())
+		p := p
+		reg.GaugeFunc(obs.Name("cluster_hedge_delay_seconds", "partition", lbl), func() float64 {
+			return c.hedgeBaseDelay(p).Seconds()
+		})
 	}
 	for p := range nodes {
 		c.gens[p].store(nodes[p].Gen())
@@ -337,7 +359,7 @@ func (c *Coordinator) DoCtx(ctx context.Context, req serve.Request) serve.Respon
 		tr.SetOutcome("error")
 		c.tracer.Finish(tr)
 		resp := serve.Response{Err: err}
-		c.emit(req, resp, tr, "error", time.Since(start))
+		c.emit(req, resp, tr, "error", time.Since(start), nil)
 		c.tracer.Release(tr)
 		return resp
 	}
@@ -354,25 +376,50 @@ func (c *Coordinator) DoCtx(ctx context.Context, req serve.Request) serve.Respon
 		req.Deadline = 0
 	}
 
+	st := newScatterStats(c.n)
 	var resp serve.Response
 	var rc *reqCtx
 	for attempt := 0; ; attempt++ {
-		rc = c.newReqCtx()
+		rc = c.newReqCtx(st, tr)
+		// Each pinned attempt is a span: the fan-out legs nest under it,
+		// so a re-pinned request's waterfall shows both generations' work.
+		att := tr.StartSpan("scatter")
+		if attempt == 0 {
+			att.SetKind("primary")
+		} else {
+			att.SetKind("repin")
+		}
+		rc.span = att
 		resp = c.run(ctx, rc, req, tr)
 		if rc.genFlipped() && attempt == 0 {
 			// A partition refreshed under the pin: re-pin to the new
 			// generations and restart so the answer is single-generation.
 			c.met.repins.Inc()
 			tr.Mark("repin")
+			att.SetOutcome("gen-flip")
+			att.Finish()
 			continue
 		}
+		if len(rc.missing()) > 0 {
+			att.SetOutcome("degraded")
+		} else {
+			att.SetOutcome(serve.Outcome(resp.Err))
+		}
+		att.Finish()
 		break
 	}
 	if missing := rc.missing(); len(missing) > 0 {
 		if ctx.Err() == nil {
 			tr.Mark("degrade")
 			tr.Annotate("missing", intsList(missing))
+			// The degraded recompute is its own span; the survivors' cells
+			// gather and the local engine's work nest under it.
+			ds := tr.StartSpan("recompute")
+			ds.SetKind("recompute")
+			rc.span = ds
 			resp = c.degrade(ctx, rc, req, missing)
+			ds.SetOutcome(serve.Outcome(resp.Err))
+			ds.Finish()
 			c.met.partials.Inc()
 		} else if resp.Err == nil {
 			// The request deadline died with partitions already lost,
@@ -387,7 +434,7 @@ func (c *Coordinator) DoCtx(ctx context.Context, req serve.Request) serve.Respon
 	tr.SetOutcome(outcome)
 	c.tracer.Finish(tr)
 	c.met.requestSeconds.Observe(lat.Seconds())
-	c.emit(req, resp, tr, outcome, lat)
+	c.emit(req, resp, tr, outcome, lat, st)
 	c.tracer.Release(tr)
 	return resp
 }
@@ -453,6 +500,10 @@ func (c *Coordinator) runQuantify(ctx context.Context, rc *reqCtx, req serve.Req
 	}
 	resp := serve.Response{Gen: rc.pinnedGen()}
 	resp.Results, resp.Stats, resp.Err = topk.TopKCtxWith(runCtx, src, req.K, req.Direction, req.Algorithm, nil)
+	// One summary span per streamed-from partition, instead of a span per
+	// scan round-trip (see MaxChildSpans): the rpcs counts they carry are
+	// the per-request evidence for the O(lists) scan-batching problem.
+	rc.scanSummary()
 	if len(rc.missing()) > 0 {
 		// A partition was lost mid-run, so whatever the algorithm
 		// concluded — an error, or a "clean" answer over lists that went
@@ -528,7 +579,9 @@ func (c *Coordinator) degrade(ctx context.Context, rc *reqCtx, req serve.Request
 			Cause:      err,
 		}}
 	}
-	resp := eng.DoCtx(ctx, req)
+	// The recompute span rides the context so the degraded engine joins
+	// the request's trace as an "engine" child instead of going dark.
+	resp := eng.DoCtx(obs.ContextWithSpan(ctx, rc.span), req)
 	resp.Err = &PartialResultError{
 		Missing:    missing,
 		Partitions: c.n,
@@ -592,8 +645,10 @@ func (c *Coordinator) degradedEngine(ctx context.Context, rc *reqCtx, missing []
 // emit assembles the coordinator's wide event, mirroring the engine's
 // field layout (DESIGN.md §9) plus the fan-out fields: partitions is
 // the cluster width, missing_partitions names the holes in a partial
-// answer.
-func (c *Coordinator) emit(req serve.Request, resp serve.Response, tr *obs.Trace, outcome string, lat time.Duration) {
+// answer, and the scatter cost block (rpcs, hedges_fired, hedges_won,
+// leg_retries, slowest_partition) is the one-line summary of what the
+// trace's span tree shows leg by leg.
+func (c *Coordinator) emit(req serve.Request, resp serve.Response, tr *obs.Trace, outcome string, lat time.Duration, st *scatterStats) {
 	if c.log == nil {
 		return
 	}
@@ -604,6 +659,13 @@ func (c *Coordinator) emit(req serve.Request, resp serve.Response, tr *obs.Trace
 		Gen:        resp.Gen,
 		Problem:    req.Problem.String(),
 		Partitions: c.n,
+	}
+	if st != nil {
+		ev.RPCs = st.rpcs.Load()
+		ev.HedgesFired = st.hedgesFired.Load()
+		ev.HedgesWon = st.hedgesWon.Load()
+		ev.LegRetries = st.legRetries.Load()
+		ev.SlowestPartition = st.slowest()
 	}
 	var pres *PartialResultError
 	if errors.As(resp.Err, &pres) {

@@ -200,6 +200,13 @@ func (nd *Node) Refresh(apply func(*core.Table)) {
 // generation. A non-zero PinGen that no longer matches refuses with
 // ErrGenMismatch — the coordinator re-pins and restarts rather than
 // merging data from two generations.
+//
+// Trace propagation: in-process, the coordinator's leg span rides the
+// context (obs.ContextWithSpan), so an OpServe request's engine joins
+// the caller's trace with no work here. Call.TraceID and
+// Call.ParentSpan carry the same join key as wire-visible fields — a
+// networked transport would serialize those and reconstruct the
+// context server-side; this node reads neither.
 func (nd *Node) Handle(ctx context.Context, call Call) (Reply, error) {
 	st := nd.state.Load()
 	if call.PinGen != 0 && call.PinGen != st.gen {

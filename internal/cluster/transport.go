@@ -67,6 +67,15 @@ type Call struct {
 
 	// OpServe operand.
 	Req serve.Request
+
+	// Trace propagation. These are the wire schema a networked transport
+	// would serialize: the coordinator's trace id and the id of the leg
+	// span this call runs under, enough for the remote side to emit spans
+	// that join the caller's tree. The in-process transport additionally
+	// carries the live obs.SpanRef in the context (obs.ContextWithSpan),
+	// which is what the node-side engine actually joins today.
+	TraceID    uint64
+	ParentSpan int32
 }
 
 // ListValue is one entry of an OpLookup reply: the key's value in one

@@ -1,0 +1,28 @@
+package obs
+
+import "context"
+
+// Trace-context propagation: the cluster coordinator parents every
+// fan-out leg under a span and threads that SpanRef through the leg's
+// context, across the Transport boundary, so the node-side engine joins
+// the request's trace instead of starting its own. The ref is a value
+// (no allocation beyond the context node), and an invalid ref is never
+// stored — with tracing disabled the context passes through untouched,
+// so the off path costs one branch.
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current parent span.
+// An invalid ref returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s SpanRef) context.Context {
+	if !s.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the parent span carried by ctx, if any.
+func SpanFromContext(ctx context.Context) (SpanRef, bool) {
+	s, ok := ctx.Value(spanCtxKey{}).(SpanRef)
+	return s, ok
+}

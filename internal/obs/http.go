@@ -298,7 +298,10 @@ func readOnly(contentType string, fn http.HandlerFunc) http.HandlerFunc {
 //	/healthz        liveness probe: 200 "ok" or 503 with the reason
 //	/readyz         readiness probe: 200 "ok" or 503 with the reason
 //	/debug/traces   JSON dump of retained traces, newest first;
-//	                ?limit=N (default 64) and ?outcome=ok|slow|error
+//	                ?limit=N (default 64), ?outcome=ok|slow|error, and
+//	                ?trace_id=N exact lookup (the exemplar/wide-event
+//	                join key; 404 when not retained)
+//	/debug/traces/<id>  plain-text span waterfall of one retained trace
 //	/debug/slo      JSON SLO status: burn rates, alerts, budget
 //	/debug/events   JSON dump of recent wide events, newest first;
 //	                ?limit=N (default 64)
@@ -310,6 +313,23 @@ func NewHandler(o AdminOptions) http.Handler {
 	mux.HandleFunc("/readyz", probeHandler(o.Health.ready))
 	mux.HandleFunc("/metrics", metricsHandler(o.Registry))
 	mux.HandleFunc("/debug/traces", readOnly("application/json", func(w http.ResponseWriter, r *http.Request) {
+		// ?trace_id= is the exact-lookup path: the join key an exemplar
+		// or wide event published resolves to its one trace (404 when
+		// the ring evicted it or the sampler dropped it).
+		if raw := r.URL.Query().Get("trace_id"); raw != "" {
+			id, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "trace_id must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			t := o.Tracer.Find(id)
+			if t == nil {
+				http.Error(w, "trace not retained (evicted, sampled out, or never existed)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, t)
+			return
+		}
 		limit := parseLimit(r, DefaultTraceDumpLimit)
 		outcome := r.URL.Query().Get("outcome")
 		if outcome != "" && outcome != "ok" && outcome != "slow" && outcome != "error" {
@@ -332,6 +352,9 @@ func NewHandler(o AdminOptions) http.Handler {
 			Traces    []*Trace                  `json:"traces"`
 		}{o.Tracer.Finished(), o.Tracer.Retention(), traces})
 	}))
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		tracesSubHandler(o.Tracer, w, r)
+	})
 	mux.HandleFunc("/debug/slo", readOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, o.SLO.Status())
 	}))
@@ -374,9 +397,34 @@ func NewHandler(o AdminOptions) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/slo\n/debug/events\n/debug/profiles\n/debug/pprof/\n")
+		fmt.Fprint(w, "fairjob admin endpoint\n\n/metrics\n/healthz\n/readyz\n/debug/traces\n/debug/traces/<id>\n/debug/slo\n/debug/events\n/debug/profiles\n/debug/pprof/\n")
 	})
 	return mux
+}
+
+// tracesSubHandler serves /debug/traces/<id>: the plain-text span
+// waterfall of one retained trace (see WriteWaterfall), the rendering
+// an operator reads after a wide event or exemplar hands them a
+// trace_id.
+func tracesSubHandler(tz *Tracer, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "usage: /debug/traces/<id>", http.StatusBadRequest)
+		return
+	}
+	t := tz.Find(id)
+	if t == nil {
+		http.Error(w, "trace not retained (evicted, sampled out, or never existed)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteWaterfall(w, t)
 }
 
 // profilesSubHandler serves the /debug/profiles/ subtree:

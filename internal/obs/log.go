@@ -103,6 +103,18 @@ type Event struct {
 	// the partitions whose data is missing from the answer.
 	Partitions        int    `json:"partitions,omitempty"`
 	MissingPartitions string `json:"missing_partitions,omitempty"`
+	// Fan-out cost and tail attribution: how many transport round-trips
+	// the request issued (every primary, hedge and retry send), how many
+	// hedge duplicates fired and how many of those won their race, how
+	// many leg retries ran, and which partition consumed the most total
+	// leg time — one line answers "why was this scatter slow".
+	// SlowestPartition is a string (not int) so partition 0 survives
+	// omitempty.
+	RPCs             int64  `json:"rpcs,omitempty"`
+	HedgesFired      int64  `json:"hedges_fired,omitempty"`
+	HedgesWon        int64  `json:"hedges_won,omitempty"`
+	LegRetries       int64  `json:"leg_retries,omitempty"`
+	SlowestPartition string `json:"slowest_partition,omitempty"`
 }
 
 // EventSchema is the documented wide-event schema: every legal JSON
@@ -119,6 +131,8 @@ var EventSchema = map[string]bool{
 	"sorted_accesses": false, "random_accesses": false, "rounds": false,
 	"compare_accesses": false, "delta_unfairness": false, "err": false,
 	"partitions": false, "missing_partitions": false,
+	"rpcs": false, "hedges_fired": false, "hedges_won": false,
+	"leg_retries": false, "slowest_partition": false,
 }
 
 // ValidateEventJSON checks one serialized event against EventSchema: it

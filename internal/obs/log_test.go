@@ -190,6 +190,7 @@ func TestEventSchemaMatchesStruct(t *testing.T) {
 		Cache: "hit", QueueWaitNS: 1, SortedAccesses: 1, RandomAccesses: 1,
 		Rounds: 1, CompareAccesses: 1, DeltaUnfairness: 0.01, Err: "e",
 		Partitions: 1, MissingPartitions: "1",
+		RPCs: 1, HedgesFired: 1, HedgesWon: 1, LegRetries: 1, SlowestPartition: "0",
 	}
 	raw, err := json.Marshal(e)
 	if err != nil {

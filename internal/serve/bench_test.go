@@ -269,6 +269,47 @@ func BenchmarkScatterGather(b *testing.B) {
 	})
 }
 
+// BenchmarkSpanTracing measures the per-request cost of distributed
+// tracing on the scatter-gather path. Both variants serve the identical
+// battery through a one-partition coordinator (node caches disabled);
+// "on" additionally wires a Tracer, so every request pays the pooled
+// trace checkout, the per-leg child-span tree (scatter attempt, leg
+// spans, scan-stream summaries, the engine join), the ring retention
+// copy and tail-sampling decision. The delta over "off" prices exactly
+// the span machinery — allocation-free by design (sync.Pool traces,
+// inline child arrays) — and the acceptance budget is < 5% (bench.sh
+// records it as span_tracing_overhead; check.sh gates on it).
+func BenchmarkSpanTracing(b *testing.B) {
+	rng := stats.NewRNG(4242)
+	tbl := randomTable(rng, 11, 48, 10, 0.1)
+	snap := serve.NewSnapshot(tbl)
+	reqs := battery(snap)
+	run := func(b *testing.B, do func(serve.Request) serve.Response) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if resp := do(r); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		coord := cluster.New(tbl, cluster.Options{Partitions: 1, NodeCacheSize: -1})
+		b.ResetTimer()
+		run(b, coord.Do)
+	})
+	b.Run("on", func(b *testing.B) {
+		coord := cluster.New(tbl, cluster.Options{
+			Partitions:    1,
+			NodeCacheSize: -1,
+			Tracer:        obs.NewTracer(obs.DefaultTraceCapacity),
+		})
+		b.ResetTimer()
+		run(b, coord.Do)
+	})
+}
+
 // BenchmarkMitigate measures one Problem 3 request end to end — measure,
 // re-rank, re-measure on the paper's ten-worker page — per mitigator,
 // with the cache disabled so every iteration pays the full pipeline.

@@ -516,7 +516,22 @@ func (e *Engine) Do(req Request) Response {
 // observed at the admission gate and at every algorithm round, and a
 // request cut short reports ErrCanceled or ErrDeadlineExceeded in
 // Response.Err (matching the underlying context error via errors.Is).
+//
+// A context carrying a parent span (obs.ContextWithSpan — the cluster
+// coordinator's legs do this) makes the engine JOIN that trace as an
+// "engine" child span instead of starting a second, unjoined trace of
+// its own: one request, one trace id, with the engine's work visible
+// in the caller's waterfall.
 func (e *Engine) DoCtx(ctx context.Context, req Request) Response {
+	if ps, ok := obs.SpanFromContext(ctx); ok {
+		es := ps.StartChild("engine")
+		es.SetKind("engine")
+		resp := e.doOn(ctx, e.Snapshot(), req, nil)
+		es.SetGen(resp.Gen)
+		es.SetOutcome(Outcome(resp.Err))
+		es.Finish()
+		return resp
+	}
 	tr := e.tracer.Start(req.Problem.String())
 	snap := e.Snapshot()
 	tr.Mark("snapshot-pin")

@@ -20,8 +20,12 @@
 # cycle vs no profiler), the scatter-gather overhead benchmark of PR 9
 # (BenchmarkScatterGather: the same request battery through a
 # single-partition cluster coordinator — gen pinning, transport hop, leg
-# budgets, hedge timers, reply merge — vs the plain engine), the PR 8
-# open-loop load sweep (the fairjob loadtest mode at several offered
+# budgets, hedge timers, reply merge — vs the plain engine), the
+# span-tracing overhead benchmark of PR 10 (BenchmarkSpanTracing: the
+# same battery through the one-partition coordinator with the tracer
+# wired — pooled trace checkout, per-leg child spans, scan-stream
+# summaries, the engine join, ring retention — vs the same coordinator
+# untraced), the PR 8 open-loop load sweep (the fairjob loadtest mode at several offered
 # rates, recording CO-corrected p50/p99/p999 and achieved throughput per
 # rate), and the PR 9 partition sweep (loadtest at a fixed rate served
 # through the coordinator at 1, 4 and 8 partitions), and writes the
@@ -41,6 +45,8 @@
 #                         on-vs-off delta of BenchmarkScatterGather,
 #                         with the PR 9 acceptance budget (< 5% at
 #                         partitions=1)
+#   span_tracing_overhead on-vs-off delta of BenchmarkSpanTracing,
+#                         with the PR 10 acceptance budget (< 5%)
 #   loadtest_rate_<R>     CO-corrected latency under R offered rps from
 #                         one fairjob loadtest run per rate
 #   loadtest_partitions_<P>
@@ -53,6 +59,7 @@
 #   engine_w4_vs_PR5      same, against the BENCH_PR5.json baseline
 #   engine_w4_vs_PR7      same, against the BENCH_PR7.json baseline
 #   engine_w4_vs_PR8      same, against the BENCH_PR8.json baseline
+#   engine_w4_vs_PR9      same, against the BENCH_PR9.json baseline
 #
 # The overhead deltas are the MEDIAN of per-round ABBA deltas over 3
 # rounds: each round runs four single-variant invocations in the order
@@ -71,12 +78,12 @@
 # with the same estimator as a hard gate (with one independent
 # re-measure before declaring a breach).
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR9.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR10.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 pattern='BenchmarkEvaluate$|BenchmarkEvaluateParallel$|BenchmarkSearchEvaluate$|BenchmarkCrawlTaskRabbit$|BenchmarkCrawlGoogle$|BenchmarkFig1$|BenchmarkGoogleQuant$|BenchmarkServeConcurrent|BenchmarkServeSnapshotBuild$|BenchmarkServeCacheHit$|BenchmarkMitigate'
 raw="$(mktemp)"
 raw2="$(mktemp)"
@@ -84,9 +91,10 @@ raw3="$(mktemp)"
 raw4="$(mktemp)"
 raw5="$(mktemp)"
 raw6="$(mktemp)"
+raw7="$(mktemp)"
 ltout="$(mktemp)"
 ltbin="$(mktemp)"
-trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4" "$raw5" "$raw6" "$ltout" "$ltbin"' EXIT
+trap 'rm -f "$raw" "$raw2" "$raw3" "$raw4" "$raw5" "$raw6" "$raw7" "$ltout" "$ltbin"' EXIT
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=2s . ./internal/serve | tee "$raw"
@@ -117,6 +125,9 @@ abba_run BenchmarkServeProfiled | tee "$raw5"
 
 echo "== go test -bench BenchmarkScatterGather ABBA ×5 (scatter-gather overhead pair)"
 abba_run BenchmarkScatterGather | tee "$raw6"
+
+echo "== go test -bench BenchmarkSpanTracing ABBA ×5 (span-tracing overhead pair)"
+abba_run BenchmarkSpanTracing | tee "$raw7"
 
 # The PR 8 open-loop load sweep: one fairjob loadtest run per offered
 # rate, short enough to keep the script's runtime sane but long enough
@@ -374,6 +385,36 @@ if [ -n "$soff" ] && [ -n "$son" ]; then
     echo "bench.sh: scatter-gather overhead on-vs-off (median of ABBA round deltas): $spct%"
 fi
 
+# Derived record: span-tracing overhead — the one-partition coordinator
+# with a wired tracer (pooled trace checkout, per-leg child-span tree,
+# scan-stream summaries, engine join, ring retention copy) vs the same
+# coordinator untraced — median of the per-round ABBA deltas, same
+# protocol as the other pairs. The PR 10 acceptance budget is < 5%.
+toff="$(minof BenchmarkSpanTracing off "$raw7")"
+ton="$(minof BenchmarkSpanTracing on "$raw7")"
+trpct="$(abbadelta BenchmarkSpanTracing "$raw7" || true)"
+if [ -n "$toff" ] && [ -n "$ton" ]; then
+    awk -v off="$toff" -v on="$ton" '
+    /^BenchmarkSpanTracing/ {
+        key = index($1, "/off") ? "off" : "on"
+        if (seen[key]++) next
+        ns = (key == "off" ? off : on)
+        bytes = ""; allocs = ""
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bytes  = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        printf ",\n  {\"name\": \"%s\", \"runs\": 10, \"min_ns_per_op\": %s", $1, ns
+        if (bytes  != "") printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }' "$raw7" >> "$out"
+    awk -v off="$toff" -v on="$ton" -v pct="$trpct" 'BEGIN {
+        printf ",\n  {\"name\": \"span_tracing_overhead\", \"rounds\": 5, \"off_min_ns_per_op\": %s, \"on_min_ns_per_op\": %s, \"median_abba_delta_pct\": %s, \"budget_pct\": 5, \"within_budget\": %s}", off, on, pct, (pct + 0 < 5 ? "true" : "false")
+    }' >> "$out"
+    echo "bench.sh: span-tracing overhead on-vs-off (median of ABBA round deltas): $trpct%"
+fi
+
 # Derived record: this run's engine-w4 against the PR 3 baseline.
 cur="$(awk '$1 ~ /^BenchmarkServeConcurrent\/engine-w4/ {print $3; exit}' "$raw")"
 base="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
@@ -428,6 +469,17 @@ if [ -n "$cur" ] && [ -n "$base8" ]; then
         printf ",\n  {\"name\": \"engine_w4_vs_PR8\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
     }' >> "$out"
     echo "bench.sh: engine-w4 vs BENCH_PR8 baseline: $(awk -v base="$base8" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
+fi
+
+# Derived record: this run's engine-w4 against the PR 9 baseline.
+base9="$(awk 'match($0, /"name": "BenchmarkServeConcurrent\/engine-w4[^"]*", "iterations": [0-9]+, "ns_per_op": [0-9]+/) {
+    s = substr($0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s; exit
+}' BENCH_PR9.json 2>/dev/null || true)"
+if [ -n "$cur" ] && [ -n "$base9" ]; then
+    awk -v base="$base9" -v cur="$cur" 'BEGIN {
+        printf ",\n  {\"name\": \"engine_w4_vs_PR9\", \"baseline_ns_per_op\": %s, \"current_ns_per_op\": %s, \"delta_pct\": %.2f}", base, cur, (cur - base) / base * 100
+    }' >> "$out"
+    echo "bench.sh: engine-w4 vs BENCH_PR9 baseline: $(awk -v base="$base9" -v cur="$cur" 'BEGIN { printf "%.2f%%", (cur-base)/base*100 }')"
 fi
 
 printf '\n]\n' >> "$out"

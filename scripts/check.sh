@@ -99,6 +99,11 @@ go test -race -count=1 ./internal/obs/ ./internal/serve/
 echo "== go test -race -run 'TestStress|TestWideEventSchemaGate' (observability gate)"
 go test -race -count=1 -run 'TestStress' ./internal/obs/
 go test -race -count=1 -run 'TestWideEventSchemaGate' ./internal/serve/
+go test -race -count=1 -run 'TestWideEventSchemaGate' ./internal/cluster/
+
+echo "== go test -race -run 'TestSpan|TestClusterTracing' (tracing gate)"
+go test -race -count=1 -run 'TestSpan|TestWaterfall|TestTraceIDLookup' ./internal/obs/
+go test -race -count=1 -run 'TestClusterTracing' ./internal/cluster/
 
 echo "== go test -race -tags faultinject ./internal/serve/... ./internal/faultinject/... ./internal/cluster/... (chaos gate)"
 go test -race -tags faultinject -count=1 ./internal/serve/... ./internal/faultinject/... ./internal/topk/... ./internal/cluster/...
@@ -133,16 +138,19 @@ echo "== go test -race ${short:+$short }./..."
 go test -race $short ./...
 
 if [ -z "$short" ]; then
-    echo "== overhead gates: telemetry/resilience/logging/profiling/scatter-gather on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
+    echo "== overhead gates: telemetry/resilience/logging/profiling/scatter-gather/span-tracing on-vs-off, < 5% budget (median of 5 ABBA round deltas)"
     bench_raw="$(mktemp)"
     trap 'rm -f "$bench_raw" "$lt_smoke"' EXIT
     # Five ABBA rounds over benchmark group $1 (a name, or names joined
     # with |): off, on, on, off as four single-variant invocations.
+    # benchtime matches bench.sh's 2s protocol: at 1s the ~10ms/op pairs
+    # collect too few iterations on a 1-vCPU host and single rounds
+    # swing ±20%, which false-positives the 5% budget.
     measure_abba() {
         : > "$bench_raw"
         for round in 1 2 3 4 5; do
             for v in off on on off; do
-                go test -run '^$' -bench "($1)/$v\$" -benchtime=1s -count=1 ./internal/serve/
+                go test -run '^$' -bench "($1)/$v\$" -benchtime=2s -count=1 ./internal/serve/
             done
         done | tee -a "$bench_raw"
     }
@@ -174,13 +182,14 @@ if [ -z "$short" ]; then
         echo "check.sh: $label overhead (median of ABBA round deltas): $pct%"
         awk -v p="$pct" 'BEGIN { exit !(p >= 5) }'
     }
-    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging|BenchmarkServeProfiled|BenchmarkScatterGather'
+    measure_abba 'BenchmarkServeInstrumented|BenchmarkServeResilient|BenchmarkServeLogging|BenchmarkServeProfiled|BenchmarkScatterGather|BenchmarkSpanTracing'
     breached=""
     if gate_breached BenchmarkServeInstrumented telemetry; then breached="$breached BenchmarkServeInstrumented:telemetry"; fi
     if gate_breached BenchmarkServeResilient resilience; then breached="$breached BenchmarkServeResilient:resilience"; fi
     if gate_breached BenchmarkServeLogging logging; then breached="$breached BenchmarkServeLogging:logging"; fi
     if gate_breached BenchmarkServeProfiled profiling; then breached="$breached BenchmarkServeProfiled:profiling"; fi
     if gate_breached BenchmarkScatterGather scatter-gather; then breached="$breached BenchmarkScatterGather:scatter-gather"; fi
+    if gate_breached BenchmarkSpanTracing span-tracing; then breached="$breached BenchmarkSpanTracing:span-tracing"; fi
     for entry in $breached; do
         bench="${entry%%:*}"; label="${entry#*:}"
         echo "check.sh: $label overhead breached the < 5% budget — re-measuring once after a cool-down to rule out machine drift"
